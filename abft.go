@@ -1,0 +1,33 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/abft"
+)
+
+// Algorithm-Based Fault Tolerance (internal/abft): the checksum-matrix
+// scheme of Huang & Abraham the paper's introduction cites. Like the NVP
+// executor, it demonstrates in code which faults the classic schemes catch
+// (computation upsets) and which they cannot (corrupted input).
+type (
+	// ABFTMatrix is a dense row-major float64 matrix.
+	ABFTMatrix = abft.Matrix
+	// ABFTVerdict describes an ABFT check of a product.
+	ABFTVerdict = abft.Verdict
+)
+
+// ErrABFTUncorrectable is returned when checksum damage is not a
+// single-element error.
+var ErrABFTUncorrectable = abft.ErrUncorrectable
+
+// NewABFTMatrix returns a zeroed matrix.
+func NewABFTMatrix(rows, cols int) *ABFTMatrix { return abft.NewMatrix(rows, cols) }
+
+// ABFTMul multiplies without protection.
+func ABFTMul(a, b *ABFTMatrix) (*ABFTMatrix, error) { return abft.Mul(a, b) }
+
+// ABFTMulChecked multiplies with row/column checksum protection, locating
+// and correcting a single corrupted product element. mutate (may be nil)
+// is the fault-injection hook applied before verification.
+func ABFTMulChecked(a, b *ABFTMatrix, tol float64, mutate func(*ABFTMatrix)) (*ABFTMatrix, ABFTVerdict, error) {
+	return abft.MulChecked(a, b, tol, mutate)
+}

@@ -1,0 +1,33 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/adapt"
+)
+
+// Adaptive sensitivity (the Section 3.2 scalability extension;
+// internal/adapt): an orbital radiation-environment model, a calibration
+// that learns the optimal Lambda per fault rate, and a controller that
+// sets the operating sensitivity from the environment.
+type (
+	// Orbit models the per-bit upset rate around one orbit (quiet base +
+	// South Atlantic Anomaly pass).
+	Orbit = adapt.Orbit
+	// Calibration maps fault rates to their measured optimal Lambda.
+	Calibration = adapt.Calibration
+	// CalibrationConfig parameterizes Calibrate.
+	CalibrationConfig = adapt.CalibrationConfig
+	// SensitivityController couples an orbit with a calibration.
+	SensitivityController = adapt.Controller
+)
+
+// DefaultOrbit returns a LEO-like environment with SAA passes.
+func DefaultOrbit() Orbit { return adapt.DefaultOrbit() }
+
+// DefaultCalibrationConfig returns a calibration against the NGST-like
+// data model.
+func DefaultCalibrationConfig() CalibrationConfig { return adapt.DefaultCalibrationConfig() }
+
+// Calibrate learns the optimal sensitivity per fault rate.
+func Calibrate(cfg CalibrationConfig, seed uint64) (*Calibration, error) {
+	return adapt.Calibrate(cfg, seed)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/render"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+// renderGallery regenerates the paper's Figure 8 dataset gallery — the
+// three OTIS morphologies — plus an integrated NGST frame, as PGM files in
+// dir.
+func renderGallery(dir string, seed uint64, out io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, kind := range []synth.OTISKind{synth.Blob, synth.Stripe, synth.Spots} {
+		sc, err := synth.NewOTISScene(synth.DefaultOTISConfig(kind), rng.New(seed))
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("otis_%s.pgm", strings.ToLower(kind.String())))
+		if err := writePGM(path, func(w io.Writer) error {
+			return render.GrayPGM(w, sc.Temps, sc.Cube.Width, sc.Cube.Height)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+
+	cfg := synth.DefaultSceneConfig()
+	sc, err := synth.NewScene(cfg, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	rej, err := crreject.New(crreject.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	img, _ := rej.Integrate(sc.Observed)
+	path := filepath.Join(dir, "ngst_integrated.pgm")
+	if err := writePGM(path, func(w io.Writer) error { return render.ImagePGM(w, img) }); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+func writePGM(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

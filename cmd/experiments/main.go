@@ -1,0 +1,126 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables. Each experiment is deterministic for a given -seed.
+//
+// Usage:
+//
+//	experiments [-seed N] [-trials N] [-quick] [fig2 fig3 fig4 fig5 fig6 fig7 fig9 figheader ablation | all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spaceproc/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 20030622, "experiment seed (default: DSN 2003 conference date)")
+	trials := fs.Int("trials", 0, "override trials per point (0 = per-experiment default)")
+	quick := fs.Bool("quick", false, "reduced trial counts for a fast smoke run")
+	renderDir := fs.String("render-dir", "figures", "output directory for the fig8 PGM gallery")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, a := range targets {
+		want[a] = true
+	}
+	all := want["all"]
+
+	ngstCfg := sweep.DefaultNGSTConfig()
+	otisCfg := sweep.DefaultOTISSweepConfig()
+	hdrCfg := sweep.DefaultHeaderConfig()
+	if *quick {
+		ngstCfg.Trials = 10
+		otisCfg.Trials = 1
+		hdrCfg.Trials = 50
+	}
+	if *trials > 0 {
+		ngstCfg.Trials = *trials
+		otisCfg.Trials = *trials
+		hdrCfg.Trials = *trials
+	}
+
+	emit := func(res *sweep.Result, err error) bool {
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return false
+		}
+		if err := res.Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "experiments: render: %v\n", err)
+			return false
+		}
+		fmt.Fprintln(stdout)
+		return true
+	}
+	emitAll := func(results []*sweep.Result, err error) bool {
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return false
+		}
+		for _, r := range results {
+			if !emit(r, nil) {
+				return false
+			}
+		}
+		return true
+	}
+
+	ok := true
+	if all || want["fig2"] {
+		ok = emit(sweep.Fig2(ngstCfg, *seed)) && ok
+	}
+	if all || want["fig3"] {
+		ok = emit(sweep.Fig3(ngstCfg, *seed)) && ok
+	}
+	if all || want["fig4"] {
+		ok = emit(sweep.Fig4(ngstCfg, *seed)) && ok
+	}
+	if all || want["fig5"] {
+		cfg := ngstCfg
+		if *trials == 0 && !*quick {
+			cfg.Trials = 100 // the paper averages Figure 5 over 100 datasets
+		}
+		ok = emit(sweep.Fig5(cfg, *seed)) && ok
+	}
+	if all || want["fig6"] {
+		ok = emitAll(sweep.Fig6(ngstCfg, *seed)) && ok
+	}
+	if all || want["fig7"] {
+		ok = emitAll(sweep.Fig7(otisCfg, *seed)) && ok
+	}
+	if all || want["fig9"] {
+		ok = emitAll(sweep.Fig9(otisCfg, *seed)) && ok
+	}
+	if all || want["figheader"] {
+		ok = emit(sweep.FigHeader(hdrCfg, *seed)) && ok
+	}
+	if all || want["ablation"] {
+		ok = emit(sweep.AblationVoting(ngstCfg, *seed)) && ok
+		ok = emit(sweep.AblationThresholds(ngstCfg, *seed)) && ok
+		ok = emit(sweep.AblationLayout(ngstCfg, *seed)) && ok
+		ok = emit(sweep.AblationLocality(otisCfg, *seed)) && ok
+		ok = emit(sweep.AblationECC(ngstCfg, *seed)) && ok
+	}
+	if want["fig8"] {
+		if err := renderGallery(*renderDir, *seed, stdout); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickFig2(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-trials", "3", "fig2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "# fig2:") {
+		t.Fatalf("missing fig2 table:\n%s", out.String())
+	}
+}
+
+func TestRunSelectsOnlyRequested(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-trials", "2", "fig4", "figheader"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "# fig4:") || !strings.Contains(s, "# figheader:") {
+		t.Fatal("requested figures missing")
+	}
+	if strings.Contains(s, "# fig2:") {
+		t.Fatal("unrequested figure emitted")
+	}
+}
+
+func TestRunFig8Gallery(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-render-dir", dir, "fig8"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"otis_blob.pgm", "otis_stripe.pgm", "otis_spots.pgm", "ngst_integrated.pgm"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(raw), "P5\n") {
+			t.Fatalf("%s is not a PGM", name)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code == 0 {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestRunUnknownTargetIsNoOp(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"nonexistent-figure"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Fatal("unknown target should produce no tables")
+	}
+}

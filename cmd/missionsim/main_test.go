@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCampaign(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-baselines", "2", "-dir", t.TempDir()}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"campaign:", "mean Psi", "downlinkB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNoPreprocess(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-baselines", "1", "-sensitivity", "-1", "-dir", t.TempDir()}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPassBudget(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-baselines", "2", "-dir", t.TempDir(), "-pass-budget", "8000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pass 0:") {
+		t.Fatalf("missing pass report:\n%s", sb.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-baselines", "0", "-dir", t.TempDir()}, &sb); err == nil {
+		t.Fatal("zero baselines should error")
+	}
+	if err := run([]string{"-not-a-flag"}, &sb); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

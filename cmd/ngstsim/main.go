@@ -1,0 +1,161 @@
+// Command ngstsim runs the Figure 1 NGST pipeline end to end: it
+// synthesizes a baseline (star field + cosmic rays), optionally injects
+// memory bit flips into the raw readouts, runs the master/worker
+// CR-rejection pipeline with or without input preprocessing, and reports
+// the relative error against the fault-free pipeline output, the rejection
+// statistics, and the downlink compression ratio.
+//
+// With -tcp the workers are served over loopback TCP (the Myrinet
+// stand-in) instead of running in process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spaceproc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ngstsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ngstsim", flag.ContinueOnError)
+	width := fs.Int("width", 256, "frame width (multiple of tile)")
+	height := fs.Int("height", 256, "frame height (multiple of tile)")
+	readouts := fs.Int("readouts", spaceproc.BaselineReadouts, "readouts per baseline")
+	tile := fs.Int("tile", spaceproc.TileSize, "fragment edge length")
+	workers := fs.Int("workers", spaceproc.DefaultWorkers, "worker count")
+	gamma0 := fs.Float64("gamma0", 0.01, "memory bit-flip probability")
+	lambda := fs.Int("sensitivity", 80, "preprocessing sensitivity Lambda (0 disables the pixel pass)")
+	upsilon := fs.Int("upsilon", 4, "neighbors consulted per pixel")
+	noPre := fs.Bool("no-preprocess", false, "disable input preprocessing")
+	tcp := fs.Bool("tcp", false, "serve workers over loopback TCP")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := spaceproc.DefaultSceneConfig()
+	cfg.Width, cfg.Height, cfg.Readouts = *width, *height, *readouts
+	fmt.Fprintf(out, "synthesizing %dx%d baseline, %d readouts, %.0f%% CR rate...\n",
+		cfg.Width, cfg.Height, cfg.Readouts, cfg.CRRate*100)
+	scene, err := spaceproc.NewScene(cfg, spaceproc.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+
+	var pre spaceproc.SeriesPreprocessor
+	if !*noPre {
+		a, err := spaceproc.NewAlgoNGST(spaceproc.NGSTConfig{Upsilon: *upsilon, Sensitivity: *lambda})
+		if err != nil {
+			return err
+		}
+		pre = a
+		fmt.Fprintf(out, "preprocessing: %s\n", a.Name())
+	} else {
+		fmt.Fprintln(out, "preprocessing: disabled")
+	}
+
+	buildWorkers := func(p spaceproc.SeriesPreprocessor) ([]spaceproc.Worker, func(), error) {
+		ws := make([]spaceproc.Worker, *workers)
+		var cleanups []func()
+		for i := range ws {
+			lw, err := spaceproc.NewLocalWorker(p, spaceproc.DefaultCRConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			if !*tcp {
+				ws[i] = lw
+				continue
+			}
+			srv := spaceproc.NewWorkerServer(lw)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			rw, err := spaceproc.DialWorker(addr)
+			if err != nil {
+				srv.Close()
+				return nil, nil, err
+			}
+			ws[i] = rw
+			cleanups = append(cleanups, func() { rw.Close(); srv.Close() })
+		}
+		return ws, func() {
+			for _, c := range cleanups {
+				c()
+			}
+		}, nil
+	}
+
+	// Reference: fault-free raw data through the plain pipeline.
+	refWorkers, cleanupRef, err := buildWorkers(nil)
+	if err != nil {
+		return err
+	}
+	defer cleanupRef()
+	refMaster, err := spaceproc.NewMaster(refWorkers, spaceproc.WithTileSize(*tile))
+	if err != nil {
+		return err
+	}
+	ideal, err := refMaster.Run(scene.Observed)
+	if err != nil {
+		return err
+	}
+
+	// Faulty run: bit flips in the raw readouts while in memory.
+	faulty := scene.Observed.Clone()
+	flips := spaceproc.Uncorrelated{Gamma0: *gamma0}.InjectStack(faulty, spaceproc.NewRNGStream(*seed, 99))
+	fmt.Fprintf(out, "injected %d bit flips at Gamma0 = %.4f\n", flips, *gamma0)
+
+	mainWorkers, cleanupMain, err := buildWorkers(pre)
+	if err != nil {
+		return err
+	}
+	defer cleanupMain()
+	master, err := spaceproc.NewMaster(mainWorkers, spaceproc.WithTileSize(*tile))
+	if err != nil {
+		return err
+	}
+	res, err := master.Run(faulty)
+	if err != nil {
+		return err
+	}
+
+	psi := relErr(res.Image.Pix, ideal.Image.Pix)
+	fmt.Fprintf(out, "cosmic rays: %d pixels hit, %d steps removed\n", res.Stats.Hits, res.Stats.Steps)
+	if ps := res.PreStats; ps.Series > 0 {
+		fmt.Fprintf(out, "preprocessing telemetry: %d pixels corrected (%d window-A bits, %d window-B bits), %d guard rejections\n",
+			ps.Corrected, ps.BitsWindowA, ps.BitsWindowB, ps.GuardRejected)
+	}
+	fmt.Fprintf(out, "downlink: %d bytes (ratio %.2f:1)\n", len(res.Compressed), res.CompressionRatio())
+	fmt.Fprintf(out, "relative error vs fault-free pipeline: %.6f\n", psi)
+	return nil
+}
+
+func relErr(got, want []uint16) float64 {
+	var sum float64
+	var n int
+	for i := range want {
+		if want[i] == 0 {
+			continue
+		}
+		d := float64(got[i]) - float64(want[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d / float64(want[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-width", "64", "-height", "64", "-readouts", "8", "-tile", "32", "-workers", "2"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"synthesizing", "injected", "cosmic rays", "downlink", "relative error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNoPreprocess(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-width", "32", "-height", "32", "-readouts", "8", "-tile", "32", "-workers", "1", "-no-preprocess"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "preprocessing: disabled") {
+		t.Fatal("missing disabled notice")
+	}
+}
+
+func TestRunTCP(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-width", "32", "-height", "32", "-readouts", "8", "-tile", "32", "-workers", "2", "-tcp"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadGeometry(t *testing.T) {
+	var sb strings.Builder
+	// width not a multiple of tile.
+	if err := run([]string{"-width", "33", "-height", "32", "-readouts", "4", "-tile", "32", "-workers", "1"}, &sb); err == nil {
+		t.Fatal("bad geometry should error")
+	}
+	if err := run([]string{"-sensitivity", "999"}, &sb); err == nil {
+		t.Fatal("bad sensitivity should error")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := relErr([]uint16{110, 90}, []uint16{100, 100}); got != 0.1 {
+		t.Fatalf("relErr = %v", got)
+	}
+	if got := relErr([]uint16{5}, []uint16{0}); got != 0 {
+		t.Fatalf("relErr with zero ideal = %v", got)
+	}
+}

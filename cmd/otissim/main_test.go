@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllDatasets(t *testing.T) {
+	for _, ds := range []string{"blob", "stripe", "spots"} {
+		var sb strings.Builder
+		if err := run([]string{"-dataset", ds}, &sb); err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		out := sb.String()
+		for _, want := range []string{"synthesizing", "injected", "ALFT decision", "temperature error"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s output missing %q:\n%s", ds, want, out)
+			}
+		}
+	}
+}
+
+func TestRunNoPreprocessDegrades(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "blob", "-no-preprocess", "-gamma0", "0.02"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "preprocessing: disabled") {
+		t.Fatal("missing disabled notice")
+	}
+	// At 2% with no preprocessing the filters must reject the primary.
+	if !strings.Contains(out, "degraded") && !strings.Contains(out, "secondary") {
+		t.Fatalf("expected ALFT to reject the corrupted primary:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "nebula"}, &sb); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if err := run([]string{"-sensitivity", "101"}, &sb); err == nil {
+		t.Fatal("bad sensitivity should error")
+	}
+	if err := run([]string{"-locality", "temporal"}, &sb); err == nil {
+		t.Fatal("unknown locality should error")
+	}
+}
+
+func TestRunSpectralLocality(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "blob", "-locality", "spectral"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Algo_OTIS") {
+		t.Fatal("missing preprocessing notice")
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFullFlow(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.fits")
+	damaged := filepath.Join(dir, "damaged.fits")
+	fixed := filepath.Join(dir, "fixed.fits")
+	cleaned := filepath.Join(dir, "cleaned.fits")
+
+	var sb strings.Builder
+	steps := [][]string{
+		{"gen", "-out", clean, "-width", "64", "-height", "64"},
+		{"inject", "-in", clean, "-out", damaged, "-header-only", "-gamma0", "0.0002", "-seed", "5"},
+		{"check", "-in", damaged, "-expect", "64x64", "-repair", "-out", fixed},
+		{"clean", "-in", fixed, "-out", cleaned},
+	}
+	for _, step := range steps {
+		if err := run(step, &sb); err != nil {
+			t.Fatalf("%v: %v\noutput so far:\n%s", step, err, sb.String())
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"wrote", "injected", "issue(s)", "cleaned"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBodyInjectionAndClean(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.fits")
+	damaged := filepath.Join(dir, "damaged.fits")
+	cleaned := filepath.Join(dir, "cleaned.fits")
+	var sb strings.Builder
+	if err := run([]string{"gen", "-out", clean, "-width", "32", "-height", "32"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Whole-file injection at a rate low enough that the header usually
+	// survives; the data unit dominates the bit count.
+	if err := run([]string{"inject", "-in", clean, "-out", damaged, "-gamma0", "0.00005", "-seed", "9"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"clean", "-in", damaged, "-out", cleaned}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumVerifyFlow(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.fits")
+	summed := filepath.Join(dir, "summed.fits")
+	damaged := filepath.Join(dir, "damaged.fits")
+	var sb strings.Builder
+	if err := run([]string{"gen", "-out", clean, "-width", "16", "-height", "16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sum", "-in", clean, "-out", summed}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-in", summed}, &sb); err != nil {
+		t.Fatalf("fresh DATASUM failed verify: %v", err)
+	}
+	// Damage the data unit; verify must fail.
+	raw, err := os.ReadFile(summed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[3000] ^= 0x08
+	if err := os.WriteFile(damaged, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-in", damaged}, &sb); err == nil {
+		t.Fatal("damaged data unit passed verify")
+	}
+	if !strings.Contains(sb.String(), "MISMATCH") {
+		t.Fatalf("missing mismatch notice:\n%s", sb.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"gen"},                      // missing -out
+		{"inject", "-in", "nope"},    // missing -out
+		{"check"},                    // missing -in
+		{"clean", "-in", "only"},     // missing -out
+		{"check", "-in", "/no/file"}, // unreadable
+		{"inject", "-in", "/no/file", "-out", "x"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestParseExpect(t *testing.T) {
+	if axes, err := parseExpect("128x128"); err != nil || len(axes) != 2 || axes[0] != 128 {
+		t.Fatalf("parseExpect: %v %v", axes, err)
+	}
+	if axes, err := parseExpect(""); err != nil || axes != nil {
+		t.Fatalf("empty: %v %v", axes, err)
+	}
+	for _, bad := range []string{"axb", "12x-3", "0x4"} {
+		if _, err := parseExpect(bad); err == nil {
+			t.Errorf("parseExpect(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/adapt"
+	"spaceproc/internal/core"
+	"spaceproc/internal/downlink"
+)
+
+// Downlink scheduling (internal/downlink): bandwidth-limited ground-
+// station passes over the compressed science products.
+type (
+	// DownlinkProduct is one compressed product awaiting downlink.
+	DownlinkProduct = downlink.Product
+	// DownlinkScheduler holds the downlink queue.
+	DownlinkScheduler = downlink.Scheduler
+	// DownlinkPass is the outcome of one ground-station pass.
+	DownlinkPass = downlink.Pass
+)
+
+// NewDownlinkScheduler returns an empty queue.
+func NewDownlinkScheduler() *DownlinkScheduler { return downlink.NewScheduler() }
+
+// Closed-loop sensitivity control (internal/adapt): estimate the operating
+// fault rate from preprocessing telemetry and feed it back into the
+// calibration table.
+
+// SensitivityLoop tracks telemetry across baselines and picks the next
+// sensitivity.
+type SensitivityLoop = adapt.ClosedLoop
+
+// EstimateFaultRate infers the per-bit flip probability from voter
+// telemetry over series of the given length.
+func EstimateFaultRate(stats VoteStats, seriesLen int) float64 {
+	return adapt.EstimateRate(core.VoteStats(stats), seriesLen)
+}
+
+// NewSensitivityLoop starts a closed-loop controller at the calibrated
+// sensitivity for the expected initial rate.
+func NewSensitivityLoop(cal *Calibration, initialRate float64) *SensitivityLoop {
+	return adapt.NewClosedLoop(cal, initialRate)
+}

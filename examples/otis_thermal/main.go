@@ -1,0 +1,65 @@
+// OTIS thermal example: synthesize the three Section 7.3 evaluation
+// datasets (Blob, Stripe, Spots), damage each radiance cube with memory
+// bit flips, and compare the retrieved temperature maps with and without
+// input preprocessing — including the natural-anomaly preservation that
+// distinguishes Algo_OTIS from blind smoothing.
+//
+//	go run ./examples/otis_thermal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spaceproc"
+)
+
+func main() {
+	for _, kind := range []spaceproc.OTISKind{spaceproc.Blob, spaceproc.Stripe, spaceproc.Spots} {
+		demo(kind)
+	}
+}
+
+func demo(kind spaceproc.OTISKind) {
+	cfg := spaceproc.DefaultOTISSceneConfig(kind)
+	scene, err := spaceproc.NewOTISScene(cfg, spaceproc.NewRNG(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	retr, err := spaceproc.NewOTISRetriever(spaceproc.DefaultOTISRetrievalConfig(scene.Wavelengths))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Flip bits in the radiance cube while it sits in memory. Unlike the
+	// NGST benchmark there is no multiple imaging: every corrupted
+	// sample propagates straight into the science products.
+	damaged := scene.Cube.Clone()
+	spaceproc.Uncorrelated{Gamma0: 0.01}.InjectCube(damaged, spaceproc.NewRNG(12))
+
+	rawOut, err := retr.Process(damaged.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Algo_OTIS: absolute physical bounds (a radiance no Earth scene can
+	// emit is a fault), spatial bit-plane voting with per-region dynamic
+	// thresholds, and trend preservation for genuine thermal anomalies.
+	pre, err := spaceproc.NewAlgoOTIS(spaceproc.DefaultOTISConfig(scene.Wavelengths))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleaned := damaged.Clone()
+	pre.ProcessCube(cleaned)
+	preOut, err := retr.Process(cleaned)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s | input Psi %.4f -> %.4f | temp error %7.3f K -> %6.3f K\n",
+		kind,
+		spaceproc.CubeError(damaged, scene.Cube),
+		spaceproc.CubeError(cleaned, scene.Cube),
+		spaceproc.TempError(rawOut.Temps, scene.Temps),
+		spaceproc.TempError(preOut.Temps, scene.Temps))
+}

@@ -1,0 +1,117 @@
+package spaceproc_test
+
+import (
+	"testing"
+
+	"spaceproc"
+)
+
+// TestWrapperSurface exercises the thin facade wrappers end to end so a
+// broken re-export cannot hide behind the internal packages' own tests.
+func TestWrapperSurface(t *testing.T) {
+	// Containers and fragmentation.
+	st := spaceproc.NewStack(2, 64, 64)
+	tiles, err := spaceproc.Fragment(st, 32)
+	if err != nil || len(tiles) != 4 {
+		t.Fatalf("Fragment: %d tiles, err=%v", len(tiles), err)
+	}
+	back, err := spaceproc.Reassemble(tiles, 2, 64, 64)
+	if err != nil || back.Len() != 2 {
+		t.Fatalf("Reassemble: err=%v", err)
+	}
+
+	// Stack synthesis + stack-wide preprocessing + stack metric.
+	gs, err := spaceproc.GaussianStack(spaceproc.SeriesConfig{N: 4, Initial: 20000, Sigma: 50}, 8, 8, 100, spaceproc.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := gs.Clone()
+	gs.Frames[1].Set(2, 2, gs.Frames[1].At(2, 2)^(1<<15))
+	pre, err := spaceproc.NewAlgoNGST(spaceproc.DefaultNGSTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaceproc.ProcessStackWith(pre, gs)
+	if psi := spaceproc.StackError(gs, ideal); psi > 0.01 {
+		t.Fatalf("stack flip not repaired through facade: Psi=%v", psi)
+	}
+
+	// Cube FITS round trip.
+	cube := spaceproc.NewCube(4, 4, 2)
+	cube.Set(1, 1, 1, 3.5)
+	f, err := spaceproc.DecodeFITS(spaceproc.EncodeFITSCube(cube))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backCube, err := f.Cube()
+	if err != nil || backCube.At(1, 1, 1) != 3.5 {
+		t.Fatalf("cube FITS round trip: %v err=%v", backCube.At(1, 1, 1), err)
+	}
+
+	// DATASUM wrappers.
+	im := spaceproc.NewImage(8, 8)
+	withSum, err := spaceproc.WithFITSDataSum(spaceproc.EncodeFITSImage(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := spaceproc.VerifyFITSDataSum(withSum); err != nil || !ok {
+		t.Fatalf("DATASUM verify: ok=%v err=%v", ok, err)
+	}
+
+	// Rice helpers.
+	if r := spaceproc.RiceRatio(make([]uint16, 640)); r < 2 {
+		t.Fatalf("RiceRatio = %v", r)
+	}
+
+	// Cube filters.
+	(spaceproc.CubeMedian3{}).ProcessCube(cube)
+	(spaceproc.CubeMajorityBit3{}).ProcessCube(cube)
+
+	// Burst + interleaver wrappers.
+	words := make([]uint16, 128)
+	if n := (spaceproc.Burst{Offset: 0, Length: 8, Density: 1}).InjectWords16(words, spaceproc.NewRNG(2)); n != 128 {
+		t.Fatalf("burst flips = %d", n)
+	}
+	iv, err := spaceproc.NewInterleaver(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := iv.Scatter(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iv.Gather(phys); err != nil {
+		t.Fatal(err)
+	}
+
+	// CR rejection wrapper.
+	rej, err := spaceproc.NewCRRejector(spaceproc.DefaultCRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := rej.Integrate(ideal)
+	if img.Width != 8 {
+		t.Fatal("rejector output malformed")
+	}
+	if img2, _ := rej.IntegrateRamp(ideal); img2.Width != 8 {
+		t.Fatal("ramp rejector output malformed")
+	}
+
+	// Orbit + calibration surface.
+	orbit := spaceproc.DefaultOrbit()
+	if err := orbit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := spaceproc.DefaultCalibrationConfig(); cfg.Validate() != nil {
+		t.Fatal("default calibration config invalid")
+	}
+	if spec := spaceproc.QuartzLikeSpectrum(8); len(spec) != 8 {
+		t.Fatal("spectrum wrapper broken")
+	}
+	if spaceproc.Gain(0.1, 0.01) != 10 {
+		t.Fatal("Gain wrapper broken")
+	}
+	if spaceproc.DefaultWorkers != 16 {
+		t.Fatal("DefaultWorkers changed")
+	}
+}

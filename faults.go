@@ -1,0 +1,25 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/fault"
+)
+
+// Fault models (Section 2.2) and the Section 8 interleaving countermeasure.
+type (
+	// Uncorrelated flips every bit independently with probability Gamma0
+	// (Section 2.2.2).
+	Uncorrelated = fault.Uncorrelated
+	// Correlated escalates the flip probability with the length of the
+	// preceding run of flips, in both grid dimensions (Section 2.2.3,
+	// eq. 2).
+	Correlated = fault.Correlated
+	// Burst damages a contiguous physical memory block (the Section 8
+	// scenario).
+	Burst = fault.Burst
+	// Interleaver scatters logically adjacent words into distant physical
+	// regions so block faults cannot destroy neighborhood redundancy.
+	Interleaver = fault.Interleaver
+)
+
+// NewInterleaver builds a block interleaver over n words.
+func NewInterleaver(n, stride int) (*Interleaver, error) { return fault.NewInterleaver(n, stride) }

@@ -1,0 +1,76 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/fits"
+	"spaceproc/internal/physics"
+)
+
+// FITS storage and the header sanity analysis (Section 3.2's Lambda = 0
+// action; internal/fits).
+type (
+	// FITSFile is a decoded single-HDU FITS file.
+	FITSFile = fits.File
+	// FITSSanityReport summarizes a header sanity pass.
+	FITSSanityReport = fits.SanityReport
+	// FITSSanityOption configures a sanity pass.
+	FITSSanityOption = fits.SanityOption
+	// FITSIssue is one detected (and possibly repaired) header fault.
+	FITSIssue = fits.Issue
+)
+
+// EncodeFITSImage stores a 16-bit image as a FITS byte stream.
+func EncodeFITSImage(im *Image) []byte { return fits.EncodeImage(im) }
+
+// EncodeFITSCube stores a float32 radiance cube as a FITS byte stream.
+func EncodeFITSCube(c *Cube) []byte { return fits.EncodeCube(c) }
+
+// DecodeFITS parses a single-HDU FITS byte stream.
+func DecodeFITS(raw []byte) (*FITSFile, error) { return fits.Decode(raw) }
+
+// EncodeFITSStack stores a whole baseline in one multi-HDU FITS stream
+// (one image HDU per readout).
+func EncodeFITSStack(s *Stack) []byte { return fits.EncodeStack(s) }
+
+// DecodeFITSMulti parses a concatenation of image HDUs.
+func DecodeFITSMulti(raw []byte) ([]*FITSFile, error) { return fits.DecodeMulti(raw) }
+
+// StackFromFITSHDUs reassembles a baseline from decoded image HDUs.
+func StackFromFITSHDUs(files []*FITSFile) (*Stack, error) { return fits.StackFromHDUs(files) }
+
+// WithFITSDataSum returns a copy of a single-HDU stream with a DATASUM
+// card recording the data unit's ones'-complement checksum — detection-
+// only integrity, the classic alternative preprocessing goes beyond.
+func WithFITSDataSum(raw []byte) ([]byte, error) { return fits.WithDataSum(raw) }
+
+// VerifyFITSDataSum checks a stream against its DATASUM card.
+func VerifyFITSDataSum(raw []byte) (bool, error) { return fits.VerifyDataSum(raw) }
+
+// SanityCheckFITS analyses and repairs bit-flip damage in the header
+// region, returning the report and the repaired copy.
+func SanityCheckFITS(raw []byte, opts ...FITSSanityOption) (*FITSSanityReport, []byte) {
+	return fits.SanityCheck(raw, opts...)
+}
+
+// WithExpectedAxes supplies the application's expected geometry, resolving
+// otherwise-ambiguous header repairs.
+func WithExpectedAxes(axes ...int) FITSSanityOption { return fits.WithExpectedAxes(axes...) }
+
+// Radiometry (internal/physics), exposed for bounds and synthetic scenes.
+
+// ThermalBands returns n wavelengths over the 8-14 micron window.
+func ThermalBands(n int) []float64 { return physics.ThermalBands(n) }
+
+// SpectralRadiance is Planck's law: black-body radiance at wavelength
+// lambda (m) and temperature T (K).
+func SpectralRadiance(lambda, temp float64) float64 { return physics.SpectralRadiance(lambda, temp) }
+
+// BrightnessTemperature inverts Planck's law.
+func BrightnessTemperature(lambda, radiance float64) float64 {
+	return physics.BrightnessTemperature(lambda, radiance)
+}
+
+// Physical scene-temperature bounds used by the Section 7.2 rules.
+const (
+	MinSceneTemp = physics.MinSceneTemp
+	MaxSceneTemp = physics.MaxSceneTemp
+)

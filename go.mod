@@ -1,0 +1,3 @@
+module spaceproc
+
+go 1.22

@@ -1,0 +1,161 @@
+// Package abft implements Algorithm-Based Fault Tolerance for matrix
+// multiplication (Huang & Abraham [3], cited in the paper's introduction
+// as the classic software-redundancy scheme for matrix operations): the
+// operands are extended with row/column checksums, the multiplication
+// carries the checksums along, and a single corrupted element of the
+// product is located by its inconsistent row and column sums and corrected
+// in place.
+//
+// Like internal/nvp, the package exists to make the paper's framing
+// argument executable: ABFT catches faults that strike the *computation*
+// (the product matrix in memory, an upset multiplier), but a corrupted
+// *input* matrix passes its own checksum generation and yields a
+// consistent, wrong product — the gap input preprocessing fills.
+package abft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns an independent copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Mul returns a*b, or an error on dimension mismatch.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("abft: %dx%d times %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Verdict describes an ABFT check of a product matrix.
+type Verdict struct {
+	// Consistent is true when every checksum matched.
+	Consistent bool
+	// Corrected is true when exactly one element was wrong and has been
+	// repaired in place.
+	Corrected bool
+	// Row and Col locate the corrected element (valid when Corrected).
+	Row, Col int
+}
+
+// ErrUncorrectable is returned when the checksum pattern is inconsistent
+// with any single-element error.
+var ErrUncorrectable = errors.New("abft: checksum damage is not a single-element error")
+
+// MulChecked multiplies a*b with row/column checksum protection and
+// verifies the product: the column-checksummed a (a with an extra checksum
+// row) times the row-checksummed b (extra checksum column) yields the full
+// checksum product, whose internal consistency localizes a single faulty
+// element. mutate, if non-nil, is applied to the raw product before
+// verification — it is the fault-injection hook for tests and experiments.
+func MulChecked(a, b *Matrix, tol float64, mutate func(*Matrix)) (*Matrix, Verdict, error) {
+	product, err := Mul(a, b)
+	if err != nil {
+		return nil, Verdict{}, err
+	}
+	// Reference checksums from the checksummed operands.
+	rowSums := make([]float64, product.Rows) // expected sum of each row
+	colSums := make([]float64, product.Cols) // expected sum of each column
+	// sum_j product[i][j] = sum_j sum_k a[i][k] b[k][j] = sum_k a[i][k] * rowsum_b[k]
+	rowsumB := make([]float64, b.Rows)
+	for k := 0; k < b.Rows; k++ {
+		for j := 0; j < b.Cols; j++ {
+			rowsumB[k] += b.At(k, j)
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			rowSums[i] += a.At(i, k) * rowsumB[k]
+		}
+	}
+	colsumA := make([]float64, a.Cols)
+	for k := 0; k < a.Cols; k++ {
+		for i := 0; i < a.Rows; i++ {
+			colsumA[k] += a.At(i, k)
+		}
+	}
+	for j := 0; j < b.Cols; j++ {
+		for k := 0; k < b.Rows; k++ {
+			colSums[j] += colsumA[k] * b.At(k, j)
+		}
+	}
+
+	if mutate != nil {
+		mutate(product)
+	}
+
+	// Locate inconsistent rows and columns.
+	var badRows, badCols []int
+	var rowDelta, colDelta float64
+	for i := 0; i < product.Rows; i++ {
+		var sum float64
+		for j := 0; j < product.Cols; j++ {
+			sum += product.At(i, j)
+		}
+		if d := sum - rowSums[i]; math.Abs(d) > tol {
+			badRows = append(badRows, i)
+			rowDelta = d
+		}
+	}
+	for j := 0; j < product.Cols; j++ {
+		var sum float64
+		for i := 0; i < product.Rows; i++ {
+			sum += product.At(i, j)
+		}
+		if d := sum - colSums[j]; math.Abs(d) > tol {
+			badCols = append(badCols, j)
+			colDelta = d
+		}
+	}
+
+	switch {
+	case len(badRows) == 0 && len(badCols) == 0:
+		return product, Verdict{Consistent: true}, nil
+	case len(badRows) == 1 && len(badCols) == 1:
+		// Single-element error: deltas must agree.
+		if math.Abs(rowDelta-colDelta) > tol*10 {
+			return product, Verdict{}, ErrUncorrectable
+		}
+		r, c := badRows[0], badCols[0]
+		product.Set(r, c, product.At(r, c)-rowDelta)
+		return product, Verdict{Corrected: true, Row: r, Col: c}, nil
+	default:
+		return product, Verdict{}, ErrUncorrectable
+	}
+}

@@ -1,0 +1,159 @@
+package abft
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spaceproc/internal/rng"
+)
+
+func randomMatrix(rows, cols int, src *rng.Source) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = src.Normal(0, 10)
+	}
+	return m
+}
+
+func TestMulReference(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if math.Abs(got.Data[i]-w) > 1e-12 {
+			t.Fatalf("product[%d] = %v, want %v", i, got.Data[i], w)
+		}
+	}
+	if _, err := Mul(a, a); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestCheckedCleanRun(t *testing.T) {
+	src := rng.New(1)
+	a := randomMatrix(6, 5, src)
+	b := randomMatrix(5, 7, src)
+	product, v, err := MulChecked(a, b, 1e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Consistent || v.Corrected {
+		t.Fatalf("clean run verdict %+v", v)
+	}
+	ref, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Data {
+		if product.Data[i] != ref.Data[i] {
+			t.Fatal("checked product differs from reference")
+		}
+	}
+}
+
+func TestCheckedCorrectsSingleUpset(t *testing.T) {
+	src := rng.New(2)
+	a := randomMatrix(4, 4, src)
+	b := randomMatrix(4, 4, src)
+	ref, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	product, v, err := MulChecked(a, b, 1e-6, func(p *Matrix) {
+		p.Set(2, 3, p.At(2, 3)+500) // computation/memory upset
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Corrected || v.Row != 2 || v.Col != 3 {
+		t.Fatalf("verdict %+v", v)
+	}
+	if math.Abs(product.At(2, 3)-ref.At(2, 3)) > 1e-6 {
+		t.Fatalf("correction wrong: %v vs %v", product.At(2, 3), ref.At(2, 3))
+	}
+}
+
+func TestCheckedRejectsMultipleUpsets(t *testing.T) {
+	src := rng.New(3)
+	a := randomMatrix(4, 4, src)
+	b := randomMatrix(4, 4, src)
+	_, _, err := MulChecked(a, b, 1e-6, func(p *Matrix) {
+		p.Set(0, 0, p.At(0, 0)+100)
+		p.Set(3, 2, p.At(3, 2)-40)
+	})
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("err = %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestCheckedPropertySingleUpsetAlwaysLocated(t *testing.T) {
+	f := func(seed uint64, rRaw, cRaw uint8, deltaRaw int16) bool {
+		src := rng.New(seed)
+		a := randomMatrix(5, 5, src)
+		b := randomMatrix(5, 5, src)
+		r, c := int(rRaw%5), int(cRaw%5)
+		delta := float64(deltaRaw)
+		if math.Abs(delta) < 1 {
+			delta = 7
+		}
+		_, v, err := MulChecked(a, b, 1e-6, func(p *Matrix) {
+			p.Set(r, c, p.At(r, c)+delta)
+		})
+		return err == nil && v.Corrected && v.Row == r && v.Col == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptedInputDefeatsABFT: damage the *input* matrix before checksum
+// generation — ABFT sees a perfectly consistent product that is simply the
+// answer to the wrong question.
+func TestCorruptedInputDefeatsABFT(t *testing.T) {
+	src := rng.New(4)
+	a := randomMatrix(4, 4, src)
+	b := randomMatrix(4, 4, src)
+	truth, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupted := a.Clone()
+	corrupted.Set(1, 1, corrupted.At(1, 1)*1000) // bit-flip-scale damage at input
+
+	product, v, err := MulChecked(corrupted, b, 1e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Consistent {
+		t.Fatalf("ABFT should find the corrupted-input product internally consistent: %+v", v)
+	}
+	var maxErr float64
+	for i := range truth.Data {
+		if d := math.Abs(product.Data[i] - truth.Data[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr < 100 {
+		t.Fatalf("input damage did not visibly corrupt the product (max err %v)", maxErr)
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 9)
+	if m.At(1, 2) != 9 || m.Data[5] != 9 {
+		t.Fatal("row-major layout violated")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}

@@ -1,0 +1,61 @@
+package adapt
+
+import (
+	"spaceproc/internal/core"
+)
+
+// Closed-loop sensitivity control: instead of (or in addition to) an
+// orbital model, the operating fault rate can be estimated from the
+// preprocessing telemetry itself — corrected bits per processed bit — and
+// fed back into the calibration table for the next baseline.
+
+// EstimateRate infers the per-bit flip probability from voter telemetry.
+// Only bits at or above the window C boundary are correctable, so the
+// corrected-bit count is normalized by that population. The estimate is
+// biased low when faults saturate voting (very high rates) and biased high
+// by false alarms (very high sensitivity); within the practical regime of
+// Figure 2 it tracks the injected rate.
+func EstimateRate(stats core.VoteStats, seriesLen int) float64 {
+	correctable := 16 - stats.WindowCBit
+	if stats.Series == 0 || seriesLen <= 0 || correctable <= 0 {
+		return 0
+	}
+	denom := float64(stats.Series) * float64(seriesLen) * float64(correctable)
+	return float64(stats.BitsWindowA+stats.BitsWindowB) / denom
+}
+
+// ClosedLoop tracks telemetry across baselines and picks the next
+// sensitivity from the calibration table. The zero value is not usable;
+// construct with NewClosedLoop.
+type ClosedLoop struct {
+	cal *Calibration
+	// current is the sensitivity in effect.
+	current int
+	// lastEstimate is the most recent rate estimate.
+	lastEstimate float64
+}
+
+// NewClosedLoop starts the controller at the calibrated sensitivity for
+// the expected initial rate.
+func NewClosedLoop(cal *Calibration, initialRate float64) *ClosedLoop {
+	return &ClosedLoop{cal: cal, current: cal.Pick(initialRate), lastEstimate: initialRate}
+}
+
+// Sensitivity returns the Lambda to run the next baseline at.
+func (c *ClosedLoop) Sensitivity() int { return c.current }
+
+// LastEstimate returns the most recent rate estimate.
+func (c *ClosedLoop) LastEstimate() float64 { return c.lastEstimate }
+
+// Observe feeds one baseline's telemetry back into the controller.
+func (c *ClosedLoop) Observe(stats core.VoteStats, seriesLen int) {
+	rate := EstimateRate(stats, seriesLen)
+	if rate <= 0 {
+		// No signal (e.g. Lambda was 0, or nothing corrected): decay the
+		// estimate toward quiet rather than pinning it.
+		c.lastEstimate /= 2
+	} else {
+		c.lastEstimate = rate
+	}
+	c.current = c.cal.Pick(c.lastEstimate)
+}

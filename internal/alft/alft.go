@@ -1,0 +1,161 @@
+// Package alft implements the Application-Level Fault Tolerance scheme the
+// OTIS benchmark builds on (Haines, Lakamraju, Koren & Krishna [5], and the
+// filter/logic-grid extension of Ciocca [17]): a primary computation runs
+// on one node; acceptance filters judge its output; on a crash or a filter
+// rejection a scaled-down secondary runs on another node; and a logic grid
+// over the two filter verdicts selects the output to release.
+//
+// The paper positions input preprocessing as the complement to this
+// scheme: ALFT recovers from faults in the computation, but "a recomputed
+// or secondary output may only be expected to produce equally spurious or
+// worse results than the primary as the corrupted input affects both" —
+// which is exactly what the package's tests demonstrate.
+package alft
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Filter is a named acceptance check over an output.
+type Filter[O any] struct {
+	// Name identifies the filter in reports.
+	Name string
+	// Accept reports whether the output passes.
+	Accept func(O) bool
+}
+
+// Choice identifies which output the logic grid released.
+type Choice int
+
+// Logic-grid outcomes.
+const (
+	// ChosePrimary: the primary output passed all filters.
+	ChosePrimary Choice = iota + 1
+	// ChoseSecondary: the primary failed (crashed or was rejected) and
+	// the secondary passed.
+	ChoseSecondary
+	// ChoseDegraded: both outputs were rejected; the one failing fewer
+	// filters was released with a degradation flag.
+	ChoseDegraded
+)
+
+// String names the choice.
+func (c Choice) String() string {
+	switch c {
+	case ChosePrimary:
+		return "primary"
+	case ChoseSecondary:
+		return "secondary"
+	case ChoseDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("Choice(%d)", int(c))
+	}
+}
+
+// Report describes one execution.
+type Report struct {
+	// Choice is the logic-grid outcome.
+	Choice Choice
+	// PrimaryCrashed is set when the primary returned an error or
+	// panicked.
+	PrimaryCrashed bool
+	// SecondaryRan is set when the secondary was invoked.
+	SecondaryRan bool
+	// PrimaryRejections and SecondaryRejections list the names of the
+	// filters each output failed.
+	PrimaryRejections   []string
+	SecondaryRejections []string
+}
+
+// Executor runs a primary/secondary pair under acceptance filters.
+type Executor[I, O any] struct {
+	// Primary is the full computation.
+	Primary func(I) (O, error)
+	// Secondary is the scaled-down backup run on another node. It may be
+	// nil, in which case a failed primary is released degraded.
+	Secondary func(I) (O, error)
+	// Filters are the acceptance checks.
+	Filters []Filter[O]
+}
+
+// ErrNoOutput is returned when neither version produced any output.
+var ErrNoOutput = errors.New("alft: both primary and secondary failed to produce output")
+
+// Run executes the scheme on one input.
+func (e *Executor[I, O]) Run(input I) (O, Report, error) {
+	var rep Report
+	primary, err := e.safeCall(e.Primary, input)
+	if err != nil {
+		rep.PrimaryCrashed = true
+	} else {
+		rep.PrimaryRejections = e.rejections(primary)
+		if len(rep.PrimaryRejections) == 0 {
+			rep.Choice = ChosePrimary
+			return primary, rep, nil
+		}
+	}
+
+	// Primary crashed or was rejected: run the secondary.
+	if e.Secondary == nil {
+		if rep.PrimaryCrashed {
+			var zero O
+			return zero, rep, ErrNoOutput
+		}
+		rep.Choice = ChoseDegraded
+		return primary, rep, nil
+	}
+	rep.SecondaryRan = true
+	secondary, serr := e.safeCall(e.Secondary, input)
+	if serr != nil {
+		if rep.PrimaryCrashed {
+			var zero O
+			return zero, rep, ErrNoOutput
+		}
+		rep.Choice = ChoseDegraded
+		return primary, rep, nil
+	}
+	rep.SecondaryRejections = e.rejections(secondary)
+
+	// The logic grid over (primary verdict, secondary verdict).
+	switch {
+	case len(rep.SecondaryRejections) == 0:
+		rep.Choice = ChoseSecondary
+		return secondary, rep, nil
+	case rep.PrimaryCrashed:
+		rep.Choice = ChoseDegraded
+		return secondary, rep, nil
+	case len(rep.SecondaryRejections) < len(rep.PrimaryRejections):
+		rep.Choice = ChoseDegraded
+		return secondary, rep, nil
+	default:
+		rep.Choice = ChoseDegraded
+		return primary, rep, nil
+	}
+}
+
+// safeCall invokes fn, converting a panic into an error (the
+// "process generates invalid output or dies" fault model of ALFT).
+func (e *Executor[I, O]) safeCall(fn func(I) (O, error), input I) (out O, err error) {
+	if fn == nil {
+		return out, errors.New("alft: no computation provided")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("alft: computation panicked: %v", r)
+		}
+	}()
+	return fn(input)
+}
+
+// rejections returns the names of the filters out fails.
+func (e *Executor[I, O]) rejections(out O) []string {
+	var rej []string
+	for _, f := range e.Filters {
+		if !f.Accept(out) {
+			rej = append(rej, f.Name)
+		}
+	}
+	return rej
+}

@@ -1,0 +1,215 @@
+package alft
+
+import (
+	"errors"
+	"testing"
+
+	"spaceproc/internal/core"
+	"spaceproc/internal/fault"
+	"spaceproc/internal/otisapp"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+// intFilter accepts outputs below a limit.
+func intFilter(name string, limit int) Filter[int] {
+	return Filter[int]{Name: name, Accept: func(v int) bool { return v < limit }}
+}
+
+func TestPrimaryPassesFiltersAndWins(t *testing.T) {
+	secondaryRan := false
+	e := &Executor[int, int]{
+		Primary:   func(v int) (int, error) { return v + 1, nil },
+		Secondary: func(v int) (int, error) { secondaryRan = true; return v, nil },
+		Filters:   []Filter[int]{intFilter("limit", 100)},
+	}
+	out, rep, err := e.Run(10)
+	if err != nil || out != 11 {
+		t.Fatalf("out=%d err=%v", out, err)
+	}
+	if rep.Choice != ChosePrimary || rep.SecondaryRan || secondaryRan {
+		t.Fatalf("report %+v; secondary must not run when primary passes", rep)
+	}
+}
+
+func TestCrashFailsOverToSecondary(t *testing.T) {
+	e := &Executor[int, int]{
+		Primary:   func(int) (int, error) { return 0, errors.New("node hung") },
+		Secondary: func(v int) (int, error) { return v * 2, nil },
+		Filters:   []Filter[int]{intFilter("limit", 100)},
+	}
+	out, rep, err := e.Run(7)
+	if err != nil || out != 14 {
+		t.Fatalf("out=%d err=%v", out, err)
+	}
+	if rep.Choice != ChoseSecondary || !rep.PrimaryCrashed || !rep.SecondaryRan {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestPanicIsContained(t *testing.T) {
+	e := &Executor[int, int]{
+		Primary:   func(int) (int, error) { panic("segfault") },
+		Secondary: func(v int) (int, error) { return v, nil },
+		Filters:   []Filter[int]{intFilter("limit", 100)},
+	}
+	out, rep, err := e.Run(3)
+	if err != nil || out != 3 {
+		t.Fatalf("out=%d err=%v", out, err)
+	}
+	if !rep.PrimaryCrashed || rep.Choice != ChoseSecondary {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestRejectedPrimaryTriggersSecondary(t *testing.T) {
+	e := &Executor[int, int]{
+		Primary:   func(int) (int, error) { return 500, nil }, // fails filter
+		Secondary: func(int) (int, error) { return 50, nil },
+		Filters:   []Filter[int]{intFilter("limit", 100)},
+	}
+	out, rep, err := e.Run(0)
+	if err != nil || out != 50 {
+		t.Fatalf("out=%d err=%v", out, err)
+	}
+	if rep.Choice != ChoseSecondary || len(rep.PrimaryRejections) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestBothRejectedReleasesDegraded(t *testing.T) {
+	e := &Executor[int, int]{
+		Primary:   func(int) (int, error) { return 500, nil },
+		Secondary: func(int) (int, error) { return 600, nil },
+		Filters:   []Filter[int]{intFilter("limit", 100)},
+	}
+	out, rep, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Choice != ChoseDegraded {
+		t.Fatalf("report %+v", rep)
+	}
+	if out != 500 {
+		t.Fatalf("ties release the primary; got %d", out)
+	}
+}
+
+func TestDegradedPicksFewerRejections(t *testing.T) {
+	e := &Executor[int, int]{
+		Primary:   func(int) (int, error) { return 500, nil }, // fails both
+		Secondary: func(int) (int, error) { return 150, nil }, // fails one
+		Filters:   []Filter[int]{intFilter("strict", 100), intFilter("loose", 200)},
+	}
+	out, rep, err := e.Run(0)
+	if err != nil || out != 150 {
+		t.Fatalf("out=%d err=%v", out, err)
+	}
+	if rep.Choice != ChoseDegraded {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestBothCrashedErrors(t *testing.T) {
+	e := &Executor[int, int]{
+		Primary:   func(int) (int, error) { return 0, errors.New("dead") },
+		Secondary: func(int) (int, error) { return 0, errors.New("also dead") },
+	}
+	if _, _, err := e.Run(0); !errors.Is(err, ErrNoOutput) {
+		t.Fatalf("err = %v, want ErrNoOutput", err)
+	}
+}
+
+func TestNoSecondaryConfigured(t *testing.T) {
+	e := &Executor[int, int]{
+		Primary: func(int) (int, error) { return 500, nil },
+		Filters: []Filter[int]{intFilter("limit", 100)},
+	}
+	out, rep, err := e.Run(0)
+	if err != nil || out != 500 || rep.Choice != ChoseDegraded {
+		t.Fatalf("out=%d rep=%+v err=%v", out, rep, err)
+	}
+	e2 := &Executor[int, int]{Primary: func(int) (int, error) { return 0, errors.New("dead") }}
+	if _, _, err := e2.Run(0); !errors.Is(err, ErrNoOutput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	for _, c := range []Choice{ChosePrimary, ChoseSecondary, ChoseDegraded, Choice(9)} {
+		if c.String() == "" {
+			t.Fatalf("Choice(%d) has empty name", int(c))
+		}
+	}
+}
+
+// The paper's core argument (Section 7): with corrupted *input*, primary
+// and secondary both produce spurious output — ALFT alone fails
+// catastrophically — while input preprocessing restores the pipeline.
+func TestCorruptedInputDefeatsALFTAlonePreprocessingRescues(t *testing.T) {
+	cfg := synth.DefaultOTISConfig(synth.Blob)
+	sc, err := synth.NewOTISScene(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr, err := otisapp.New(otisapp.Config{Wavelengths: sc.Wavelengths, AssumedEmissivity: cfg.Emissivity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []Filter[*otisapp.Output]{
+		TempBoundsFilter(0.97),
+		EmissivityFilter(0.97),
+		RoughnessFilter(cfg.Width, 3),
+	}
+
+	// Exponent-bit flips drive the retrieval out of bounds: at this rate
+	// ~27% of float32 samples carry at least one flip.
+	damaged := sc.Cube.Clone()
+	fault.Uncorrelated{Gamma0: 0.01}.InjectCube(damaged, rng.New(2))
+
+	exec := &Executor[int, *otisapp.Output]{
+		Primary:   func(int) (*otisapp.Output, error) { return retr.Process(damaged) },
+		Secondary: func(int) (*otisapp.Output, error) { return retr.Process(damaged) },
+		Filters:   filters,
+	}
+	_, rep, err := exec.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Choice != ChoseDegraded {
+		t.Fatalf("corrupted input should defeat both versions; report %+v", rep)
+	}
+
+	// Same damage, but the input is preprocessed first.
+	pre, err := core.NewAlgoOTIS(core.DefaultOTISConfig(sc.Wavelengths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned := sc.Cube.Clone()
+	fault.Uncorrelated{Gamma0: 0.01}.InjectCube(cleaned, rng.New(2))
+	pre.ProcessCube(cleaned)
+	exec2 := &Executor[int, *otisapp.Output]{
+		Primary: func(int) (*otisapp.Output, error) { return retr.Process(cleaned) },
+		Filters: filters,
+	}
+	_, rep2, err := exec2.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Choice != ChosePrimary {
+		t.Fatalf("preprocessed input should pass the filters; report %+v", rep2)
+	}
+}
+
+func TestOTISFiltersRejectNilAndEmpty(t *testing.T) {
+	for _, f := range []Filter[*otisapp.Output]{
+		TempBoundsFilter(0.9), EmissivityFilter(0.9), RoughnessFilter(8, 2),
+	} {
+		if f.Accept(nil) {
+			t.Errorf("%s accepted nil output", f.Name)
+		}
+		if f.Accept(&otisapp.Output{}) {
+			t.Errorf("%s accepted empty output", f.Name)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package alft
+
+import (
+	"math"
+
+	"spaceproc/internal/otisapp"
+	"spaceproc/internal/physics"
+)
+
+// OTIS acceptance filters over retrieval outputs, following the filter
+// approach of [17]: cheap plausibility checks that catch a spurious output
+// without knowing the ground truth.
+
+// TempBoundsFilter accepts an output when at least minFraction of its
+// temperature samples lie within the physical scene bounds.
+func TempBoundsFilter(minFraction float64) Filter[*otisapp.Output] {
+	return Filter[*otisapp.Output]{
+		Name: "temperature-bounds",
+		Accept: func(o *otisapp.Output) bool {
+			if o == nil || len(o.Temps) == 0 {
+				return false
+			}
+			ok := 0
+			for _, temp := range o.Temps {
+				if temp >= physics.MinSceneTemp && temp <= physics.MaxSceneTemp {
+					ok++
+				}
+			}
+			return float64(ok)/float64(len(o.Temps)) >= minFraction
+		},
+	}
+}
+
+// EmissivityFilter accepts an output when at least minFraction of its
+// emissivity samples lie in the physical range (0, 1.05] (a small
+// tolerance above 1 absorbs retrieval noise).
+func EmissivityFilter(minFraction float64) Filter[*otisapp.Output] {
+	return Filter[*otisapp.Output]{
+		Name: "emissivity-range",
+		Accept: func(o *otisapp.Output) bool {
+			if o == nil || o.Emissivity == nil || len(o.Emissivity.Data) == 0 {
+				return false
+			}
+			ok := 0
+			for _, eps := range o.Emissivity.Data {
+				e := float64(eps)
+				if !math.IsNaN(e) && e > 0 && e <= 1.05 {
+					ok++
+				}
+			}
+			return float64(ok)/float64(len(o.Emissivity.Data)) >= minFraction
+		},
+	}
+}
+
+// RoughnessFilter accepts an output whose temperature map's mean absolute
+// horizontal gradient stays below maxKelvinPerPixel: physical temperature
+// fields are piecewise smooth, while flip-corrupted retrievals jitter.
+func RoughnessFilter(width int, maxKelvinPerPixel float64) Filter[*otisapp.Output] {
+	return Filter[*otisapp.Output]{
+		Name: "spatial-roughness",
+		Accept: func(o *otisapp.Output) bool {
+			if o == nil || width <= 1 || len(o.Temps)%width != 0 {
+				return false
+			}
+			var sum float64
+			var n int
+			rows := len(o.Temps) / width
+			for y := 0; y < rows; y++ {
+				for x := 1; x < width; x++ {
+					d := o.Temps[y*width+x] - o.Temps[y*width+x-1]
+					if math.IsNaN(d) {
+						return false
+					}
+					sum += math.Abs(d)
+					n++
+				}
+			}
+			if n == 0 {
+				return false
+			}
+			return sum/float64(n) <= maxKelvinPerPixel
+		},
+	}
+}

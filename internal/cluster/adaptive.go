@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"spaceproc/internal/core"
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/dataset"
+)
+
+// The paper notes that "the slack CPU time in the slave nodes can be very
+// well utilized for a suitable fault-tolerance scheme" (Section 2.1) and
+// that sensitivity trades precision against "overhead in execution time
+// and associated power consumption" (Section 3.2). AdaptiveWorker makes
+// that trade explicit: given a per-tile compute budget and a measured
+// cost model, it runs the highest sensitivity that fits the slack.
+
+// CostModel maps sensitivity levels to their measured per-series cost in
+// arbitrary units (typically nanoseconds, measured by CalibrateCost or a
+// benchmark). Levels must be ascending in Lambda.
+type CostModel struct {
+	// Lambdas are the available sensitivity levels, ascending.
+	Lambdas []int
+	// UnitCost[i] is the per-series cost of running at Lambdas[i].
+	UnitCost []float64
+}
+
+// Validate reports whether the model is usable.
+func (m CostModel) Validate() error {
+	if len(m.Lambdas) == 0 || len(m.Lambdas) != len(m.UnitCost) {
+		return fmt.Errorf("cluster: cost model size mismatch (%d lambdas, %d costs)",
+			len(m.Lambdas), len(m.UnitCost))
+	}
+	if !sort.IntsAreSorted(m.Lambdas) {
+		return fmt.Errorf("cluster: cost model lambdas must be ascending")
+	}
+	for i, c := range m.UnitCost {
+		if c < 0 {
+			return fmt.Errorf("cluster: negative cost at level %d", i)
+		}
+	}
+	return nil
+}
+
+// Pick returns the highest sensitivity whose estimated tile cost
+// (unit cost x series count) fits the budget, or the lowest level when
+// nothing fits (the Lambda floor still buys the header sanity analysis).
+func (m CostModel) Pick(budget float64, seriesCount int) int {
+	best := m.Lambdas[0]
+	for i, lambda := range m.Lambdas {
+		if m.UnitCost[i]*float64(seriesCount) <= budget {
+			best = lambda
+		}
+	}
+	return best
+}
+
+// AdaptiveWorker preprocesses each tile at the highest sensitivity its
+// budget allows, then integrates.
+type AdaptiveWorker struct {
+	model   CostModel
+	upsilon int
+	budget  float64
+	rej     *crreject.Rejector
+
+	// lastLambda records the sensitivity chosen for the most recent tile
+	// (observable for tests and telemetry).
+	lastLambda int
+}
+
+var _ Worker = (*AdaptiveWorker)(nil)
+
+// NewAdaptiveWorker builds a worker with the given per-tile budget, in the
+// cost model's units.
+func NewAdaptiveWorker(model CostModel, upsilon int, budget float64, rejCfg crreject.Config) (*AdaptiveWorker, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("cluster: negative budget %v", budget)
+	}
+	rej, err := crreject.New(rejCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveWorker{model: model, upsilon: upsilon, budget: budget, rej: rej}, nil
+}
+
+// LastLambda returns the sensitivity used for the most recent tile.
+func (w *AdaptiveWorker) LastLambda() int { return w.lastLambda }
+
+// ProcessTile implements Worker.
+func (w *AdaptiveWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+	if t.Stack == nil || t.Stack.Len() == 0 {
+		return TileResult{}, fmt.Errorf("cluster: empty tile")
+	}
+	seriesCount := t.Stack.Width() * t.Stack.Height()
+	lambda := w.model.Pick(w.budget, seriesCount)
+	w.lastLambda = lambda
+	if lambda > 0 {
+		pre, err := core.NewAlgoNGST(core.NGSTConfig{Upsilon: w.upsilon, Sensitivity: lambda})
+		if err != nil {
+			return TileResult{}, err
+		}
+		core.ProcessStackWith(pre, t.Stack)
+	}
+	img, stats := w.rej.Integrate(t.Stack)
+	return TileResult{Index: t.Index, X0: t.X0, Y0: t.Y0, Image: img, Stats: stats}, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+func testModel() CostModel {
+	return CostModel{
+		Lambdas:  []int{0, 20, 50, 80, 100},
+		UnitCost: []float64{0, 8000, 11000, 13000, 14000},
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Fatalf("good model invalid: %v", err)
+	}
+	bad := testModel()
+	bad.UnitCost = bad.UnitCost[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("size mismatch should be invalid")
+	}
+	bad = testModel()
+	bad.Lambdas = []int{50, 20}
+	bad.UnitCost = []float64{1, 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted lambdas should be invalid")
+	}
+	bad = testModel()
+	bad.UnitCost[1] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost should be invalid")
+	}
+}
+
+func TestCostModelPick(t *testing.T) {
+	m := testModel()
+	const series = 1024
+	if got := m.Pick(0, series); got != 0 {
+		t.Fatalf("zero budget picked %d", got)
+	}
+	if got := m.Pick(1e12, series); got != 100 {
+		t.Fatalf("huge budget picked %d", got)
+	}
+	// Budget that fits 11000*1024 but not 13000*1024.
+	if got := m.Pick(12000*series, series); got != 50 {
+		t.Fatalf("mid budget picked %d", got)
+	}
+}
+
+func TestAdaptiveWorkerHonorsBudget(t *testing.T) {
+	st, err := synth.GaussianStack(synth.SeriesConfig{N: 16, Initial: 20000, Sigma: 100}, 8, 8, 2000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles, err := dataset.Fragment(st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rich, err := NewAdaptiveWorker(testModel(), 4, 1e12, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rich.ProcessTile(cloneTile(tiles[0])); err != nil {
+		t.Fatal(err)
+	}
+	if rich.LastLambda() != 100 {
+		t.Fatalf("rich budget used Lambda %d, want 100", rich.LastLambda())
+	}
+
+	poor, err := NewAdaptiveWorker(testModel(), 4, 1, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := poor.ProcessTile(cloneTile(tiles[0])); err != nil {
+		t.Fatal(err)
+	}
+	if poor.LastLambda() != 0 {
+		t.Fatalf("starved budget used Lambda %d, want 0", poor.LastLambda())
+	}
+}
+
+func TestAdaptiveWorkerInPipeline(t *testing.T) {
+	sc := testScene(t, 11)
+	w, err := NewAdaptiveWorker(testModel(), 4, 1e12, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaster([]Worker{w}, WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(sc.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Image.Width != 64 {
+		t.Fatal("pipeline output malformed")
+	}
+}
+
+func TestAdaptiveWorkerErrors(t *testing.T) {
+	if _, err := NewAdaptiveWorker(CostModel{}, 4, 1, crreject.DefaultConfig()); err == nil {
+		t.Error("empty model should error")
+	}
+	if _, err := NewAdaptiveWorker(testModel(), 4, -1, crreject.DefaultConfig()); err == nil {
+		t.Error("negative budget should error")
+	}
+	w, err := NewAdaptiveWorker(testModel(), 4, 1, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ProcessTile(dataset.Tile{}); err == nil {
+		t.Error("empty tile should error")
+	}
+}

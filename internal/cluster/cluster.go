@@ -1,0 +1,280 @@
+// Package cluster implements the paper's Figure 1 system architecture: the
+// onboard CR-rejection pipeline estimated by STScI as a 16-processor
+// COTS workstation. A master fragments each 1024x1024 baseline into 128x128
+// pixel segments, hands them to slave workers for preprocessing and
+// cosmic-ray rejection, reintegrates the processed fragments, and
+// Rice-compresses the result for downlink.
+//
+// Two transports are provided: an in-process pool (goroutines) and a
+// TCP/gob transport (see transport.go) standing in for the Myrinet
+// interconnect. The master tolerates worker failures by re-queueing a
+// failed tile onto another worker, bounded by a retry budget.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"spaceproc/internal/core"
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rice"
+)
+
+// DefaultWorkers is the paper's 16-processor estimate.
+const DefaultWorkers = 16
+
+// TileResult is a worker's output for one tile.
+type TileResult struct {
+	// Index and X0/Y0 locate the tile in the parent frame.
+	Index  int
+	X0, Y0 int
+	// Image is the integrated (CR-rejected) tile.
+	Image *dataset.Image
+	// Stats carries the tile's rejection statistics.
+	Stats crreject.Stats
+	// PreStats carries the preprocessing telemetry when the worker's
+	// preprocessor supports collection (AlgoNGST does).
+	PreStats core.VoteStats
+}
+
+// statsPreprocessor is implemented by preprocessors that can report what
+// they corrected (AlgoNGST's ProcessSeriesStats).
+type statsPreprocessor interface {
+	ProcessSeriesStats(s dataset.Series, stats *core.VoteStats)
+}
+
+// Worker processes one tile.
+type Worker interface {
+	// ProcessTile preprocesses and integrates a tile.
+	ProcessTile(t dataset.Tile) (TileResult, error)
+}
+
+// LocalWorker runs the slave-node computation in process: input
+// preprocessing over every coordinate's temporal series, then cosmic-ray
+// rejection and integration.
+type LocalWorker struct {
+	pre core.SeriesPreprocessor // nil disables preprocessing
+	rej *crreject.Rejector
+}
+
+var _ Worker = (*LocalWorker)(nil)
+
+// NewLocalWorker builds a worker. pre may be nil to skip preprocessing (the
+// no-preprocessing baseline).
+func NewLocalWorker(pre core.SeriesPreprocessor, rejCfg crreject.Config) (*LocalWorker, error) {
+	rej, err := crreject.New(rejCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalWorker{pre: pre, rej: rej}, nil
+}
+
+// ProcessTile implements Worker.
+func (w *LocalWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+	if t.Stack == nil || t.Stack.Len() == 0 {
+		return TileResult{}, errors.New("cluster: empty tile")
+	}
+	res := TileResult{Index: t.Index, X0: t.X0, Y0: t.Y0}
+	switch pre := w.pre.(type) {
+	case nil:
+	case statsPreprocessor:
+		width, height := t.Stack.Width(), t.Stack.Height()
+		for y := 0; y < height; y++ {
+			for x := 0; x < width; x++ {
+				ser := t.Stack.SeriesAt(x, y)
+				pre.ProcessSeriesStats(ser, &res.PreStats)
+				t.Stack.SetSeriesAt(x, y, ser)
+			}
+		}
+	default:
+		core.ProcessStackWith(w.pre, t.Stack)
+	}
+	res.Image, res.Stats = w.rej.Integrate(t.Stack)
+	return res, nil
+}
+
+// Result is the master's output for one baseline.
+type Result struct {
+	// Image is the reintegrated full-frame image.
+	Image *dataset.Image
+	// Compressed is the Rice-compressed downlink payload.
+	Compressed []byte
+	// Stats aggregates rejection statistics over all tiles.
+	Stats crreject.Stats
+	// PreStats aggregates preprocessing telemetry over all tiles.
+	PreStats core.VoteStats
+	// Retries counts tiles that had to be reassigned after a worker
+	// failure.
+	Retries int
+}
+
+// CompressionRatio returns input bytes over downlink bytes.
+func (r *Result) CompressionRatio() float64 {
+	if len(r.Compressed) == 0 {
+		return 1
+	}
+	return float64(2*len(r.Image.Pix)) / float64(len(r.Compressed))
+}
+
+// Master coordinates the pipeline.
+type Master struct {
+	workers  []Worker
+	tileSize int
+	retries  int
+}
+
+// MasterOption configures a Master.
+type MasterOption func(*Master)
+
+// WithTileSize overrides the 128x128 fragment size.
+func WithTileSize(n int) MasterOption {
+	return func(m *Master) { m.tileSize = n }
+}
+
+// WithRetries sets how many times a tile may be reassigned after worker
+// failures before the baseline is abandoned.
+func WithRetries(n int) MasterOption {
+	return func(m *Master) { m.retries = n }
+}
+
+// NewMaster builds a master over the given workers.
+func NewMaster(workers []Worker, opts ...MasterOption) (*Master, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("cluster: no workers")
+	}
+	m := &Master{workers: workers, tileSize: dataset.TileSize, retries: 2}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.tileSize <= 0 {
+		return nil, fmt.Errorf("cluster: tile size %d must be positive", m.tileSize)
+	}
+	return m, nil
+}
+
+// job is one unit of work with its retry budget.
+type job struct {
+	tile    dataset.Tile
+	retries int
+}
+
+// Run executes the pipeline on one baseline stack.
+func (m *Master) Run(s *dataset.Stack) (*Result, error) {
+	return m.RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, in-flight
+// tiles finish but no new tiles are dispatched, and the context's error is
+// returned.
+func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, error) {
+	tiles, err := dataset.Fragment(s, m.tileSize)
+	if err != nil {
+		return nil, err
+	}
+
+	jobs := make(chan job, len(tiles))
+	for _, t := range tiles {
+		jobs <- job{tile: t}
+	}
+	results := make(chan TileResult, len(tiles))
+	failures := make(chan error, len(tiles))
+	retried := make(chan struct{}, len(tiles)*(m.retries+1))
+
+	var pending sync.WaitGroup
+	pending.Add(len(tiles))
+	done := make(chan struct{})
+	go func() {
+		pending.Wait()
+		close(done)
+	}()
+
+	var wg sync.WaitGroup
+	for _, w := range m.workers {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ctx.Done():
+					return
+				case j := <-jobs:
+					res, err := w.ProcessTile(cloneTile(j.tile))
+					if err != nil {
+						if j.retries < m.retries {
+							retried <- struct{}{}
+							jobs <- job{tile: j.tile, retries: j.retries + 1}
+							continue
+						}
+						failures <- fmt.Errorf("cluster: tile %d failed permanently: %w", j.tile.Index, err)
+						pending.Done()
+						continue
+					}
+					results <- res
+					pending.Done()
+				}
+			}
+		}(w)
+	}
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Let in-flight tiles finish, then account for the queued jobs so
+		// the pending watcher goroutine does not leak.
+		wg.Wait()
+		for {
+			select {
+			case <-jobs:
+				pending.Done()
+			default:
+				<-done
+				return nil, ctx.Err()
+			}
+		}
+	}
+	close(results)
+	close(failures)
+	close(retried)
+	wg.Wait()
+
+	if err := <-failures; err != nil {
+		return nil, err
+	}
+
+	out := &Result{Image: dataset.NewImage(s.Width(), s.Height())}
+	for range retried {
+		out.Retries++
+	}
+	count := 0
+	for res := range results {
+		blit(out.Image, res)
+		out.Stats.Hits += res.Stats.Hits
+		out.Stats.Steps += res.Stats.Steps
+		out.PreStats.Add(res.PreStats)
+		count++
+	}
+	if count != len(tiles) {
+		return nil, fmt.Errorf("cluster: reassembled %d of %d tiles", count, len(tiles))
+	}
+	out.Compressed = rice.Encode(out.Image.Pix)
+	return out, nil
+}
+
+// blit copies a tile image into the frame.
+func blit(dst *dataset.Image, res TileResult) {
+	for y := 0; y < res.Image.Height; y++ {
+		dstOff := (res.Y0+y)*dst.Width + res.X0
+		copy(dst.Pix[dstOff:dstOff+res.Image.Width], res.Image.Pix[y*res.Image.Width:(y+1)*res.Image.Width])
+	}
+}
+
+// cloneTile deep-copies a tile so retried jobs never see a half-processed
+// stack.
+func cloneTile(t dataset.Tile) dataset.Tile {
+	return dataset.Tile{Index: t.Index, X0: t.X0, Y0: t.Y0, Stack: t.Stack.Clone()}
+}

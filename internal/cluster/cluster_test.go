@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spaceproc/internal/core"
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/fault"
+	"spaceproc/internal/metrics"
+	"spaceproc/internal/rice"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+// testScene builds a small multi-tile baseline with CR hits.
+func testScene(t *testing.T, seed uint64) *synth.Scene {
+	t.Helper()
+	cfg := synth.DefaultSceneConfig()
+	cfg.Width, cfg.Height = 64, 64
+	sc, err := synth.NewScene(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func localWorkers(t *testing.T, n int, pre core.SeriesPreprocessor) []Worker {
+	t.Helper()
+	workers := make([]Worker, n)
+	for i := range workers {
+		w, err := NewLocalWorker(pre, crreject.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	return workers
+}
+
+func TestMasterRequiresWorkers(t *testing.T) {
+	if _, err := NewMaster(nil); err == nil {
+		t.Fatal("no workers should error")
+	}
+	if _, err := NewMaster(localWorkers(t, 1, nil), WithTileSize(0)); err == nil {
+		t.Fatal("zero tile size should error")
+	}
+}
+
+func TestPipelineMatchesSerialIntegration(t *testing.T) {
+	sc := testScene(t, 1)
+	m, err := NewMaster(localWorkers(t, 4, nil), WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run(sc.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rej, err := crreject.New(crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats := rej.Integrate(sc.Observed)
+	for i := range want.Pix {
+		if got.Image.Pix[i] != want.Pix[i] {
+			t.Fatalf("pipeline image differs from serial integration at %d", i)
+		}
+	}
+	if got.Stats != wantStats {
+		t.Fatalf("stats %+v != serial %+v", got.Stats, wantStats)
+	}
+}
+
+func TestPipelineCompressedPayloadDecodes(t *testing.T) {
+	sc := testScene(t, 2)
+	m, err := NewMaster(localWorkers(t, 3, nil), WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(sc.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := rice.Decode(res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i] != res.Image.Pix[i] {
+			t.Fatalf("downlink payload corrupt at %d", i)
+		}
+	}
+	if res.CompressionRatio() <= 1 {
+		t.Fatalf("compression ratio %.2f, want > 1", res.CompressionRatio())
+	}
+}
+
+func TestPipelineWithPreprocessingBeatsWithout(t *testing.T) {
+	// End-to-end Figure 1 + preprocessing: with bit flips in the raw
+	// readouts, the preprocessed pipeline's integrated image is closer to
+	// the fault-free pipeline's output.
+	sc := testScene(t, 3)
+	faulty := sc.Observed.Clone()
+	// (fault injection on the stack in memory, before processing)
+	injectStack(t, faulty, 0.02, 4)
+
+	mClean, err := NewMaster(localWorkers(t, 4, nil), WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idealRes, err := mClean.Run(sc.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	noPre, err := mClean.Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre, err := core.NewAlgoNGST(core.DefaultNGSTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPre, err := NewMaster(localWorkers(t, 4, pre), WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPre, err := mPre.Run(faulty.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	psiNo := metrics.RelativeError16(noPre.Image.Pix, idealRes.Image.Pix)
+	psiPre := metrics.RelativeError16(withPre.Image.Pix, idealRes.Image.Pix)
+	if psiPre*2 > psiNo {
+		t.Fatalf("preprocessing gained too little end-to-end: without %.5f, with %.5f", psiNo, psiPre)
+	}
+}
+
+func injectStack(t *testing.T, s *dataset.Stack, gamma float64, seed uint64) {
+	t.Helper()
+	fault.Uncorrelated{Gamma0: gamma}.InjectStack(s, rng.New(seed))
+}
+
+// flakyWorker fails the first `failures` calls, then delegates.
+type flakyWorker struct {
+	inner    Worker
+	failures int32
+}
+
+func (w *flakyWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+	if atomic.AddInt32(&w.failures, -1) >= 0 {
+		return TileResult{}, errors.New("injected worker failure")
+	}
+	return w.inner.ProcessTile(t)
+}
+
+func TestPipelineCollectsPreprocessingTelemetry(t *testing.T) {
+	sc := testScene(t, 12)
+	faulty := sc.Observed.Clone()
+	injectStack(t, faulty, 0.01, 13)
+	pre, err := core.NewAlgoNGST(core.DefaultNGSTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaster(localWorkers(t, 3, pre), WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreStats.Series != 64*64 {
+		t.Fatalf("telemetry covered %d series, want %d", res.PreStats.Series, 64*64)
+	}
+	if res.PreStats.Corrected == 0 {
+		t.Fatal("no corrections recorded at 1% damage")
+	}
+	// Without preprocessing there is no telemetry.
+	m2, err := NewMaster(localWorkers(t, 2, nil), WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m2.Run(faulty.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PreStats.Series != 0 {
+		t.Fatalf("no-preprocessing run reported telemetry: %+v", res2.PreStats)
+	}
+}
+
+func TestMasterReassignsAfterWorkerFailure(t *testing.T) {
+	sc := testScene(t, 5)
+	good := localWorkers(t, 1, nil)
+	// A single worker that fails its first two calls: every failed tile
+	// must be re-queued and eventually succeed on the same worker, so
+	// the retry count is deterministic regardless of scheduling.
+	flaky := &flakyWorker{inner: good[0], failures: 2}
+	m, err := NewMaster([]Worker{flaky}, WithTileSize(32), WithRetries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(sc.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", res.Retries)
+	}
+	rej, err := crreject.New(crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rej.Integrate(sc.Observed)
+	for i := range want.Pix {
+		if res.Image.Pix[i] != want.Pix[i] {
+			t.Fatalf("image corrupted by retries at %d", i)
+		}
+	}
+}
+
+func TestMasterFailsWhenRetriesExhausted(t *testing.T) {
+	sc := testScene(t, 6)
+	alwaysBad := &flakyWorker{inner: nil, failures: 1 << 30}
+	m, err := NewMaster([]Worker{alwaysBad}, WithTileSize(32), WithRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(sc.Observed); err == nil {
+		t.Fatal("pipeline should fail when all workers keep failing")
+	}
+}
+
+// slowWorker blocks each tile until released.
+type slowWorker struct {
+	inner   Worker
+	started chan struct{}
+	release chan struct{}
+}
+
+func (w *slowWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+	w.started <- struct{}{}
+	<-w.release
+	return w.inner.ProcessTile(t)
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	sc := testScene(t, 10)
+	inner := localWorkers(t, 1, nil)[0]
+	sw := &slowWorker{inner: inner, started: make(chan struct{}, 8), release: make(chan struct{})}
+	m, err := NewMaster([]Worker{sw}, WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.RunContext(ctx, sc.Observed)
+		errCh <- err
+	}()
+	<-sw.started // first tile in flight
+	cancel()
+	close(sw.release) // let the in-flight tile finish
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled pipeline did not return")
+	}
+}
+
+func TestRunContextCompletesWhenNotCancelled(t *testing.T) {
+	sc := testScene(t, 10)
+	m, err := NewMaster(localWorkers(t, 2, nil), WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunContext(context.Background(), sc.Observed)
+	if err != nil || res.Image == nil {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestLocalWorkerRejectsEmptyTile(t *testing.T) {
+	w, err := NewLocalWorker(nil, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ProcessTile(dataset.Tile{}); err == nil {
+		t.Fatal("empty tile should error")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	inner, err := NewLocalWorker(nil, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(inner)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	sc := testScene(t, 7)
+	m, err := NewMaster([]Worker{remote}, WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(sc.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rej, err := crreject.New(crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rej.Integrate(sc.Observed)
+	for i := range want.Pix {
+		if res.Image.Pix[i] != want.Pix[i] {
+			t.Fatalf("TCP pipeline image differs at %d", i)
+		}
+	}
+}
+
+func TestTCPWorkerSurvivesServerRestart(t *testing.T) {
+	inner, err := NewLocalWorker(nil, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(inner)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	sc := testScene(t, 8)
+	tiles, err := dataset.Fragment(sc.Observed, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.ProcessTile(tiles[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the connection server-side; the next call must fail, and the
+	// one after must succeed on a fresh server at the same address.
+	srv.Close()
+	if _, err := remote.ProcessTile(tiles[1]); err == nil {
+		t.Fatal("call against closed server should fail")
+	}
+	srv2 := NewServer(inner)
+	addr2, err := srv2.Listen(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if addr2 != addr {
+		t.Skipf("rebound to different address %s", addr2)
+	}
+	if _, err := remote.ProcessTile(tiles[1]); err != nil {
+		t.Fatalf("re-dial after restart failed: %v", err)
+	}
+}
+
+func TestRemoteWorkerReportsRemoteErrors(t *testing.T) {
+	srv := NewServer(&flakyWorker{failures: 1 << 30})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	sc := testScene(t, 9)
+	tiles, err := dataset.Fragment(sc.Observed, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.ProcessTile(tiles[0]); err == nil {
+		t.Fatal("remote error should propagate")
+	}
+}

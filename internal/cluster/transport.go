@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"spaceproc/internal/dataset"
+)
+
+// The TCP transport stands in for the Myrinet interconnect of the Figure 1
+// architecture: each slave node runs a Server wrapping a Worker; the master
+// holds one RemoteWorker per slave. Frames are gob-encoded tiles and
+// results over a persistent connection, one request in flight per worker
+// (matching the master/slave dispatch of the paper's pipeline).
+
+// request is the wire format of one dispatch.
+type request struct {
+	Tile dataset.Tile
+}
+
+// response is the wire format of one result.
+type response struct {
+	Result TileResult
+	Err    string
+}
+
+// Server exposes a Worker over TCP.
+type Server struct {
+	worker Worker
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server around the worker.
+func NewServer(w Worker) *Server {
+	return &Server{worker: w, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines
+// until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("cluster: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func(conn net.Conn) {
+				defer s.wg.Done()
+				s.serve(conn)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// serve answers requests on one connection until it drops.
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		res, err := s.worker.ProcessTile(req.Tile)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Result = res
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// RemoteWorker is the master-side proxy for a slave node.
+type RemoteWorker struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+var _ Worker = (*RemoteWorker)(nil)
+
+// Dial connects to a slave served by Server.
+func Dial(addr string) (*RemoteWorker, error) {
+	w := &RemoteWorker{addr: addr}
+	if err := w.connect(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *RemoteWorker) connect() error {
+	conn, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial %s: %w", w.addr, err)
+	}
+	w.conn = conn
+	w.enc = gob.NewEncoder(conn)
+	w.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// ProcessTile implements Worker by round-tripping the tile to the slave.
+// A transport error tears down the connection (the master's retry logic
+// reassigns the tile); the next call re-dials.
+func (w *RemoteWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn == nil {
+		if err := w.connect(); err != nil {
+			return TileResult{}, err
+		}
+	}
+	if err := w.enc.Encode(&request{Tile: t}); err != nil {
+		w.teardown()
+		return TileResult{}, fmt.Errorf("cluster: send tile %d: %w", t.Index, err)
+	}
+	var resp response
+	if err := w.dec.Decode(&resp); err != nil {
+		w.teardown()
+		return TileResult{}, fmt.Errorf("cluster: receive tile %d: %w", t.Index, err)
+	}
+	if resp.Err != "" {
+		return TileResult{}, fmt.Errorf("cluster: remote: %s", resp.Err)
+	}
+	return resp.Result, nil
+}
+
+func (w *RemoteWorker) teardown() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+		w.enc, w.dec = nil, nil
+	}
+}
+
+// Close drops the connection.
+func (w *RemoteWorker) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.teardown()
+}

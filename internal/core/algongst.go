@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"spaceproc/internal/dataset"
+)
+
+// SeriesPreprocessor repairs suspected bit flips in a temporal pixel series
+// in place.
+type SeriesPreprocessor interface {
+	// Name identifies the algorithm in reports and experiment tables.
+	Name() string
+	// ProcessSeries repairs s in place.
+	ProcessSeries(s dataset.Series)
+}
+
+// NGSTConfig parameterizes AlgoNGST.
+type NGSTConfig struct {
+	// Upsilon is the number of neighbors each pixel consults (Upsilon/2
+	// forward and Upsilon/2 backward); it must be even and >= 2. The
+	// paper finds 4 best for the NGST and OTIS benchmarks.
+	Upsilon int
+	// Sensitivity is Lambda in [0, 100]. At 0 the pixel pass is skipped
+	// entirely (only the FITS header sanity analysis runs, at the file
+	// layer); higher values admit more voters, identifying more flips at
+	// the cost of more false alarms and more computation.
+	Sensitivity int
+
+	// The remaining fields are ablation switches for the design-choice
+	// experiments of DESIGN.md section 6; the zero values select the
+	// paper-faithful algorithm.
+
+	// DisableQuorum turns off the GRT auxiliary vote in window A
+	// (unanimous voting everywhere).
+	DisableQuorum bool
+	// DisableCarryGuard turns off the carry-propagation acceptance test
+	// (DESIGN.md #4.8).
+	DisableCarryGuard bool
+	// LiteralPhi uses the prune-index formula exactly as printed in the
+	// paper, decreasing in Lambda (DESIGN.md #4.2).
+	LiteralPhi bool
+	// StaticWindows replaces the dynamic bit-window masks with fixed
+	// boundaries: window C = bits < StaticLSB, window A = bits >=
+	// StaticMSB.
+	StaticWindows bool
+	// StaticLSB and StaticMSB are the fixed boundaries used when
+	// StaticWindows is set.
+	StaticLSB, StaticMSB int
+}
+
+// DefaultNGSTConfig returns the paper's experimentally optimal parameters.
+func DefaultNGSTConfig() NGSTConfig {
+	return NGSTConfig{Upsilon: 4, Sensitivity: 80}
+}
+
+// Validate reports whether the configuration is usable.
+func (c NGSTConfig) Validate() error {
+	switch {
+	case c.Upsilon < 2 || c.Upsilon%2 != 0:
+		return fmt.Errorf("core: Upsilon must be even and >= 2, got %d", c.Upsilon)
+	case c.Sensitivity < 0 || c.Sensitivity > 100:
+		return fmt.Errorf("core: sensitivity %d outside [0,100]", c.Sensitivity)
+	case c.StaticWindows && (c.StaticLSB < 0 || c.StaticMSB < c.StaticLSB || c.StaticMSB > 16):
+		return fmt.Errorf("core: static windows [%d,%d] not ordered within a 16-bit word",
+			c.StaticLSB, c.StaticMSB)
+	}
+	return nil
+}
+
+// AlgoNGST is the paper's Algorithm 1: dynamic bit-window voter
+// preprocessing for temporally redundant 16-bit pixel series.
+type AlgoNGST struct {
+	cfg NGSTConfig
+}
+
+var _ SeriesPreprocessor = (*AlgoNGST)(nil)
+
+// NewAlgoNGST validates cfg and returns the algorithm.
+func NewAlgoNGST(cfg NGSTConfig) (*AlgoNGST, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &AlgoNGST{cfg: cfg}, nil
+}
+
+// Name implements SeriesPreprocessor.
+func (a *AlgoNGST) Name() string {
+	return fmt.Sprintf("Algo_NGST(Y=%d,L=%d)", a.cfg.Upsilon, a.cfg.Sensitivity)
+}
+
+// Config returns the algorithm's configuration.
+func (a *AlgoNGST) Config() NGSTConfig { return a.cfg }
+
+// ProcessSeries implements SeriesPreprocessor: it identifies temporally
+// non-conforming bits by Upsilon-way XOR voting with dynamic per-way
+// thresholds and repairs them in place.
+func (a *AlgoNGST) ProcessSeries(s dataset.Series) {
+	a.ProcessSeriesStats(s, nil)
+}
+
+// ProcessSeriesStats is ProcessSeries with observability: when stats is
+// non-nil, the pass accumulates correction counters into it. The caller
+// owns stats, so a single AlgoNGST value stays safe for concurrent use by
+// workers that each pass their own collector.
+func (a *AlgoNGST) ProcessSeriesStats(s dataset.Series, stats *VoteStats) {
+	if a.cfg.Sensitivity == 0 {
+		return
+	}
+	vals := make([]uint32, len(s))
+	for i, v := range s {
+		vals[i] = uint32(v)
+	}
+	opt := voteOptions{
+		disableQuorum:     a.cfg.DisableQuorum,
+		disableCarryGuard: a.cfg.DisableCarryGuard,
+		literalPhi:        a.cfg.LiteralPhi,
+		staticWindows:     a.cfg.StaticWindows,
+		staticLSB:         a.cfg.StaticLSB,
+		staticMSB:         a.cfg.StaticMSB,
+		stats:             stats,
+	}
+	corr := correctTemporalOpt(vals, a.cfg.Upsilon, a.cfg.Sensitivity, 16, opt)
+	for i := range s {
+		s[i] ^= uint16(corr[i])
+	}
+}
+
+// ProcessStack applies the algorithm to the temporal series of every
+// coordinate of a baseline stack in place.
+func (a *AlgoNGST) ProcessStack(s *dataset.Stack) {
+	ProcessStackWith(a, s)
+}
+
+// ProcessStackWith runs any series preprocessor over every coordinate of a
+// stack in place.
+func ProcessStackWith(p SeriesPreprocessor, s *dataset.Stack) {
+	w, h := s.Width(), s.Height()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ser := s.SeriesAt(x, y)
+			p.ProcessSeries(ser)
+			s.SetSeriesAt(x, y, ser)
+		}
+	}
+}

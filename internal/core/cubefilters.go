@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+
+	"spaceproc/internal/bitutil"
+	"spaceproc/internal/dataset"
+)
+
+// CubeMedian3 is the Section 7.3 adaptation of Algorithm 2 to OTIS
+// datasets: sliding-window median smoothing over the spatial rows of each
+// band plane, operating on float values.
+type CubeMedian3 struct{}
+
+var _ CubePreprocessor = CubeMedian3{}
+
+// Name implements CubePreprocessor.
+func (CubeMedian3) Name() string { return "MedianSmooth3" }
+
+// ProcessCube implements CubePreprocessor.
+func (CubeMedian3) ProcessCube(c *dataset.Cube) {
+	for b := 0; b < c.Bands; b++ {
+		plane := c.Band(b)
+		for y := 0; y < c.Height; y++ {
+			row := plane[y*c.Width : (y+1)*c.Width]
+			medianRowF32(row)
+		}
+	}
+}
+
+// medianRowF32 applies the Algorithm 2 in-place sequential window-3 median
+// to one row of float samples. NaN comparisons are false, so a NaN sample
+// never wins the median; it is replaced by a neighbor.
+func medianRowF32(row []float32) {
+	n := len(row)
+	if n < 3 {
+		return
+	}
+	row[0] = median3f32ordered(row[0], row[1], row[2])
+	for i := 1; i < n-1; i++ {
+		row[i] = median3f32ordered(row[i-1], row[i], row[i+1])
+	}
+	row[n-1] = median3f32ordered(row[n-3], row[n-2], row[n-1])
+}
+
+// median3f32ordered is median3f32 hardened against NaN: non-finite inputs
+// sort to the extremes (by their absolute magnitude), never to the middle.
+func median3f32ordered(a, b, c float32) float32 {
+	vals := [3]float32{a, b, c}
+	// Selection sort with a NaN-aware less; NaN ranks as +infinity so it
+	// can only occupy the top slot.
+	less := func(x, y float32) bool {
+		if isNaN32(x) {
+			return false
+		}
+		if isNaN32(y) {
+			return true
+		}
+		return x < y
+	}
+	for i := 0; i < 2; i++ {
+		for j := i + 1; j < 3; j++ {
+			if less(vals[j], vals[i]) {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	return vals[1]
+}
+
+func isNaN32(v float32) bool { return v != v }
+
+// CubeMajorityBit3 is the Section 7.3 adaptation of Algorithm 3 to OTIS
+// datasets: window-3 bitwise majority voting over the IEEE-754 bit patterns
+// along the spatial rows of each band plane.
+type CubeMajorityBit3 struct{}
+
+var _ CubePreprocessor = CubeMajorityBit3{}
+
+// Name implements CubePreprocessor.
+func (CubeMajorityBit3) Name() string { return "MajorityBitVote3" }
+
+// ProcessCube implements CubePreprocessor.
+func (CubeMajorityBit3) ProcessCube(c *dataset.Cube) {
+	for b := 0; b < c.Bands; b++ {
+		plane := c.Band(b)
+		for y := 0; y < c.Height; y++ {
+			row := plane[y*c.Width : (y+1)*c.Width]
+			majorityRowF32(row)
+		}
+	}
+}
+
+// majorityRowF32 votes each bit of each sample against the same bit of its
+// two row neighbors, computed from the original row (see MajorityBit3).
+func majorityRowF32(row []float32) {
+	n := len(row)
+	if n < 3 {
+		return
+	}
+	orig := make([]uint32, n)
+	for i, v := range row {
+		orig[i] = math.Float32bits(v)
+	}
+	at := func(i int) uint32 {
+		switch {
+		case i < 0:
+			return orig[2]
+		case i >= n:
+			return orig[n-3]
+		default:
+			return orig[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		row[i] = math.Float32frombits(bitutil.MajorityVote3x32(at(i-1), at(i), at(i+1)))
+	}
+}

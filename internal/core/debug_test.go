@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"spaceproc/internal/fault"
+	"spaceproc/internal/rng"
+)
+
+// TestDebugDecomposition is a temporary diagnostic; it always passes.
+func TestDebugDecomposition(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	injector := fault.Uncorrelated{Gamma0: 0.025}
+	var missedW, falseW, fixedW float64
+	var missedN, falseN, fixedN int
+	for trial := uint64(0); trial < 50; trial++ {
+		ideal := gaussianSeries(t, 250, 1000+trial)
+		damaged := ideal.Clone()
+		injector.InjectSeries(damaged, rng.NewStream(42, trial))
+
+		vals := make([]uint32, len(damaged))
+		for i, v := range damaged {
+			vals[i] = uint32(v)
+		}
+		corr := correctTemporal(vals, 4, 80, 16)
+		for i := range damaged {
+			injected := uint32(damaged[i] ^ ideal[i])
+			c := corr[i]
+			fixed := injected & c
+			missed := injected &^ c
+			falseC := c &^ injected
+			for b := 0; b < 16; b++ {
+				w := uint32(1) << uint(b)
+				if fixed&w != 0 {
+					fixedN++
+					fixedW += float64(w)
+				}
+				if missed&w != 0 {
+					missedN++
+					missedW += float64(w)
+				}
+				if falseC&w != 0 {
+					falseN++
+					falseW += float64(w)
+				}
+			}
+		}
+	}
+	fmt.Printf("fixed: n=%d weight=%.0f\nmissed: n=%d weight=%.0f\nfalse: n=%d weight=%.0f\n",
+		fixedN, fixedW, missedN, missedW, falseN, falseW)
+	// Per-bit histogram of missed corrections.
+	missedBits := make([]int, 16)
+	falseBits := make([]int, 16)
+	for trial := uint64(0); trial < 50; trial++ {
+		ideal := gaussianSeries(t, 250, 1000+trial)
+		damaged := ideal.Clone()
+		injector.InjectSeries(damaged, rng.NewStream(42, trial))
+		vals := make([]uint32, len(damaged))
+		for i, v := range damaged {
+			vals[i] = uint32(v)
+		}
+		corr := correctTemporal(vals, 4, 80, 16)
+		for i := range damaged {
+			injected := uint32(damaged[i] ^ ideal[i])
+			for b := 0; b < 16; b++ {
+				w := uint32(1) << uint(b)
+				if injected&w != 0 && corr[i]&w == 0 {
+					missedBits[b]++
+				}
+				if injected&w == 0 && corr[i]&w != 0 {
+					falseBits[b]++
+				}
+			}
+		}
+	}
+	fmt.Printf("missed by bit: %v\nfalse by bit:  %v\n", missedBits, falseBits)
+}

@@ -1,0 +1,307 @@
+// Package core implements the paper's contribution: dynamic, sensitivity-
+// scaled preprocessing of raw input data that identifies and repairs memory
+// bit flips before the application consumes the data.
+//
+// Four algorithms are provided:
+//
+//   - AlgoNGST (Algorithm 1): the dynamic bit-window voter algorithm for
+//     temporally redundant 16-bit pixel series.
+//   - Median3 (Algorithm 2): sliding-window median smoothing, the paper's
+//     first generic baseline.
+//   - MajorityBit3 (Algorithm 3): sliding-window bitwise majority voting,
+//     the paper's second generic baseline.
+//   - AlgoOTIS (Section 7.2): the spatial adaptation of AlgoNGST for
+//     32-bit floating point radiance planes, augmented with absolute
+//     physical bounds and natural-trend preservation.
+//
+// The reconstruction choices for the OCR-damaged parts of Algorithm 1 are
+// documented in DESIGN.md section 4 and on the functions below.
+package core
+
+import (
+	"sort"
+
+	"spaceproc/internal/bitutil"
+)
+
+// PruneIndex computes the paper's Phi: the 1-based order statistic (into
+// the descending-sorted XOR values of one voter way) whose value becomes
+// the way's pruning cut-off.
+//
+// Reconstruction notes (DESIGN.md #4.2):
+//
+//   - The printed formula Phi = floor(N/4 + (80-Lambda)/100 * (N/4-1))
+//     decreases with Lambda, contradicting the prose ("if the sensitivity
+//     is higher, the total voters ... will increase"); we use the
+//     sign-corrected form, monotone increasing in Lambda.
+//   - The paper's ways hold N/2 elements each (its pairing indexes even
+//     pixels only), so N/4 is the *median* of a way at Lambda = 80. Our
+//     ways keep every pairing (~count = N-d elements), so the formula is
+//     expressed relative to the way size: Phi = floor(count/2 +
+//     (Lambda-80)/100 * (count/2-1)), clamped to [1, count]. Keeping the
+//     reference point at the way median is what lets the threshold stay a
+//     natural-variation statistic even when a third of the XOR values are
+//     fault-inflated.
+func PruneIndex(lambda, count int) int {
+	if count < 1 {
+		return 1
+	}
+	half := float64(count) / 2
+	phi := int(half + float64(lambda-80)/100*(half-1))
+	if phi < 1 {
+		phi = 1
+	}
+	if phi > count {
+		phi = count
+	}
+	return phi
+}
+
+// PruneIndexLiteral is the formula exactly as printed in the paper
+// (decreasing in Lambda, anchored at count/4); it exists for the ablation
+// that justifies the sign correction (DESIGN.md #4.2) and is not used by
+// the default algorithm.
+func PruneIndexLiteral(lambda, count int) int {
+	if count < 1 {
+		return 1
+	}
+	quarter := float64(count) / 4
+	phi := int(quarter + float64(80-lambda)/100*(quarter-1))
+	if phi < 1 {
+		phi = 1
+	}
+	if phi > count {
+		phi = count
+	}
+	return phi
+}
+
+// wayThreshold computes one voter way's cut-off Vval: the lowest power of
+// two >= the Phi-th greatest XOR value of the way. XOR values <= Vval are
+// pruned (cannot vote).
+func wayThreshold(xors []uint32, lambda int) uint32 {
+	return wayThresholdFunc(xors, lambda, PruneIndex)
+}
+
+// wayThresholdFunc is wayThreshold with a pluggable Phi (for the
+// literal-formula ablation).
+func wayThresholdFunc(xors []uint32, lambda int, phiOf func(lambda, count int) int) uint32 {
+	if len(xors) == 0 {
+		return 1
+	}
+	sorted := make([]uint32, len(xors))
+	copy(sorted, xors)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	phi := phiOf(lambda, len(sorted))
+	v := sorted[phi-1]
+	return bitutil.CeilPow2(v)
+}
+
+// windowMasks derives the A/B/C bit-window delimiters from the per-way
+// cut-offs (DESIGN.md #4.3):
+//
+//   - window C (ignored) is every bit strictly below the bit index of the
+//     smallest Vval: below it no pairing yields locality information, so
+//     lsbMask keeps only bits at or above that index;
+//   - window A (most stable, relaxed quorum) is every bit at or above the
+//     bit index of the largest Vval, selected by msbMask.
+//
+// Window B is the complement between them; A is contained in not-C.
+func windowMasks(vvals []uint32, width int) (lsbMask, msbMask uint32) {
+	if len(vvals) == 0 {
+		return bitutil.MaskAtOrAbove(0, width), 0
+	}
+	minV, maxV := vvals[0], vvals[0]
+	for _, v := range vvals[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	lsbMask = bitutil.MaskAtOrAbove(bitutil.BitIndex(minV), width)
+	msbMask = bitutil.MaskAtOrAbove(bitutil.BitIndex(maxV), width)
+	return lsbMask, msbMask
+}
+
+// voteOptions carries the ablation switches of the temporal voter pass.
+// The zero value is the paper-faithful default configuration.
+type voteOptions struct {
+	// disableQuorum turns off the GRT (Upsilon-1 agreement) auxiliary
+	// vote in window A, leaving unanimous voting only.
+	disableQuorum bool
+	// disableCarryGuard turns off the value-space acceptance test
+	// (DESIGN.md #4.8).
+	disableCarryGuard bool
+	// literalPhi uses the formula exactly as printed (DESIGN.md #4.2
+	// ablation).
+	literalPhi bool
+	// staticWindows, when true, replaces the dynamic masks with fixed
+	// window boundaries: C = bits < staticLSB, A = bits >= staticMSB.
+	staticWindows        bool
+	staticLSB, staticMSB int
+	// stats, when non-nil, accumulates observability counters.
+	stats *VoteStats
+}
+
+// VoteStats counts what one or more voter passes did — the telemetry a
+// flight implementation would downlink to tune Lambda from the ground.
+type VoteStats struct {
+	// Series is the number of series processed.
+	Series int
+	// Corrected is the number of pixels whose value was repaired.
+	Corrected int
+	// BitsWindowA and BitsWindowB count corrected bits by window (window
+	// C is never corrected by construction).
+	BitsWindowA int
+	BitsWindowB int
+	// GuardRejected counts candidate corrections the carry-propagation
+	// guard vetoed.
+	GuardRejected int
+	// WindowCBit is the most recent window C boundary (bit index of the
+	// smallest way cut-off), a proxy for how much of the word the
+	// dynamic thresholds consider unrecoverable.
+	WindowCBit int
+}
+
+// Add merges other into s.
+func (s *VoteStats) Add(other VoteStats) {
+	s.Series += other.Series
+	s.Corrected += other.Corrected
+	s.BitsWindowA += other.BitsWindowA
+	s.BitsWindowB += other.BitsWindowB
+	s.GuardRejected += other.GuardRejected
+	s.WindowCBit = other.WindowCBit
+}
+
+// correctTemporal runs the Algorithm 1 voter pass over a temporal series of
+// payload words (16-bit pixels widened to uint32, or float32 bit patterns).
+// upsilon is the (even) number of neighbors each pixel consults; lambda the
+// sensitivity. It returns the correction vector for every element; the
+// caller applies them (P(i) ^= corr[i]).
+//
+// The voter matrix is built once from the damaged input and every
+// correction is computed against it, so corrections do not cascade.
+func correctTemporal(vals []uint32, upsilon, lambda, width int) []uint32 {
+	return correctTemporalOpt(vals, upsilon, lambda, width, voteOptions{})
+}
+
+// correctTemporalOpt is correctTemporal with ablation switches.
+func correctTemporalOpt(vals []uint32, upsilon, lambda, width int, opt voteOptions) []uint32 {
+	n := len(vals)
+	corr := make([]uint32, n)
+	if lambda <= 0 || n < 3 || upsilon < 2 {
+		return corr
+	}
+	half := upsilon / 2
+	if half > n-1 {
+		half = n - 1
+	}
+	phiOf := PruneIndex
+	if opt.literalPhi {
+		phiOf = PruneIndexLiteral
+	}
+
+	// xors[d-1][i] = vals[i] XOR vals[i+d]: the forward-d and backward-d
+	// ways share this value set (XOR is symmetric), as in the paper's
+	// V_(2a-1)/V_(2a) pairing.
+	xors := make([][]uint32, half)
+	vvals := make([]uint32, half)
+	for d := 1; d <= half; d++ {
+		w := make([]uint32, n-d)
+		for i := 0; i < n-d; i++ {
+			w[i] = vals[i] ^ vals[i+d]
+		}
+		xors[d-1] = w
+		vvals[d-1] = wayThresholdFunc(w, lambda, phiOf)
+	}
+	lsbMask, msbMask := windowMasks(vvals, width)
+	if opt.staticWindows {
+		lsbMask = bitutil.MaskAtOrAbove(opt.staticLSB, width)
+		msbMask = bitutil.MaskAtOrAbove(opt.staticMSB, width)
+	}
+	if opt.disableQuorum {
+		msbMask = 0
+	}
+	if opt.stats != nil {
+		opt.stats.Series++
+		opt.stats.WindowCBit = width - bitutil.OnesCount32(lsbMask)
+	}
+
+	phis := make([]uint32, 0, upsilon)
+	neigh := make([]uint32, 0, upsilon)
+	for i := 0; i < n; i++ {
+		phis = phis[:0]
+		neigh = neigh[:0]
+		for d := 1; d <= half; d++ {
+			// Forward neighbor i+d.
+			if i+d < n {
+				phis = append(phis, pruned(xors[d-1][i], vvals[d-1]))
+				neigh = append(neigh, vals[i+d])
+			}
+			// Backward neighbor i-d.
+			if i-d >= 0 {
+				phis = append(phis, pruned(xors[d-1][i-d], vvals[d-1]))
+				neigh = append(neigh, vals[i-d])
+			}
+		}
+		if len(phis) < 2 {
+			continue
+		}
+		unanimous := bitutil.ANDAll(phis)
+		quorum := bitutil.LeaveOneOutAND(phis)
+		c := (unanimous | (quorum & msbMask)) & lsbMask
+		if c == 0 {
+			continue
+		}
+		// Carry-propagation guard (DESIGN.md #4, "after taking carry
+		// propagation effects into consideration"): when a natural
+		// variation crosses a power-of-two boundary, the carry cascade
+		// sets many XOR bits at once, so the cascade's shared high bits
+		// masquerade as flips. Genuine repairs move the pixel toward its
+		// consulted neighborhood by roughly the correction's own binary
+		// weight; cascade artifacts move it away or barely at all. Accept
+		// the correction only if it recovers at least half its weight.
+		if !opt.disableCarryGuard {
+			med := medianU32(neigh)
+			before, after := dist32(vals[i], med), dist32(vals[i]^c, med)
+			if after > before || before-after < c/2 {
+				if opt.stats != nil {
+					opt.stats.GuardRejected++
+				}
+				continue
+			}
+		}
+		corr[i] = c
+		if opt.stats != nil {
+			opt.stats.Corrected++
+			opt.stats.BitsWindowA += bitutil.OnesCount32(c & msbMask)
+			opt.stats.BitsWindowB += bitutil.OnesCount32(c & lsbMask &^ msbMask)
+		}
+	}
+	return corr
+}
+
+// medianU32 returns the lower median of vals (vals is scratch and may be
+// reordered).
+func medianU32(vals []uint32) uint32 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals[(len(vals)-1)/2]
+}
+
+// dist32 returns |a - b| for unsigned payloads.
+func dist32(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// pruned zeroes a voter whose XOR value does not exceed the way cut-off.
+func pruned(x, vval uint32) uint32 {
+	if x <= vval {
+		return 0
+	}
+	return x
+}

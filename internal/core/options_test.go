@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/fault"
+	"spaceproc/internal/metrics"
+	"spaceproc/internal/physics"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+func TestPruneIndexLiteral(t *testing.T) {
+	// Decreasing in Lambda (the printed form), clamped.
+	prev := 1 << 30
+	for lambda := 0; lambda <= 100; lambda += 10 {
+		phi := PruneIndexLiteral(lambda, 64)
+		if phi > prev {
+			t.Fatalf("literal Phi increased at lambda=%d: %d > %d", lambda, phi, prev)
+		}
+		if phi < 1 || phi > 64 {
+			t.Fatalf("literal Phi out of range: %d", phi)
+		}
+		prev = phi
+	}
+	if got := PruneIndexLiteral(50, 0); got != 1 {
+		t.Fatalf("PruneIndexLiteral(50,0) = %d", got)
+	}
+}
+
+func TestStaticWindowsValidation(t *testing.T) {
+	bad := NGSTConfig{Upsilon: 4, Sensitivity: 80, StaticWindows: true, StaticLSB: 12, StaticMSB: 9}
+	if _, err := NewAlgoNGST(bad); err == nil {
+		t.Error("MSB below LSB should be invalid")
+	}
+	bad = NGSTConfig{Upsilon: 4, Sensitivity: 80, StaticWindows: true, StaticLSB: -1, StaticMSB: 9}
+	if _, err := NewAlgoNGST(bad); err == nil {
+		t.Error("negative LSB should be invalid")
+	}
+	bad = NGSTConfig{Upsilon: 4, Sensitivity: 80, StaticWindows: true, StaticLSB: 4, StaticMSB: 17}
+	if _, err := NewAlgoNGST(bad); err == nil {
+		t.Error("MSB above word width should be invalid")
+	}
+	ok := NGSTConfig{Upsilon: 4, Sensitivity: 80, StaticWindows: true, StaticLSB: 9, StaticMSB: 12}
+	if _, err := NewAlgoNGST(ok); err != nil {
+		t.Errorf("valid static windows rejected: %v", err)
+	}
+}
+
+func TestStaticWindowsMaskCorrections(t *testing.T) {
+	// With window C pinned at bits < 12, a bit-10 flip must be ignored
+	// while a bit-14 flip is repaired.
+	mk := func() []uint32 {
+		vals := make([]uint32, 64)
+		for i := range vals {
+			vals[i] = 27000
+		}
+		return vals
+	}
+	vals := mk()
+	vals[20] ^= 1 << 10
+	vals[40] ^= 1 << 14
+	corr := correctTemporalOpt(vals, 4, 80, 16, voteOptions{staticWindows: true, staticLSB: 12, staticMSB: 15})
+	if corr[20] != 0 {
+		t.Fatalf("bit-10 flip corrected despite static window C: %#x", corr[20])
+	}
+	if corr[40] != 1<<14 {
+		t.Fatalf("bit-14 flip not corrected: %#x", corr[40])
+	}
+}
+
+func TestDisableQuorumRemovesWindowAVotes(t *testing.T) {
+	// An edge-adjacent setup where only the quorum path can fire: pixel i
+	// has one pruned (zero) voter among four, so unanimity fails but
+	// 3-of-4 agreement holds. Construct by damaging a neighbor too.
+	vals := make([]uint32, 64)
+	for i := range vals {
+		vals[i] = 27000
+	}
+	// Flip the same high bit in pixels 30 and 32: pixel 30's XOR with 32
+	// clears the bit (both flipped), so only 3 of its 4 voters carry it.
+	vals[30] ^= 1 << 14
+	vals[32] ^= 1 << 14
+
+	full := correctTemporalOpt(vals, 4, 80, 16, voteOptions{})
+	if full[30]&(1<<14) == 0 || full[32]&(1<<14) == 0 {
+		t.Fatalf("quorum path should repair both twin flips: %#x %#x", full[30], full[32])
+	}
+	noQuorum := correctTemporalOpt(vals, 4, 80, 16, voteOptions{disableQuorum: true})
+	if noQuorum[30]&(1<<14) != 0 || noQuorum[32]&(1<<14) != 0 {
+		t.Fatalf("unanimous-only voting repaired twin flips it cannot see: %#x %#x", noQuorum[30], noQuorum[32])
+	}
+}
+
+func TestDisableCarryGuardAllowsCascadeFalseAlarms(t *testing.T) {
+	// Across many noisy series, removing the guard must produce more
+	// false-correction weight on clean data.
+	falseWeight := func(opt voteOptions) float64 {
+		var total float64
+		for trial := uint64(0); trial < 40; trial++ {
+			ideal := gaussianSeries(t, 400, 7000+trial)
+			vals := make([]uint32, len(ideal))
+			for i, v := range ideal {
+				vals[i] = uint32(v)
+			}
+			corr := correctTemporalOpt(vals, 4, 100, 16, opt)
+			for _, c := range corr {
+				total += float64(c)
+			}
+		}
+		return total
+	}
+	with := falseWeight(voteOptions{})
+	without := falseWeight(voteOptions{disableCarryGuard: true})
+	if without <= with {
+		t.Fatalf("carry guard shows no effect on clean data: with %v, without %v", with, without)
+	}
+}
+
+func TestOTISLocalityString(t *testing.T) {
+	if SpatialLocality.String() != "Spatial" || SpectralLocality.String() != "Spectral" {
+		t.Fatal("locality names wrong")
+	}
+	if OTISLocality(9).String() == "" {
+		t.Fatal("unknown locality should still format")
+	}
+}
+
+func TestOTISLocalityValidation(t *testing.T) {
+	bad := OTISConfig{Sensitivity: 50, Locality: OTISLocality(7)}
+	if _, err := NewAlgoOTIS(bad); err == nil {
+		t.Fatal("unknown locality should be invalid")
+	}
+}
+
+func TestSpectralLocalityBehaviour(t *testing.T) {
+	// Spectral voting cannot repair mantissa-scale flips: even on a grey
+	// body the radiance follows the Planck curve across bands, so
+	// band-to-band variation is 10-20% and the dynamic thresholds must
+	// leave a wide window C — the physics behind the paper's finding that
+	// spectral locality under-performs. What spectral mode must still do:
+	// leave clean data essentially untouched, and let the bounds pass
+	// repair unphysical samples.
+	cfg := synth.DefaultOTISConfig(synth.Blob)
+	sc, err := synth.NewOTISScene(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocfg := DefaultOTISConfig(sc.Wavelengths)
+	ocfg.Locality = SpectralLocality
+	a, err := NewAlgoOTIS(ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := sc.Cube.Clone()
+	a.ProcessCube(clean)
+	if psi := metrics.CubeError(clean, sc.Cube); psi > 0.01 {
+		t.Fatalf("spectral mode corrupted clean data: Psi = %.5f", psi)
+	}
+
+	damagedCube := sc.Cube.Clone()
+	i := 20*damagedCube.Width + 20
+	damagedCube.Band(3)[i] = float32(math.NaN())
+	damagedCube.Band(5)[i] = -4
+	a.ProcessCube(damagedCube)
+	for _, b := range []int{3, 5} {
+		v := float64(damagedCube.Band(b)[i])
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("band %d unphysical sample not repaired in spectral mode: %v", b, v)
+		}
+	}
+}
+
+func TestSpectralLocalityLosesOnNonGreyMaterial(t *testing.T) {
+	// The Section 7.1 comparison in miniature: with a quartz-like
+	// emissivity spectrum, spatial voting must beat spectral voting.
+	cfg := synth.DefaultOTISConfig(synth.Blob)
+	cfg.Spectrum = synth.QuartzLikeSpectrum(cfg.Bands)
+	sc, err := synth.NewOTISScene(cfg, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector := fault.Uncorrelated{Gamma0: 0.01}
+	psiFor := func(loc OTISLocality) float64 {
+		cube := sc.Cube.Clone()
+		injector.InjectCube(cube, rng.New(23))
+		ocfg := DefaultOTISConfig(sc.Wavelengths)
+		ocfg.Locality = loc
+		a, err := NewAlgoOTIS(ocfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.ProcessCube(cube)
+		return metrics.CubeError(cube, sc.Cube)
+	}
+	spatial := psiFor(SpatialLocality)
+	spectral := psiFor(SpectralLocality)
+	if spatial*2 >= spectral {
+		t.Fatalf("spatial (%.5g) not well below spectral (%.5g) on quartz-like material", spatial, spectral)
+	}
+}
+
+func TestSpectralNeighborMedianEdges(t *testing.T) {
+	c := dataset.NewCube(4, 1, 5)
+	for b := 0; b < 5; b++ {
+		plane := c.Band(b)
+		for i := range plane {
+			plane[i] = float32(100 * (b + 1))
+		}
+	}
+	// Band 0 has neighbors 1,2 only; the lower median of {200,300} is 200.
+	if got := spectralNeighborMedian(c, 0, 0); got != 200 {
+		t.Fatalf("edge spectral median = %v, want 200", got)
+	}
+	// Band 4 has neighbors 2,3: lower median 300.
+	if got := spectralNeighborMedian(c, 0, 4); got != 300 {
+		t.Fatalf("edge spectral median = %v, want 300", got)
+	}
+}
+
+// QuartzSpectrumSanity pins the synthesized spectrum shape the locality
+// tests rely on.
+func TestQuartzSpectrumShape(t *testing.T) {
+	spec := synth.QuartzLikeSpectrum(8)
+	if len(spec) != 8 {
+		t.Fatalf("len = %d", len(spec))
+	}
+	bands := physics.ThermalBands(8)
+	minIdx := 0
+	for i, e := range spec {
+		if e <= 0 || e > 1 {
+			t.Fatalf("spectrum[%d] = %v out of (0,1]", i, e)
+		}
+		if e < spec[minIdx] {
+			minIdx = i
+		}
+	}
+	if l := bands[minIdx]; l < 8.4e-6 || l > 9.6e-6 {
+		t.Fatalf("reststrahlen dip at %v m, want near 9e-6", l)
+	}
+}

@@ -1,0 +1,238 @@
+// Package crreject implements the onboard NGST application the
+// preprocessing layer feeds: cosmic-ray rejection over the multiple
+// non-destructive readouts of a baseline, producing the single integrated
+// image that is Rice-compressed and downlinked (Figure 1; Stockman/Fixsen
+// et al.'s CR-rejection algorithms [10-12]).
+//
+// A cosmic-ray hit deposits charge that persists in all subsequent
+// readouts, so it appears as a step in the temporal series of the struck
+// coordinate. The rejector detects steps against a robust (MAD-based)
+// estimate of the readout noise, removes them, and integrates the repaired
+// series.
+package crreject
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spaceproc/internal/dataset"
+)
+
+// Config parameterizes the rejector.
+type Config struct {
+	// Threshold is the step-detection level in robust sigma units.
+	Threshold float64
+	// SigmaFloor is the minimum noise estimate in counts, guarding
+	// against zero MAD on constant series.
+	SigmaFloor float64
+}
+
+// DefaultConfig returns the rejection parameters used by the pipeline.
+func DefaultConfig() Config {
+	return Config{Threshold: 5, SigmaFloor: 2}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Threshold <= 0 {
+		return fmt.Errorf("crreject: threshold must be positive, got %v", c.Threshold)
+	}
+	if c.SigmaFloor < 0 {
+		return fmt.Errorf("crreject: negative sigma floor %v", c.SigmaFloor)
+	}
+	return nil
+}
+
+// Stats summarizes one integration.
+type Stats struct {
+	// Hits is the number of pixels in which at least one cosmic-ray step
+	// was detected and removed.
+	Hits int
+	// Steps is the total number of steps removed (a pixel can be struck
+	// more than once per baseline).
+	Steps int
+}
+
+// Rejector integrates baselines with cosmic-ray step removal.
+type Rejector struct {
+	cfg Config
+}
+
+// New validates cfg and returns a Rejector.
+func New(cfg Config) (*Rejector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Rejector{cfg: cfg}, nil
+}
+
+// Integrate collapses a baseline stack into one image, removing cosmic-ray
+// steps per coordinate, and returns the image with rejection statistics.
+func (r *Rejector) Integrate(s *dataset.Stack) (*dataset.Image, Stats) {
+	w, h := s.Width(), s.Height()
+	out := dataset.NewImage(w, h)
+	var stats Stats
+	diffs := make([]float64, 0, s.Len())
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ser := s.SeriesAt(x, y)
+			v, steps := r.integrateSeries(ser, diffs[:0])
+			out.Set(x, y, v)
+			if steps > 0 {
+				stats.Hits++
+				stats.Steps += steps
+			}
+		}
+	}
+	return out, stats
+}
+
+// integrateSeries removes detected steps from one temporal series and
+// returns the integrated (mean) value plus the number of steps removed.
+func (r *Rejector) integrateSeries(ser dataset.Series, diffs []float64) (uint16, int) {
+	n := len(ser)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return ser[0], 0
+	}
+	vals := make([]float64, n)
+	for i, v := range ser {
+		vals[i] = float64(v)
+	}
+	for i := 1; i < n; i++ {
+		diffs = append(diffs, vals[i]-vals[i-1])
+	}
+	sigma := madSigma(diffs)
+	if sigma < r.cfg.SigmaFloor {
+		sigma = r.cfg.SigmaFloor
+	}
+	// Remove steps: subtract each detected jump from all later readouts,
+	// carrying a running offset so consecutive steps are each detected
+	// against the corrected predecessor.
+	steps := 0
+	var offset float64
+	for i := 1; i < n; i++ {
+		vals[i] -= offset
+		d := vals[i] - vals[i-1]
+		if math.Abs(d) > r.cfg.Threshold*sigma {
+			offset += d
+			vals[i] -= d
+			steps++
+		}
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if mean < 0 {
+		mean = 0
+	}
+	if mean > 0xFFFF {
+		mean = 0xFFFF
+	}
+	return uint16(mean + 0.5), steps
+}
+
+// IntegrateRamp collapses an up-the-ramp baseline (non-destructive
+// accumulating readouts; synth.Ramp mode) into one image of total
+// accumulated charge, removing cosmic-ray steps per coordinate. A cosmic
+// ray appears as one anomalously large inter-readout difference; the
+// estimator drops differences deviating from the per-series median rate by
+// more than the threshold and scales the surviving mean rate back to the
+// full baseline.
+func (r *Rejector) IntegrateRamp(s *dataset.Stack) (*dataset.Image, Stats) {
+	w, h := s.Width(), s.Height()
+	out := dataset.NewImage(w, h)
+	var stats Stats
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ser := s.SeriesAt(x, y)
+			v, steps := r.integrateRampSeries(ser)
+			out.Set(x, y, v)
+			if steps > 0 {
+				stats.Hits++
+				stats.Steps += steps
+			}
+		}
+	}
+	return out, stats
+}
+
+// integrateRampSeries estimates total accumulated charge for one ramp.
+func (r *Rejector) integrateRampSeries(ser dataset.Series) (uint16, int) {
+	n := len(ser)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return ser[0], 0
+	}
+	diffs := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		diffs = append(diffs, float64(ser[i])-float64(ser[i-1]))
+	}
+	med := medianInPlace(append([]float64(nil), diffs...))
+	sigma := madSigma(diffs)
+	if sigma < r.cfg.SigmaFloor {
+		sigma = r.cfg.SigmaFloor
+	}
+	var sum float64
+	var kept, steps int
+	for _, d := range diffs {
+		if math.Abs(d-med) > r.cfg.Threshold*sigma {
+			steps++
+			continue
+		}
+		sum += d
+		kept++
+	}
+	if kept == 0 {
+		// Every difference rejected: fall back to the raw last-minus-
+		// first estimate.
+		return clampCharge(float64(ser[n-1]) - float64(ser[0]) + float64(ser[0])), steps
+	}
+	rate := sum / float64(kept)
+	// Total charge = first readout plus the rate across the remaining
+	// n-1 intervals (the first readout already holds one interval).
+	total := float64(ser[0]) + rate*float64(n-1)
+	return clampCharge(total), steps
+}
+
+func clampCharge(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v + 0.5)
+}
+
+// madSigma estimates the standard deviation of diffs as 1.4826 * MAD,
+// robust to the steps themselves.
+func madSigma(diffs []float64) float64 {
+	if len(diffs) == 0 {
+		return 0
+	}
+	abs := make([]float64, len(diffs))
+	copy(abs, diffs)
+	med := medianInPlace(abs)
+	for i, v := range diffs {
+		abs[i] = math.Abs(v - med)
+	}
+	return 1.4826 * medianInPlace(abs)
+}
+
+// medianInPlace returns the median of v, reordering it.
+func medianInPlace(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}

@@ -1,0 +1,142 @@
+// Package downlink schedules compressed science products into
+// bandwidth-limited ground-station passes. The paper's Figure 1 pipeline
+// exists because "due to the limited downlink bandwidth constraints, this
+// processing has to be done onboard"; this package models the other side
+// of that constraint: once baselines are integrated and Rice-compressed,
+// which products fly on which pass?
+//
+// The policy is greedy by effective priority (declared priority plus an
+// aging bonus so low-priority products cannot starve), first-fit within
+// the pass budget.
+package downlink
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Product is one compressed science product awaiting downlink.
+type Product struct {
+	// ID names the product (e.g. "baseline_0042").
+	ID string
+	// Bytes is the compressed payload size.
+	Bytes int
+	// Priority is the declared importance; higher flies earlier.
+	Priority int
+
+	// age counts passes the product has waited; managed by the scheduler.
+	age int
+}
+
+// AgeBonus is the effective-priority increase per pass waited.
+const AgeBonus = 1
+
+// Scheduler holds the downlink queue.
+type Scheduler struct {
+	queue []Product
+	ids   map[string]bool
+}
+
+// NewScheduler returns an empty queue.
+func NewScheduler() *Scheduler {
+	return &Scheduler{ids: make(map[string]bool)}
+}
+
+// Errors.
+var (
+	// ErrDuplicateID rejects a product whose ID is already queued.
+	ErrDuplicateID = errors.New("downlink: duplicate product id")
+	// ErrBadProduct rejects empty or nonsensical products.
+	ErrBadProduct = errors.New("downlink: invalid product")
+)
+
+// Enqueue adds a product to the queue.
+func (s *Scheduler) Enqueue(p Product) error {
+	if p.ID == "" || p.Bytes <= 0 {
+		return fmt.Errorf("%w: id %q, %d bytes", ErrBadProduct, p.ID, p.Bytes)
+	}
+	if s.ids[p.ID] {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, p.ID)
+	}
+	p.age = 0
+	s.queue = append(s.queue, p)
+	s.ids[p.ID] = true
+	return nil
+}
+
+// Pending returns the number of queued products.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Pass is the outcome of one ground-station pass.
+type Pass struct {
+	// Sent lists the downlinked products in transmission order.
+	Sent []Product
+	// SentBytes is the total payload transmitted.
+	SentBytes int
+	// Deferred counts products left in the queue.
+	Deferred int
+	// Utilization is SentBytes over the pass budget (0 when budget 0).
+	Utilization float64
+}
+
+// effectivePriority is the aging-adjusted priority.
+func effectivePriority(p Product) int { return p.Priority + p.age*AgeBonus }
+
+// Plan selects products for a pass with the given byte budget, removes
+// them from the queue, and ages the rest. Selection is greedy: highest
+// effective priority first (ties: older first, then smaller first, then
+// lexical ID for determinism), taking every product that still fits.
+func (s *Scheduler) Plan(budgetBytes int) Pass {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	order := make([]int, len(s.queue))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := s.queue[order[a]], s.queue[order[b]]
+		ea, eb := effectivePriority(pa), effectivePriority(pb)
+		if ea != eb {
+			return ea > eb
+		}
+		if pa.age != pb.age {
+			return pa.age > pb.age
+		}
+		if pa.Bytes != pb.Bytes {
+			return pa.Bytes < pb.Bytes
+		}
+		return pa.ID < pb.ID
+	})
+
+	var pass Pass
+	taken := make(map[int]bool)
+	remaining := budgetBytes
+	for _, idx := range order {
+		p := s.queue[idx]
+		if p.Bytes > remaining {
+			continue
+		}
+		remaining -= p.Bytes
+		pass.Sent = append(pass.Sent, p)
+		pass.SentBytes += p.Bytes
+		taken[idx] = true
+	}
+
+	var rest []Product
+	for i, p := range s.queue {
+		if taken[i] {
+			delete(s.ids, p.ID)
+			continue
+		}
+		p.age++
+		rest = append(rest, p)
+	}
+	s.queue = rest
+	pass.Deferred = len(rest)
+	if budgetBytes > 0 {
+		pass.Utilization = float64(pass.SentBytes) / float64(budgetBytes)
+	}
+	return pass
+}

@@ -1,0 +1,166 @@
+// Package ecc implements SEC-DED (single-error-correct, double-error-
+// detect) Hamming protection for 16-bit pixel words — the hardware memory
+// redundancy the paper's introduction weighs against software schemes
+// ("hardware and software redundancy schemes, of which the former is often
+// prohibitively expensive").
+//
+// Each 16-bit word is stored as a 22-bit codeword (Hamming(21,16) plus an
+// overall parity bit): 37.5% storage overhead. A single flipped bit per
+// codeword is corrected exactly; two flips are detected but uncorrectable;
+// three or more can silently alias. The comparison experiment against
+// input preprocessing lives in the sweep package.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CodewordBits is the width of one protected word.
+const CodewordBits = 22
+
+// Overhead is the storage overhead of the code.
+const Overhead = float64(CodewordBits-16) / 16
+
+// Hamming bit layout: positions 1..21 (1-indexed), parity bits at powers
+// of two (1, 2, 4, 8, 16), data bits at the remaining positions, plus an
+// overall parity bit at position 0 of our packed representation.
+
+// dataPositions lists the codeword positions (1-indexed) holding data
+// bits, LSB-first.
+var dataPositions = [16]int{3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15, 17, 18, 19, 20, 21}
+
+// Encode packs a 16-bit word into a 22-bit SEC-DED codeword (stored in the
+// low bits of a uint32).
+func Encode(word uint16) uint32 {
+	var cw uint32
+	for i, pos := range dataPositions {
+		if word&(1<<uint(i)) != 0 {
+			cw |= 1 << uint(pos)
+		}
+	}
+	// Parity bits: parity bit at position p covers positions with bit p
+	// set in their index.
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		var parity uint32
+		for pos := 1; pos <= 21; pos++ {
+			if pos&p != 0 && cw&(1<<uint(pos)) != 0 {
+				parity ^= 1
+			}
+		}
+		if parity != 0 {
+			cw |= 1 << uint(p)
+		}
+	}
+	// Overall parity at bit 0 makes the whole codeword even.
+	if bits.OnesCount32(cw)%2 != 0 {
+		cw |= 1
+	}
+	return cw
+}
+
+// Result classifies one decode.
+type Result int
+
+// Decode outcomes.
+const (
+	// OK: no error detected.
+	OK Result = iota
+	// Corrected: a single-bit error was repaired.
+	Corrected
+	// Detected: a double-bit error was detected but not corrected.
+	Detected
+)
+
+// String names the outcome.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Decode recovers the data word from a possibly damaged codeword.
+func Decode(cw uint32) (uint16, Result) {
+	cw &= 1<<CodewordBits - 1
+	syndrome := 0
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		var parity uint32
+		for pos := 1; pos <= 21; pos++ {
+			if pos&p != 0 && cw&(1<<uint(pos)) != 0 {
+				parity ^= 1
+			}
+		}
+		if parity != 0 {
+			syndrome |= p
+		}
+	}
+	overallEven := bits.OnesCount32(cw)%2 == 0
+
+	res := OK
+	switch {
+	case syndrome == 0 && overallEven:
+		// Clean (or an undetectable multi-bit alias).
+	case syndrome != 0 && !overallEven:
+		// Single-bit error at the syndrome position (1..21); correct it.
+		if syndrome <= 21 {
+			cw ^= 1 << uint(syndrome)
+		}
+		res = Corrected
+	case syndrome == 0 && !overallEven:
+		// The overall parity bit itself flipped.
+		cw ^= 1
+		res = Corrected
+	default:
+		// syndrome != 0 with even overall parity: double-bit error.
+		res = Detected
+	}
+
+	var word uint16
+	for i, pos := range dataPositions {
+		if cw&(1<<uint(pos)) != 0 {
+			word |= 1 << uint(i)
+		}
+	}
+	return word, res
+}
+
+// Stats summarizes a protected-memory scrub.
+type Stats struct {
+	// Corrected counts single-bit repairs.
+	Corrected int
+	// Detected counts uncorrectable double-bit detections.
+	Detected int
+}
+
+// EncodeWords protects a word slice.
+func EncodeWords(words []uint16) []uint32 {
+	out := make([]uint32, len(words))
+	for i, w := range words {
+		out[i] = Encode(w)
+	}
+	return out
+}
+
+// DecodeWords recovers a protected slice, accumulating statistics.
+func DecodeWords(codewords []uint32) ([]uint16, Stats) {
+	out := make([]uint16, len(codewords))
+	var stats Stats
+	for i, cw := range codewords {
+		w, res := Decode(cw)
+		out[i] = w
+		switch res {
+		case Corrected:
+			stats.Corrected++
+		case Detected:
+			stats.Detected++
+		}
+	}
+	return out, stats
+}

@@ -1,0 +1,101 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spaceproc/internal/rng"
+)
+
+func TestRoundTripClean(t *testing.T) {
+	for _, w := range []uint16{0, 1, 0xFFFF, 0xAAAA, 0x5555, 27000} {
+		got, res := Decode(Encode(w))
+		if got != w || res != OK {
+			t.Fatalf("word %#x: got %#x, %v", w, got, res)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(w uint16) bool {
+		got, res := Decode(Encode(w))
+		return got == w && res == OK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBitAlwaysCorrected(t *testing.T) {
+	f := func(w uint16, bitRaw uint8) bool {
+		bit := int(bitRaw) % CodewordBits
+		cw := Encode(w) ^ (1 << uint(bit))
+		got, res := Decode(cw)
+		return got == w && res == Corrected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleBitDetected(t *testing.T) {
+	f := func(w uint16, aRaw, bRaw uint8) bool {
+		a := int(aRaw) % CodewordBits
+		b := int(bRaw) % CodewordBits
+		if a == b {
+			return true
+		}
+		cw := Encode(w) ^ (1 << uint(a)) ^ (1 << uint(b))
+		_, res := Decode(cw)
+		return res == Detected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for _, r := range []Result{OK, Corrected, Detected, Result(9)} {
+		if r.String() == "" {
+			t.Fatalf("Result(%d) unnamed", int(r))
+		}
+	}
+}
+
+func TestEncodeDecodeWords(t *testing.T) {
+	src := rng.New(1)
+	words := make([]uint16, 1000)
+	for i := range words {
+		words[i] = uint16(src.Uint32())
+	}
+	cws := EncodeWords(words)
+	// Flip one bit in 100 codewords, two bits in 50.
+	for i := 0; i < 100; i++ {
+		cws[i] ^= 1 << uint(src.Intn(CodewordBits))
+	}
+	for i := 100; i < 150; i++ {
+		a := src.Intn(CodewordBits)
+		b := (a + 1 + src.Intn(CodewordBits-1)) % CodewordBits
+		cws[i] ^= 1<<uint(a) | 1<<uint(b)
+	}
+	got, stats := DecodeWords(cws)
+	if stats.Corrected != 100 || stats.Detected != 50 {
+		t.Fatalf("stats %+v, want 100 corrected / 50 detected", stats)
+	}
+	for i := 150; i < 1000; i++ {
+		if got[i] != words[i] {
+			t.Fatalf("clean word %d corrupted", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if got[i] != words[i] {
+			t.Fatalf("single-flip word %d not corrected", i)
+		}
+	}
+}
+
+func TestOverheadConstant(t *testing.T) {
+	if Overhead != 0.375 {
+		t.Fatalf("overhead = %v", Overhead)
+	}
+}

@@ -1,0 +1,327 @@
+// Package fault implements the paper's two bit-flip fault models
+// (Section 2.2) and applies them to the reproduction's data containers.
+//
+// The uncorrelated model (Section 2.2.2) flips every bit independently with
+// a static probability Gamma0, modelling upsets at the source, in transit,
+// or in memory.
+//
+// The correlated model (Section 2.2.3) models spatially clustered memory
+// damage (particle strikes, polarization, power glitches): the probability
+// that a bit flips grows with the length R of the run of already-flipped
+// bits immediately preceding it, in both the horizontal and vertical
+// dimensions of the memory organization, taking the direction with the
+// longer run. Equation 2 gives the geometric form; see FlipProb for the
+// exact reconstruction used here.
+//
+// The package also implements the memory-interleaving countermeasure the
+// paper recommends in Section 8 ("storing the neighboring pixels using a
+// preset mapping into different physical regions in the memory
+// organization"), as a block Interleaver through which correlated faults
+// can be injected.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+)
+
+// Uncorrelated is the Section 2.2.2 fault model: every bit flips
+// independently with probability Gamma0.
+type Uncorrelated struct {
+	// Gamma0 is the per-bit flip probability in [0, 1].
+	Gamma0 float64
+}
+
+// Validate reports whether the model parameters are legal.
+func (m Uncorrelated) Validate() error {
+	if m.Gamma0 < 0 || m.Gamma0 > 1 {
+		return fmt.Errorf("fault: Gamma0 %v outside [0,1]", m.Gamma0)
+	}
+	return nil
+}
+
+// InjectWords16 flips bits of words in place and returns the number of
+// flips. It uses geometric gap sampling, so the cost is proportional to the
+// number of flips rather than the number of bits.
+func (m Uncorrelated) InjectWords16(words []uint16, src *rng.Source) int {
+	flips := 0
+	visit := func(bit int) {
+		words[bit/16] ^= 1 << uint(bit%16)
+		flips++
+	}
+	bernoulliPositions(len(words)*16, m.Gamma0, src, visit)
+	return flips
+}
+
+// InjectWords32 flips bits of 32-bit words in place and returns the number
+// of flips.
+func (m Uncorrelated) InjectWords32(words []uint32, src *rng.Source) int {
+	flips := 0
+	visit := func(bit int) {
+		words[bit/32] ^= 1 << uint(bit%32)
+		flips++
+	}
+	bernoulliPositions(len(words)*32, m.Gamma0, src, visit)
+	return flips
+}
+
+// InjectBytes flips bits of raw bytes in place (used for FITS headers) and
+// returns the number of flips.
+func (m Uncorrelated) InjectBytes(b []byte, src *rng.Source) int {
+	flips := 0
+	visit := func(bit int) {
+		b[bit/8] ^= 1 << uint(bit%8)
+		flips++
+	}
+	bernoulliPositions(len(b)*8, m.Gamma0, src, visit)
+	return flips
+}
+
+// InjectSeries flips bits of a temporal series in place.
+func (m Uncorrelated) InjectSeries(s dataset.Series, src *rng.Source) int {
+	return m.InjectWords16(s, src)
+}
+
+// InjectStack flips bits of every readout frame in place.
+func (m Uncorrelated) InjectStack(s *dataset.Stack, src *rng.Source) int {
+	total := 0
+	for _, f := range s.Frames {
+		total += m.InjectWords16(f.Pix, src)
+	}
+	return total
+}
+
+// InjectCube flips bits of the float32 payloads of a cube in place.
+func (m Uncorrelated) InjectCube(c *dataset.Cube, src *rng.Source) int {
+	words := float32Bits(c.Data)
+	n := m.InjectWords32(words, src)
+	bitsToFloat32(words, c.Data)
+	return n
+}
+
+// bernoulliPositions invokes visit for each position in [0, n) selected
+// independently with probability p, in increasing order. For p >= 1 every
+// position is visited; for p <= 0 none are.
+func bernoulliPositions(n int, p float64, src *rng.Source, visit func(int)) {
+	if p <= 0 || n == 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < n; i++ {
+			visit(i)
+		}
+		return
+	}
+	// Geometric gap sampling: the gap to the next success of a Bernoulli(p)
+	// process is floor(log(U)/log(1-p)).
+	logq := math.Log1p(-p)
+	i := 0
+	for {
+		u := src.Float64()
+		if u == 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		i += int(math.Log(u) / logq)
+		if i >= n {
+			return
+		}
+		visit(i)
+		i++
+	}
+}
+
+// Correlated is the Section 2.2.3 fault model. Bits are visited in raster
+// order over a 2-D bit grid; each bit flips with probability FlipProb(R)
+// where R is the longer of the horizontal and vertical runs of flipped bits
+// immediately preceding it.
+type Correlated struct {
+	// GammaIni is the base probability with which a fresh run initiates,
+	// in [0, 0.5) for the geometric series to stay below 1.
+	GammaIni float64
+}
+
+// Validate reports whether the model parameters are legal.
+func (m Correlated) Validate() error {
+	if m.GammaIni < 0 || m.GammaIni >= 0.5 {
+		return fmt.Errorf("fault: GammaIni %v outside [0,0.5)", m.GammaIni)
+	}
+	return nil
+}
+
+// FlipProb returns the flip probability for a bit preceded by a run of r
+// flipped bits.
+//
+// Reconstruction note: the printed equation 2 sums Gamma_ini^j for
+// j = 1..R, which is zero for R = 0 — under that literal reading no run
+// could ever start, contradicting the description of Gamma_ini as "the base
+// probability with which a fresh run initiates". We therefore take the run
+// count to include the candidate bit itself: FlipProb(r) =
+// sum_{j=1..r+1} Gamma_ini^j, so a fresh bit (r = 0) flips with probability
+// Gamma_ini and the infinite-run limit is Gamma_ini/(1-Gamma_ini) < 1 for
+// Gamma_ini < 0.5, exactly as the paper states.
+func (m Correlated) FlipProb(r int) float64 {
+	g := m.GammaIni
+	if g <= 0 {
+		return 0
+	}
+	// Closed form of the partial geometric sum: g*(1-g^(r+1))/(1-g).
+	return g * (1 - math.Pow(g, float64(r+1))) / (1 - g)
+}
+
+// InjectGrid16 injects correlated faults into words interpreted as a 2-D
+// bit grid with wordsPerRow 16-bit words per row. It returns the number of
+// flips. wordsPerRow must divide len(words) evenly and be positive.
+func (m Correlated) InjectGrid16(words []uint16, wordsPerRow int, src *rng.Source) (int, error) {
+	if wordsPerRow <= 0 || len(words)%wordsPerRow != 0 {
+		return 0, fmt.Errorf("fault: %d words do not form rows of %d", len(words), wordsPerRow)
+	}
+	cols := wordsPerRow * 16
+	rows := len(words) / wordsPerRow
+	flips := m.injectGrid(rows, cols, src, func(row, col int) {
+		w := row*wordsPerRow + col/16
+		words[w] ^= 1 << uint(col%16)
+	})
+	return flips, nil
+}
+
+// InjectGrid32 is InjectGrid16 for 32-bit payload words.
+func (m Correlated) InjectGrid32(words []uint32, wordsPerRow int, src *rng.Source) (int, error) {
+	if wordsPerRow <= 0 || len(words)%wordsPerRow != 0 {
+		return 0, fmt.Errorf("fault: %d words do not form rows of %d", len(words), wordsPerRow)
+	}
+	cols := wordsPerRow * 32
+	rows := len(words) / wordsPerRow
+	flips := m.injectGrid(rows, cols, src, func(row, col int) {
+		w := row*wordsPerRow + col/32
+		words[w] ^= 1 << uint(col%32)
+	})
+	return flips, nil
+}
+
+// injectGrid runs the raster-order run-aware process over a rows x cols bit
+// grid, calling flip for each flipped bit, and returns the flip count.
+func (m Correlated) injectGrid(rows, cols int, src *rng.Source, flip func(row, col int)) int {
+	if m.GammaIni <= 0 || rows == 0 || cols == 0 {
+		return 0
+	}
+	// vRun[c] is the length of the run of flipped bits directly above the
+	// current row in column c; hRun is the run to the left in this row.
+	vRun := make([]int, cols)
+	flips := 0
+	for r := 0; r < rows; r++ {
+		hRun := 0
+		for c := 0; c < cols; c++ {
+			run := hRun
+			if vRun[c] > run {
+				run = vRun[c]
+			}
+			if src.Bernoulli(m.FlipProb(run)) {
+				flip(r, c)
+				flips++
+				hRun++
+				vRun[c]++
+			} else {
+				hRun = 0
+				vRun[c] = 0
+			}
+		}
+	}
+	return flips
+}
+
+// InjectSeries injects correlated faults into a series laid out one pixel
+// word per memory row (the natural layout of a single coordinate's
+// temporal variants in a contiguous buffer).
+func (m Correlated) InjectSeries(s dataset.Series, src *rng.Source) (int, error) {
+	return m.InjectGrid16(s, 1, src)
+}
+
+// InjectStack injects correlated faults into every readout frame, using
+// the frame's natural row-major layout as the memory organization.
+func (m Correlated) InjectStack(s *dataset.Stack, src *rng.Source) (int, error) {
+	total := 0
+	for _, f := range s.Frames {
+		n, err := m.InjectGrid16(f.Pix, f.Width, src)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// InjectCube injects correlated faults into every spectral plane of a cube.
+func (m Correlated) InjectCube(c *dataset.Cube, src *rng.Source) (int, error) {
+	words := float32Bits(c.Data)
+	total := 0
+	plane := c.Width * c.Height
+	for b := 0; b < c.Bands; b++ {
+		n, err := m.InjectGrid32(words[b*plane:(b+1)*plane], c.Width, src)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	bitsToFloat32(words, c.Data)
+	return total, nil
+}
+
+// Burst is a contiguous block fault: a physical memory region of Length
+// words starting at Offset is hit, and every bit in it flips independently
+// with probability Density. It models the Section 8 scenario of "correlated
+// block faults occurring in contiguous regions in memory" — the case the
+// interleaved storage mapping defends against.
+type Burst struct {
+	// Offset is the first affected word.
+	Offset int
+	// Length is the number of affected words.
+	Length int
+	// Density is the per-bit flip probability inside the block.
+	Density float64
+}
+
+// Validate reports whether the burst parameters are legal.
+func (b Burst) Validate() error {
+	if b.Offset < 0 || b.Length < 0 {
+		return fmt.Errorf("fault: negative burst geometry (%d,%d)", b.Offset, b.Length)
+	}
+	if b.Density < 0 || b.Density > 1 {
+		return fmt.Errorf("fault: burst density %v outside [0,1]", b.Density)
+	}
+	return nil
+}
+
+// InjectWords16 applies the burst to words in place and returns the number
+// of flips. The burst is clipped to the buffer.
+func (b Burst) InjectWords16(words []uint16, src *rng.Source) int {
+	lo, hi := b.Offset, b.Offset+b.Length
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(words) {
+		hi = len(words)
+	}
+	if lo >= hi {
+		return 0
+	}
+	return Uncorrelated{Gamma0: b.Density}.InjectWords16(words[lo:hi], src)
+}
+
+// float32Bits returns the IEEE-754 bit patterns of data.
+func float32Bits(data []float32) []uint32 {
+	words := make([]uint32, len(data))
+	for i, v := range data {
+		words[i] = math.Float32bits(v)
+	}
+	return words
+}
+
+// bitsToFloat32 writes bit patterns back into dst.
+func bitsToFloat32(words []uint32, dst []float32) {
+	for i, w := range words {
+		dst[i] = math.Float32frombits(w)
+	}
+}

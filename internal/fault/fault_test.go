@@ -1,0 +1,481 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spaceproc/internal/bitutil"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+)
+
+func TestUncorrelatedValidate(t *testing.T) {
+	if err := (Uncorrelated{Gamma0: 0.5}).Validate(); err != nil {
+		t.Errorf("0.5 should be valid: %v", err)
+	}
+	if err := (Uncorrelated{Gamma0: -0.1}).Validate(); err == nil {
+		t.Error("negative Gamma0 should be invalid")
+	}
+	if err := (Uncorrelated{Gamma0: 1.1}).Validate(); err == nil {
+		t.Error("Gamma0 > 1 should be invalid")
+	}
+}
+
+func TestUncorrelatedFlipRate(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.5} {
+		words := make([]uint16, 20000)
+		n := Uncorrelated{Gamma0: p}.InjectWords16(words, rng.New(uint64(p*1e6)))
+		bits := float64(len(words) * 16)
+		got := float64(n) / bits
+		sigma := math.Sqrt(p * (1 - p) / bits)
+		if math.Abs(got-p) > 6*sigma {
+			t.Errorf("Gamma0=%v: observed flip rate %v beyond 6 sigma", p, got)
+		}
+		// Returned count must equal popcount of the damage.
+		total := 0
+		for _, w := range words {
+			total += bitutil.OnesCount16(w)
+		}
+		if total != n {
+			t.Errorf("Gamma0=%v: reported %d flips but %d bits set", p, n, total)
+		}
+	}
+}
+
+func TestUncorrelatedEdgeRates(t *testing.T) {
+	words := make([]uint16, 100)
+	if n := (Uncorrelated{Gamma0: 0}).InjectWords16(words, rng.New(1)); n != 0 {
+		t.Errorf("Gamma0=0 flipped %d bits", n)
+	}
+	if n := (Uncorrelated{Gamma0: 1}).InjectWords16(words, rng.New(1)); n != 1600 {
+		t.Errorf("Gamma0=1 flipped %d bits, want all 1600", n)
+	}
+	for _, w := range words {
+		if w != 0xFFFF {
+			t.Fatal("Gamma0=1 must flip every bit")
+		}
+	}
+}
+
+func TestUncorrelatedBytesAndWords32(t *testing.T) {
+	b := make([]byte, 8192)
+	n := Uncorrelated{Gamma0: 0.05}.InjectBytes(b, rng.New(2))
+	set := 0
+	for _, v := range b {
+		set += bitutil.OnesCount32(uint32(v))
+	}
+	if set != n {
+		t.Errorf("bytes: reported %d, set %d", n, set)
+	}
+	w := make([]uint32, 4096)
+	n32 := Uncorrelated{Gamma0: 0.05}.InjectWords32(w, rng.New(3))
+	set = 0
+	for _, v := range w {
+		set += bitutil.OnesCount32(v)
+	}
+	if set != n32 {
+		t.Errorf("words32: reported %d, set %d", n32, set)
+	}
+}
+
+func TestUncorrelatedInjectStack(t *testing.T) {
+	s := dataset.NewStack(4, 32, 32)
+	n := Uncorrelated{Gamma0: 0.02}.InjectStack(s, rng.New(4))
+	if n == 0 {
+		t.Fatal("no flips in a 64Ki-bit stack at 2%")
+	}
+	set := 0
+	for _, f := range s.Frames {
+		for _, w := range f.Pix {
+			set += bitutil.OnesCount16(w)
+		}
+	}
+	if set != n {
+		t.Errorf("reported %d, set %d", n, set)
+	}
+}
+
+func TestUncorrelatedInjectCubeRoundTrip(t *testing.T) {
+	c := dataset.NewCube(16, 16, 4)
+	for i := range c.Data {
+		c.Data[i] = float32(i) * 0.25
+	}
+	orig := c.Clone()
+	n := Uncorrelated{Gamma0: 0.01}.InjectCube(c, rng.New(5))
+	if n == 0 {
+		t.Fatal("expected some flips")
+	}
+	diff := 0
+	for i := range c.Data {
+		a := math.Float32bits(orig.Data[i])
+		b := math.Float32bits(c.Data[i])
+		diff += bitutil.OnesCount32(a ^ b)
+	}
+	if diff != n {
+		t.Errorf("reported %d flips, observed %d differing bits", n, diff)
+	}
+}
+
+func TestBernoulliPositionsOrderedUnique(t *testing.T) {
+	src := rng.New(6)
+	var got []int
+	bernoulliPositions(10000, 0.05, src, func(i int) { got = append(got, i) })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("positions not strictly increasing at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if len(got) == 0 || got[len(got)-1] >= 10000 {
+		t.Fatal("positions empty or out of range")
+	}
+}
+
+func TestCorrelatedValidate(t *testing.T) {
+	if err := (Correlated{GammaIni: 0.2}).Validate(); err != nil {
+		t.Errorf("0.2 should be valid: %v", err)
+	}
+	if err := (Correlated{GammaIni: 0.5}).Validate(); err == nil {
+		t.Error("0.5 should be invalid (series reaches 1)")
+	}
+	if err := (Correlated{GammaIni: -0.1}).Validate(); err == nil {
+		t.Error("negative should be invalid")
+	}
+}
+
+func TestFlipProb(t *testing.T) {
+	m := Correlated{GammaIni: 0.2}
+	if got := m.FlipProb(0); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("FlipProb(0) = %v, want GammaIni", got)
+	}
+	// Monotone increasing in run length, bounded by the geometric limit.
+	limit := 0.2 / 0.8
+	prev := 0.0
+	for r := 0; r < 50; r++ {
+		p := m.FlipProb(r)
+		if p <= prev && r > 0 && prev < limit-1e-9 {
+			t.Fatalf("FlipProb not increasing at r=%d: %v <= %v", r, p, prev)
+		}
+		if p >= limit+1e-12 {
+			t.Fatalf("FlipProb(%d) = %v exceeds limit %v", r, p, limit)
+		}
+		prev = p
+	}
+	if math.Abs(m.FlipProb(1000)-limit) > 1e-9 {
+		t.Errorf("FlipProb(inf) = %v, want %v", m.FlipProb(1000), limit)
+	}
+	if (Correlated{GammaIni: 0}).FlipProb(10) != 0 {
+		t.Error("zero GammaIni must never flip")
+	}
+}
+
+func TestCorrelatedFlipCount(t *testing.T) {
+	words := make([]uint16, 4096)
+	n, err := Correlated{GammaIni: 0.1}.InjectGrid16(words, 64, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := 0
+	for _, w := range words {
+		set += bitutil.OnesCount16(w)
+	}
+	if set != n {
+		t.Errorf("reported %d, set %d", n, set)
+	}
+	if n == 0 {
+		t.Fatal("expected flips at GammaIni=0.1")
+	}
+}
+
+func TestCorrelatedGeometryErrors(t *testing.T) {
+	words := make([]uint16, 10)
+	if _, err := (Correlated{GammaIni: 0.1}).InjectGrid16(words, 3, rng.New(1)); err == nil {
+		t.Error("non-dividing wordsPerRow should error")
+	}
+	if _, err := (Correlated{GammaIni: 0.1}).InjectGrid16(words, 0, rng.New(1)); err == nil {
+		t.Error("zero wordsPerRow should error")
+	}
+}
+
+func TestCorrelatedProducesLongerRunsThanUncorrelated(t *testing.T) {
+	// At a matched marginal flip rate, the correlated model must show a
+	// longer mean run length of flipped bits. Equation 2's escalation is
+	// geometrically bounded (GammaIni -> GammaIni/(1-GammaIni)), so the
+	// effect is only pronounced at high GammaIni; 0.4 escalates a run's
+	// extension probability from 0.4 to 0.67.
+	const rows, wordsPerRow = 1024, 8
+	corr := make([]uint16, rows*wordsPerRow)
+	nCorr, err := Correlated{GammaIni: 0.4}.InjectGrid16(corr, wordsPerRow, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(nCorr) / float64(len(corr)*16)
+
+	unc := make([]uint16, rows*wordsPerRow)
+	Uncorrelated{Gamma0: rate}.InjectWords16(unc, rng.New(9))
+
+	meanRun := func(words []uint16) float64 {
+		var runs, flips int
+		inRun := false
+		for _, w := range words {
+			for b := 0; b < 16; b++ {
+				if w&(1<<uint(b)) != 0 {
+					flips++
+					if !inRun {
+						runs++
+						inRun = true
+					}
+				} else {
+					inRun = false
+				}
+			}
+		}
+		if runs == 0 {
+			return 0
+		}
+		return float64(flips) / float64(runs)
+	}
+	mc, mu := meanRun(corr), meanRun(unc)
+	if mc <= mu*1.1 {
+		t.Errorf("correlated mean run %v not above uncorrelated %v", mc, mu)
+	}
+}
+
+func TestCorrelatedInjectHelpers(t *testing.T) {
+	s := make(dataset.Series, 64)
+	if _, err := (Correlated{GammaIni: 0.2}).InjectSeries(s, rng.New(10)); err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.NewStack(2, 16, 16)
+	if _, err := (Correlated{GammaIni: 0.2}).InjectStack(st, rng.New(11)); err != nil {
+		t.Fatal(err)
+	}
+	c := dataset.NewCube(8, 8, 2)
+	n, err := Correlated{GammaIni: 0.2}.InjectCube(c, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("cube injection produced no flips at GammaIni=0.2")
+	}
+}
+
+func TestInterleaverBijection(t *testing.T) {
+	f := func(nRaw, strideRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		stride := int(strideRaw)%n + 1
+		iv, err := NewInterleaver(n, stride)
+		if err != nil {
+			return false
+		}
+		logical := make([]uint16, n)
+		for i := range logical {
+			logical[i] = uint16(i)
+		}
+		phys, err := iv.Scatter(logical)
+		if err != nil {
+			return false
+		}
+		back, err := iv.Gather(phys)
+		if err != nil {
+			return false
+		}
+		for i := range back {
+			if back[i] != logical[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaverSeparatesNeighbors(t *testing.T) {
+	iv, err := NewInterleaver(1024, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find physical positions of logical 0 and 1: they must be far apart.
+	logical := make([]uint16, 1024)
+	logical[0], logical[1] = 1, 2
+	phys, err := iv.Scatter(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p0, p1 int
+	for i, v := range phys {
+		switch v {
+		case 1:
+			p0 = i
+		case 2:
+			p1 = i
+		}
+	}
+	if d := p1 - p0; d < 0 {
+		d = -d
+	} else if d < 16 {
+		t.Fatalf("neighbors only %d apart physically", d)
+	}
+}
+
+func TestInterleaverErrors(t *testing.T) {
+	if _, err := NewInterleaver(0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewInterleaver(10, 0); err == nil {
+		t.Error("stride=0 should error")
+	}
+	if _, err := NewInterleaver(10, 11); err == nil {
+		t.Error("stride>n should error")
+	}
+	iv, err := NewInterleaver(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iv.Scatter(make([]uint16, 9)); err == nil {
+		t.Error("length mismatch in Scatter should error")
+	}
+	if _, err := iv.Gather(make([]uint16, 11)); err == nil {
+		t.Error("length mismatch in Gather should error")
+	}
+}
+
+func TestInjectInterleavedPreservesFlipAccounting(t *testing.T) {
+	iv, err := NewInterleaver(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint16, 512)
+	n, err := iv.InjectInterleaved(Correlated{GammaIni: 0.15}, words, 16, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := 0
+	for _, w := range words {
+		set += bitutil.OnesCount16(w)
+	}
+	if set != n {
+		t.Errorf("reported %d flips, %d bits set after gather", n, set)
+	}
+}
+
+func TestCorrelatedBitLevelRunEscalation(t *testing.T) {
+	// The defining property of eq. 2: the probability that a bit flips,
+	// given its left neighbor flipped, exceeds the fresh-run probability.
+	const rows, wordsPerRow = 2048, 8
+	words := make([]uint16, rows*wordsPerRow)
+	m := Correlated{GammaIni: 0.3}
+	if _, err := m.InjectGrid16(words, wordsPerRow, rng.New(14)); err != nil {
+		t.Fatal(err)
+	}
+	bitAt := func(row, col int) bool {
+		w := words[row*wordsPerRow+col/16]
+		return w&(1<<uint(col%16)) != 0
+	}
+	cols := wordsPerRow * 16
+	var afterFlip, afterFlipFlipped, fresh, freshFlipped int
+	for r := 0; r < rows; r++ {
+		for c := 1; c < cols; c++ {
+			if bitAt(r, c-1) {
+				afterFlip++
+				if bitAt(r, c) {
+					afterFlipFlipped++
+				}
+			} else {
+				fresh++
+				if bitAt(r, c) {
+					freshFlipped++
+				}
+			}
+		}
+	}
+	pAfter := float64(afterFlipFlipped) / float64(afterFlip)
+	pFresh := float64(freshFlipped) / float64(fresh)
+	if pAfter <= pFresh+0.02 {
+		t.Errorf("no run escalation: P(flip|prev flipped)=%v vs P(flip|prev clean)=%v", pAfter, pFresh)
+	}
+	// And pAfter should not exceed the geometric limit.
+	if limit := 0.3 / 0.7; pAfter > limit+0.02 {
+		t.Errorf("escalated rate %v above geometric limit %v", pAfter, limit)
+	}
+}
+
+func TestBurstInject(t *testing.T) {
+	words := make([]uint16, 100)
+	b := Burst{Offset: 10, Length: 20, Density: 1}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := b.InjectWords16(words, rng.New(15))
+	if n != 20*16 {
+		t.Fatalf("full-density burst flipped %d bits, want 320", n)
+	}
+	for i, w := range words {
+		inside := i >= 10 && i < 30
+		if inside && w != 0xFFFF {
+			t.Fatalf("word %d inside burst = %#x", i, w)
+		}
+		if !inside && w != 0 {
+			t.Fatalf("word %d outside burst = %#x", i, w)
+		}
+	}
+	// Clipping.
+	words2 := make([]uint16, 8)
+	if n := (Burst{Offset: 6, Length: 10, Density: 1}).InjectWords16(words2, rng.New(16)); n != 2*16 {
+		t.Fatalf("clipped burst flipped %d bits, want 32", n)
+	}
+	if n := (Burst{Offset: 99, Length: 10, Density: 1}).InjectWords16(words2, rng.New(16)); n != 0 {
+		t.Fatalf("out-of-range burst flipped %d bits", n)
+	}
+	if err := (Burst{Offset: -1, Length: 2, Density: 0.5}).Validate(); err == nil {
+		t.Error("negative offset should be invalid")
+	}
+	if err := (Burst{Density: 1.5}).Validate(); err == nil {
+		t.Error("density > 1 should be invalid")
+	}
+}
+
+func TestInterleavingScattersBurstDamage(t *testing.T) {
+	// Section 8: under interleaved storage, a contiguous physical block
+	// fault must not produce a long run of damaged *logical* pixels — the
+	// neighbors preprocessing interpolates from stay intact.
+	const n = 4096
+	burst := Burst{Offset: 1000, Length: 256, Density: 0.8}
+
+	direct := make([]uint16, n)
+	burst.InjectWords16(direct, rng.New(17))
+	damagedRun := func(words []uint16) int {
+		d := make([]bool, len(words))
+		for i, w := range words {
+			d[i] = w != 0
+		}
+		return bitutil.LongestRun(d)
+	}
+	directRun := damagedRun(direct)
+
+	iv, err := NewInterleaver(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := make([]uint16, n)
+	phys, err := iv.Scatter(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst.InjectWords16(phys, rng.New(17))
+	back, err := iv.Gather(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interRun := damagedRun(back)
+
+	if directRun < 100 {
+		t.Fatalf("direct burst produced implausibly short damage run %d", directRun)
+	}
+	if interRun*10 > directRun {
+		t.Errorf("interleaving left a damage run of %d (direct: %d); expected order-of-magnitude scattering",
+			interRun, directRun)
+	}
+}

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"fmt"
+
+	"spaceproc/internal/rng"
+)
+
+// Interleaver implements the Section 8 countermeasure: a preset mapping
+// that scatters logically neighboring pixels into distant physical memory
+// regions, so that a correlated block fault in contiguous physical memory
+// does not destroy the temporal or spatial redundancy the preprocessing
+// algorithms rely on.
+//
+// It is a block interleaver: logical index l is stored at physical position
+// p such that logically adjacent words end up approximately n/stride words
+// apart.
+type Interleaver struct {
+	perm []int // perm[physical] = logical
+}
+
+// NewInterleaver builds an interleaver over n words with the given stride.
+// Stride 1 is the identity mapping.
+func NewInterleaver(n, stride int) (*Interleaver, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fault: interleaver size %d must be positive", n)
+	}
+	if stride <= 0 || stride > n {
+		return nil, fmt.Errorf("fault: interleaver stride %d outside [1,%d]", stride, n)
+	}
+	perm := make([]int, 0, n)
+	for r := 0; r < stride; r++ {
+		for c := r; c < n; c += stride {
+			perm = append(perm, c)
+		}
+	}
+	return &Interleaver{perm: perm}, nil
+}
+
+// Len returns the number of words the interleaver maps.
+func (iv *Interleaver) Len() int { return len(iv.perm) }
+
+// Scatter returns the physical layout of the logical words.
+func (iv *Interleaver) Scatter(logical []uint16) ([]uint16, error) {
+	if len(logical) != len(iv.perm) {
+		return nil, fmt.Errorf("fault: scatter length %d != interleaver size %d", len(logical), len(iv.perm))
+	}
+	physical := make([]uint16, len(logical))
+	for p, l := range iv.perm {
+		physical[p] = logical[l]
+	}
+	return physical, nil
+}
+
+// Gather inverts Scatter.
+func (iv *Interleaver) Gather(physical []uint16) ([]uint16, error) {
+	if len(physical) != len(iv.perm) {
+		return nil, fmt.Errorf("fault: gather length %d != interleaver size %d", len(physical), len(iv.perm))
+	}
+	logical := make([]uint16, len(physical))
+	for p, l := range iv.perm {
+		logical[l] = physical[p]
+	}
+	return logical, nil
+}
+
+// InjectInterleaved applies the correlated model to the physical image of
+// the logical words under the interleaver: it scatters, injects with
+// wordsPerRow words per physical memory row, and gathers back in place.
+// It returns the number of bit flips.
+func (iv *Interleaver) InjectInterleaved(m Correlated, logical []uint16, wordsPerRow int, src *rng.Source) (int, error) {
+	physical, err := iv.Scatter(logical)
+	if err != nil {
+		return 0, err
+	}
+	n, err := m.InjectGrid16(physical, wordsPerRow, src)
+	if err != nil {
+		return 0, err
+	}
+	back, err := iv.Gather(physical)
+	if err != nil {
+		return 0, err
+	}
+	copy(logical, back)
+	return n, nil
+}

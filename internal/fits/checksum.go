@@ -1,0 +1,100 @@
+package fits
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FITS checksum convention (Seaman et al.): DATASUM records the 32-bit
+// ones'-complement sum of the data unit as a decimal string. The full
+// CHECKSUM keyword additionally zeroes the whole HDU; this implementation
+// records and verifies DATASUM, which is what the reproduction needs —
+// *detection* of data-unit damage. Detection is the classic alternative
+// the paper's preprocessing goes beyond: a checksum can tell you the data
+// is damaged but cannot repair it, while the voter both finds and fixes
+// the flipped bits.
+
+// onesComplementSum32 computes the ones'-complement 32-bit sum of data,
+// padding with zeros to a multiple of 4.
+func onesComplementSum32(data []byte) uint32 {
+	var sum uint64
+	n := len(data)
+	for i := 0; i+4 <= n; i += 4 {
+		word := uint64(data[i])<<24 | uint64(data[i+1])<<16 | uint64(data[i+2])<<8 | uint64(data[i+3])
+		sum += word
+		// Fold carries eagerly so the accumulator never overflows.
+		sum = (sum & 0xFFFFFFFF) + (sum >> 32)
+	}
+	if rem := n % 4; rem != 0 {
+		var word uint64
+		for i := 0; i < 4; i++ {
+			word <<= 8
+			if n-rem+i < n {
+				word |= uint64(data[n-rem+i])
+			}
+		}
+		sum += word
+		sum = (sum & 0xFFFFFFFF) + (sum >> 32)
+	}
+	for sum>>32 != 0 {
+		sum = (sum & 0xFFFFFFFF) + (sum >> 32)
+	}
+	return uint32(sum)
+}
+
+// WithDataSum returns a copy of the single-HDU FITS stream raw with a
+// DATASUM card recording the data unit's checksum. The header must have
+// room for one more card in its block (true for every header this package
+// writes).
+func WithDataSum(raw []byte) ([]byte, error) {
+	f, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	sum := onesComplementSum32(f.Raw)
+
+	out := append([]byte(nil), raw...)
+	// Find the END card and insert DATASUM before it.
+	endOff := -1
+	for off := 0; off+CardSize <= len(out); off += CardSize {
+		kw := strings.TrimRight(string(out[off:off+8]), " ")
+		if kw == "END" {
+			endOff = off
+			break
+		}
+	}
+	if endOff < 0 {
+		return nil, fmt.Errorf("%w: no END card", ErrBadHeader)
+	}
+	// The card after END must still be inside the same header block for
+	// an in-place insertion (no data shifting).
+	if (endOff+2*CardSize-1)/BlockSize != endOff/BlockSize {
+		return nil, fmt.Errorf("fits: no room for DATASUM in the header block")
+	}
+	card := Card{Keyword: "DATASUM", Value: fmt.Sprintf("'%d'", sum), Comment: "ones'-complement data sum"}
+	copy(out[endOff:endOff+CardSize], formatCard(card))
+	copy(out[endOff+CardSize:endOff+2*CardSize], padCard("END"))
+	return out, nil
+}
+
+// VerifyDataSum checks the data unit of a single-HDU stream against its
+// DATASUM card. It returns (true, nil) on a match, (false, nil) on a
+// mismatch (damage detected), and an error when the stream has no usable
+// DATASUM to check.
+func VerifyDataSum(raw []byte) (bool, error) {
+	f, err := Decode(raw)
+	if err != nil {
+		return false, err
+	}
+	v, ok := f.Header.Get("DATASUM")
+	if !ok {
+		return false, fmt.Errorf("fits: no DATASUM card")
+	}
+	v = strings.Trim(strings.TrimSpace(v), "'")
+	want, err := strconv.ParseUint(strings.TrimSpace(v), 10, 32)
+	if err != nil {
+		return false, fmt.Errorf("fits: unparseable DATASUM %q", v)
+	}
+	return onesComplementSum32(f.Raw) == uint32(want), nil
+}

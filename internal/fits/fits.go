@@ -1,0 +1,309 @@
+// Package fits implements the subset of the Flexible Image Transport
+// System (NOST 100-2.0) that the NGST benchmark stores its readouts in: a
+// primary HDU with 16-bit integer or 32-bit floating point data, plus the
+// header sanity analysis that the paper's preprocessing performs even at
+// null sensitivity (Section 3.2: "at null sensitivity the algorithm does
+// nothing but a simple sanity analysis of the FITS header").
+//
+// Section 2.2.1 motivates why: the master and slave nodes decode the header
+// to interpret the data unit, so a single bit flip in NAXIS or BITPIX can
+// corrupt the interpretation of the entire data unit — a catastrophic
+// failure mode that value-level preprocessing of the pixels cannot catch.
+package fits
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"spaceproc/internal/dataset"
+)
+
+// Format constants from the FITS standard.
+const (
+	// BlockSize is the FITS logical record length in bytes.
+	BlockSize = 2880
+	// CardSize is the length of one header card in bytes.
+	CardSize = 80
+	// CardsPerBlock is the number of cards in one header block.
+	CardsPerBlock = BlockSize / CardSize
+)
+
+// Supported BITPIX values.
+const (
+	// BitpixInt16 stores 16-bit big-endian two's-complement integers.
+	BitpixInt16 = 16
+	// BitpixFloat32 stores IEEE-754 big-endian 32-bit floats.
+	BitpixFloat32 = -32
+)
+
+// bzeroUint16 is the conventional offset that maps unsigned 16-bit pixels
+// onto FITS signed 16-bit storage.
+const bzeroUint16 = 32768
+
+// Card is a single 80-byte header record.
+type Card struct {
+	// Keyword is the card name, at most 8 characters, upper case.
+	Keyword string
+	// Value is the formatted value field (already in FITS fixed format),
+	// empty for commentary cards.
+	Value string
+	// Comment is the optional comment text.
+	Comment string
+}
+
+// Header is an ordered list of cards ending implicitly with END.
+type Header struct {
+	Cards []Card
+}
+
+// Get returns the value of the first card with the given keyword.
+func (h *Header) Get(keyword string) (string, bool) {
+	for _, c := range h.Cards {
+		if c.Keyword == keyword {
+			return c.Value, true
+		}
+	}
+	return "", false
+}
+
+// GetInt parses the named card as an integer.
+func (h *Header) GetInt(keyword string) (int64, error) {
+	v, ok := h.Get(keyword)
+	if !ok {
+		return 0, fmt.Errorf("fits: missing keyword %s", keyword)
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fits: keyword %s: %w", keyword, err)
+	}
+	return n, nil
+}
+
+// Set replaces the value of the first card with the keyword, or appends a
+// new card.
+func (h *Header) Set(keyword, value, comment string) {
+	for i, c := range h.Cards {
+		if c.Keyword == keyword {
+			h.Cards[i].Value = value
+			if comment != "" {
+				h.Cards[i].Comment = comment
+			}
+			return
+		}
+	}
+	h.Cards = append(h.Cards, Card{Keyword: keyword, Value: value, Comment: comment})
+}
+
+// File is a decoded single-HDU FITS file.
+type File struct {
+	Header Header
+	// Bitpix is the storage type of Data.
+	Bitpix int
+	// Axes holds NAXIS1..NAXISn.
+	Axes []int
+	// Raw is the data unit, big-endian, without block padding.
+	Raw []byte
+}
+
+// EncodeImage builds a FITS file holding a 16-bit image using the
+// BZERO=32768 unsigned convention.
+func EncodeImage(im *dataset.Image) []byte {
+	var h Header
+	h.Set("SIMPLE", "T", "conforms to FITS standard")
+	h.Set("BITPIX", strconv.Itoa(BitpixInt16), "16-bit signed storage")
+	h.Set("NAXIS", "2", "two-dimensional image")
+	h.Set("NAXIS1", strconv.Itoa(im.Width), "row length")
+	h.Set("NAXIS2", strconv.Itoa(im.Height), "number of rows")
+	h.Set("BZERO", strconv.Itoa(bzeroUint16), "unsigned 16-bit convention")
+	h.Set("BSCALE", "1", "")
+
+	data := make([]byte, len(im.Pix)*2)
+	for i, p := range im.Pix {
+		binary.BigEndian.PutUint16(data[i*2:], uint16(int32(p)-bzeroUint16))
+	}
+	return assemble(h, data)
+}
+
+// EncodeCube builds a FITS file holding a float32 radiance cube.
+func EncodeCube(c *dataset.Cube) []byte {
+	var h Header
+	h.Set("SIMPLE", "T", "conforms to FITS standard")
+	h.Set("BITPIX", strconv.Itoa(BitpixFloat32), "IEEE-754 32-bit floats")
+	h.Set("NAXIS", "3", "radiance cube")
+	h.Set("NAXIS1", strconv.Itoa(c.Width), "samples per row")
+	h.Set("NAXIS2", strconv.Itoa(c.Height), "rows")
+	h.Set("NAXIS3", strconv.Itoa(c.Bands), "spectral bands")
+
+	data := make([]byte, len(c.Data)*4)
+	for i, v := range c.Data {
+		binary.BigEndian.PutUint32(data[i*4:], math.Float32bits(v))
+	}
+	return assemble(h, data)
+}
+
+// assemble renders the header cards plus END and pads header and data to
+// block boundaries.
+func assemble(h Header, data []byte) []byte {
+	var b strings.Builder
+	for _, c := range h.Cards {
+		b.WriteString(formatCard(c))
+	}
+	b.WriteString(padCard("END"))
+	for b.Len()%BlockSize != 0 {
+		b.WriteString(strings.Repeat(" ", CardSize))
+	}
+	out := []byte(b.String())
+	out = append(out, data...)
+	for len(out)%BlockSize != 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func formatCard(c Card) string {
+	kw := fmt.Sprintf("%-8s", c.Keyword)
+	body := kw + "= " + fmt.Sprintf("%20s", c.Value)
+	if c.Comment != "" {
+		body += " / " + c.Comment
+	}
+	return padCard(body)
+}
+
+func padCard(s string) string {
+	if len(s) > CardSize {
+		return s[:CardSize]
+	}
+	return s + strings.Repeat(" ", CardSize-len(s))
+}
+
+// Errors returned by Decode.
+var (
+	// ErrTruncated indicates the byte stream is shorter than its header
+	// declares.
+	ErrTruncated = errors.New("fits: truncated file")
+	// ErrBadHeader indicates the header is structurally unusable.
+	ErrBadHeader = errors.New("fits: unusable header")
+)
+
+// Decode parses a single-HDU FITS byte stream.
+func Decode(raw []byte) (*File, error) {
+	h, hdrLen, err := decodeHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Header: *h}
+
+	bp, err := h.GetInt("BITPIX")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if bp != BitpixInt16 && bp != BitpixFloat32 {
+		return nil, fmt.Errorf("%w: unsupported BITPIX %d", ErrBadHeader, bp)
+	}
+	f.Bitpix = int(bp)
+
+	naxis, err := h.GetInt("NAXIS")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if naxis < 1 || naxis > 9 {
+		return nil, fmt.Errorf("%w: NAXIS %d out of range", ErrBadHeader, naxis)
+	}
+	elems := 1
+	for i := 1; i <= int(naxis); i++ {
+		n, err := h.GetInt("NAXIS" + strconv.Itoa(i))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+		}
+		if n <= 0 || n > 1<<20 {
+			return nil, fmt.Errorf("%w: NAXIS%d = %d out of range", ErrBadHeader, i, n)
+		}
+		f.Axes = append(f.Axes, int(n))
+		elems *= int(n)
+	}
+
+	bytesPer := int(bp)
+	if bytesPer < 0 {
+		bytesPer = -bytesPer
+	}
+	bytesPer /= 8
+	need := elems * bytesPer
+	if len(raw) < hdrLen+need {
+		return nil, fmt.Errorf("%w: need %d data bytes, have %d", ErrTruncated, need, len(raw)-hdrLen)
+	}
+	f.Raw = raw[hdrLen : hdrLen+need]
+	return f, nil
+}
+
+// decodeHeader parses cards until END, returning the header and the offset
+// of the data unit (the end of the END card's block).
+func decodeHeader(raw []byte) (*Header, int, error) {
+	var h Header
+	for off := 0; off+CardSize <= len(raw); off += CardSize {
+		card := string(raw[off : off+CardSize])
+		kw := strings.TrimRight(card[:8], " ")
+		if kw == "END" {
+			dataStart := ((off + CardSize + BlockSize - 1) / BlockSize) * BlockSize
+			if dataStart > len(raw) {
+				return nil, 0, ErrTruncated
+			}
+			return &h, dataStart, nil
+		}
+		if kw == "" {
+			continue
+		}
+		c := Card{Keyword: kw}
+		if len(card) > 10 && card[8] == '=' && card[9] == ' ' {
+			rest := card[10:]
+			if idx := strings.Index(rest, " / "); idx >= 0 {
+				c.Value = strings.TrimSpace(rest[:idx])
+				c.Comment = strings.TrimRight(rest[idx+3:], " ")
+			} else {
+				c.Value = strings.TrimSpace(rest)
+			}
+		} else {
+			c.Comment = strings.TrimRight(card[8:], " ")
+		}
+		h.Cards = append(h.Cards, c)
+	}
+	return nil, 0, fmt.Errorf("%w: no END card", ErrBadHeader)
+}
+
+// Image reconstructs a 16-bit image from a decoded file.
+func (f *File) Image() (*dataset.Image, error) {
+	if f.Bitpix != BitpixInt16 || len(f.Axes) != 2 {
+		return nil, fmt.Errorf("fits: not a 2-D 16-bit image (BITPIX %d, %d axes)", f.Bitpix, len(f.Axes))
+	}
+	im := dataset.NewImage(f.Axes[0], f.Axes[1])
+	var bzero int64
+	if bz, err := f.Header.GetInt("BZERO"); err == nil {
+		bzero = bz
+	}
+	for i := range im.Pix {
+		v := int64(int16(binary.BigEndian.Uint16(f.Raw[i*2:]))) + bzero
+		if v < 0 {
+			v = 0
+		}
+		if v > 0xFFFF {
+			v = 0xFFFF
+		}
+		im.Pix[i] = uint16(v)
+	}
+	return im, nil
+}
+
+// Cube reconstructs a float32 cube from a decoded file.
+func (f *File) Cube() (*dataset.Cube, error) {
+	if f.Bitpix != BitpixFloat32 || len(f.Axes) != 3 {
+		return nil, fmt.Errorf("fits: not a 3-D float cube (BITPIX %d, %d axes)", f.Bitpix, len(f.Axes))
+	}
+	c := dataset.NewCube(f.Axes[0], f.Axes[1], f.Axes[2])
+	for i := range c.Data {
+		c.Data[i] = math.Float32frombits(binary.BigEndian.Uint32(f.Raw[i*4:]))
+	}
+	return c, nil
+}

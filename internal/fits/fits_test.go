@@ -1,0 +1,350 @@
+package fits
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+)
+
+func testImage(t *testing.T, w, h int, seed uint64) *dataset.Image {
+	t.Helper()
+	im := dataset.NewImage(w, h)
+	src := rng.New(seed)
+	for i := range im.Pix {
+		im.Pix[i] = uint16(src.Uint32())
+	}
+	return im
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	im := testImage(t, 37, 21, 1)
+	raw := EncodeImage(im)
+	if len(raw)%BlockSize != 0 {
+		t.Fatalf("file length %d not block-aligned", len(raw))
+	}
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := f.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != 37 || back.Height != 21 {
+		t.Fatalf("geometry %dx%d", back.Width, back.Height)
+	}
+	for i := range im.Pix {
+		if im.Pix[i] != back.Pix[i] {
+			t.Fatalf("pixel %d: %d != %d", i, im.Pix[i], back.Pix[i])
+		}
+	}
+}
+
+func TestImageRoundTripExtremes(t *testing.T) {
+	im := dataset.NewImage(4, 1)
+	im.Pix = []uint16{0, 1, 32768, 65535}
+	f, err := Decode(EncodeImage(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := f.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if im.Pix[i] != back.Pix[i] {
+			t.Fatalf("extreme pixel %d: %d != %d", i, im.Pix[i], back.Pix[i])
+		}
+	}
+}
+
+func TestCubeRoundTrip(t *testing.T) {
+	c := dataset.NewCube(9, 7, 3)
+	src := rng.New(2)
+	for i := range c.Data {
+		c.Data[i] = float32(src.Normal(1e7, 3e6))
+	}
+	f, err := Decode(EncodeCube(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := f.Cube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != 9 || back.Height != 7 || back.Bands != 3 {
+		t.Fatalf("geometry %dx%dx%d", back.Width, back.Height, back.Bands)
+	}
+	for i := range c.Data {
+		if c.Data[i] != back.Data[i] {
+			t.Fatalf("sample %d: %v != %v", i, c.Data[i], back.Data[i])
+		}
+	}
+}
+
+func TestHeaderAccessors(t *testing.T) {
+	var h Header
+	h.Set("NAXIS", "2", "axes")
+	h.Set("NAXIS", "3", "")
+	if v, ok := h.Get("NAXIS"); !ok || v != "3" {
+		t.Fatalf("Get after Set-overwrite = %q,%v", v, ok)
+	}
+	if len(h.Cards) != 1 {
+		t.Fatalf("Set duplicated the card: %d cards", len(h.Cards))
+	}
+	if _, ok := h.Get("MISSING"); ok {
+		t.Fatal("Get on missing keyword returned ok")
+	}
+	if _, err := h.GetInt("MISSING"); err == nil {
+		t.Fatal("GetInt on missing keyword should error")
+	}
+	h.Set("BAD", "xyz", "")
+	if _, err := h.GetInt("BAD"); err == nil {
+		t.Fatal("GetInt on non-integer should error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("garbage")); err == nil {
+		t.Error("garbage should not decode")
+	}
+	im := testImage(t, 8, 8, 3)
+	raw := EncodeImage(im)
+	if _, err := Decode(raw[:BlockSize]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated data: err = %v, want ErrTruncated", err)
+	}
+	// No END card at all.
+	noEnd := []byte(strings.Repeat(" ", 2*BlockSize))
+	if _, err := Decode(noEnd); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("no END: err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestDecodeRejectsBadGeometry(t *testing.T) {
+	var h Header
+	h.Set("SIMPLE", "T", "")
+	h.Set("BITPIX", "16", "")
+	h.Set("NAXIS", "2", "")
+	h.Set("NAXIS1", "0", "")
+	h.Set("NAXIS2", "4", "")
+	raw := assemble(h, make([]byte, 0))
+	if _, err := Decode(raw); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("zero axis: err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestImageWrongShape(t *testing.T) {
+	c := dataset.NewCube(4, 4, 2)
+	f, err := Decode(EncodeCube(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Image(); err == nil {
+		t.Error("Image() on a cube file should error")
+	}
+	im := testImage(t, 4, 4, 4)
+	f2, err := Decode(EncodeImage(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Cube(); err == nil {
+		t.Error("Cube() on an image file should error")
+	}
+}
+
+func TestSanityCleanHeaderNoIssues(t *testing.T) {
+	raw := EncodeImage(testImage(t, 16, 16, 5))
+	rep, out := SanityCheck(raw)
+	if len(rep.Issues) != 0 || rep.Fatal {
+		t.Fatalf("clean header produced issues: %+v", rep)
+	}
+	if string(out) != string(raw) {
+		t.Fatal("clean header was modified")
+	}
+}
+
+func TestSanityRepairsDamagedKeyword(t *testing.T) {
+	raw := EncodeImage(testImage(t, 16, 16, 6))
+	// Find the NAXIS1 card and flip one bit in its keyword.
+	idx := strings.Index(string(raw[:BlockSize]), "NAXIS1")
+	if idx < 0 {
+		t.Fatal("NAXIS1 card not found")
+	}
+	damaged := append([]byte(nil), raw...)
+	damaged[idx] ^= 0x02 // 'N' -> 'L'
+	if _, err := Decode(damaged); err == nil {
+		t.Fatal("damage did not break decoding; test is vacuous")
+	}
+	rep, out := SanityCheck(damaged)
+	if rep.Fatal {
+		t.Fatalf("repair failed: %+v", rep.Issues)
+	}
+	found := false
+	for _, is := range rep.Issues {
+		if is.Kind == IssueDamagedKeyword && is.Repaired {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no keyword repair recorded: %+v", rep.Issues)
+	}
+	if _, err := Decode(out); err != nil {
+		t.Fatalf("repaired header still undecodable: %v", err)
+	}
+}
+
+func TestSanityRepairsIllegalBitpix(t *testing.T) {
+	raw := EncodeImage(testImage(t, 16, 16, 7))
+	hdr := string(raw[:BlockSize])
+	idx := strings.Index(hdr, "BITPIX")
+	if idx < 0 {
+		t.Fatal("BITPIX card not found")
+	}
+	// The value field is right-aligned in columns 10..30 of the card;
+	// find the "16" and damage the '1' (0x31 -> 0x33 = '3', yielding 36).
+	card := raw[idx : idx+CardSize]
+	vIdx := strings.Index(string(card), "  16")
+	if vIdx < 0 {
+		t.Fatal("BITPIX value not found")
+	}
+	damaged := append([]byte(nil), raw...)
+	damaged[idx+vIdx+2] ^= 0x02
+	rep, out := SanityCheck(damaged)
+	fixed := false
+	for _, is := range rep.Issues {
+		if is.Kind == IssueIllegalBitpix && is.Repaired {
+			fixed = true
+		}
+	}
+	if !fixed {
+		t.Fatalf("illegal BITPIX not repaired: %+v", rep.Issues)
+	}
+	f, err := Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bitpix != BitpixInt16 {
+		t.Fatalf("repaired BITPIX = %d, want 16", f.Bitpix)
+	}
+}
+
+func TestSanityRepairsAxisFromDataLength(t *testing.T) {
+	raw := EncodeImage(testImage(t, 32, 16, 8))
+	hdr := string(raw[:BlockSize])
+	idx := strings.Index(hdr, "NAXIS2")
+	if idx < 0 {
+		t.Fatal("NAXIS2 card not found")
+	}
+	card := raw[idx : idx+CardSize]
+	vIdx := strings.LastIndex(string(card[:31]), "16")
+	if vIdx < 0 {
+		t.Fatal("NAXIS2 value not found")
+	}
+	damaged := append([]byte(nil), raw...)
+	damaged[idx+vIdx] = '9' // 16 -> 96
+
+	// Without application knowledge the padding window admits many axis
+	// values, so the damage is flagged but not repaired.
+	repBlind, _ := SanityCheck(damaged)
+	for _, is := range repBlind.Issues {
+		if is.Kind == IssueGeometryMismatch && is.Repaired {
+			t.Fatalf("blind sanity check should not guess an ambiguous repair: %+v", is)
+		}
+	}
+
+	// With the application's expected tile geometry the repair is exact.
+	rep, out := SanityCheck(damaged, WithExpectedAxes(32, 16))
+	fixed := false
+	for _, is := range rep.Issues {
+		if is.Kind == IssueGeometryMismatch && is.Repaired {
+			fixed = true
+		}
+	}
+	if !fixed {
+		t.Fatalf("axis damage not repaired: %+v", rep.Issues)
+	}
+	f, err := Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Axes[0] != 32 || f.Axes[1] != 16 {
+		t.Fatalf("repaired geometry %v, want [32 16]", f.Axes)
+	}
+}
+
+func TestSanityRepairsNonPrintable(t *testing.T) {
+	raw := EncodeImage(testImage(t, 8, 8, 9))
+	damaged := append([]byte(nil), raw...)
+	// Set the high bit of a comment byte in the SIMPLE card.
+	idx := strings.Index(string(raw[:BlockSize]), "conforms")
+	if idx < 0 {
+		t.Fatal("comment not found")
+	}
+	damaged[idx] |= 0x80
+	rep, out := SanityCheck(damaged)
+	if rep.Fatal {
+		t.Fatal("non-printable byte made header fatal")
+	}
+	found := false
+	for _, is := range rep.Issues {
+		if is.Kind == IssueNonPrintable && is.Repaired {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-printable byte not reported: %+v", rep.Issues)
+	}
+	if _, err := Decode(out); err != nil {
+		t.Fatalf("repaired header undecodable: %v", err)
+	}
+}
+
+func TestSanityFatalOnUnrepairable(t *testing.T) {
+	rep, _ := SanityCheck([]byte(strings.Repeat("\x00", BlockSize)))
+	if !rep.Fatal {
+		t.Fatal("all-zero header should be fatal")
+	}
+}
+
+func TestNearestKeyword(t *testing.T) {
+	if kw, changed := nearestKeyword("SIMPLE"); changed || kw != "SIMPLE" {
+		t.Errorf("exact keyword changed: %q %v", kw, changed)
+	}
+	if kw, changed := nearestKeyword("SIMPLF"); !changed || kw != "SIMPLE" {
+		t.Errorf("1-bit damage not repaired: %q %v", kw, changed)
+	}
+	if _, changed := nearestKeyword("QQQQQQ"); changed {
+		t.Error("garbage keyword should not be force-mapped")
+	}
+}
+
+func TestIssueKindString(t *testing.T) {
+	kinds := []IssueKind{IssueNonPrintable, IssueDamagedKeyword, IssueIllegalBitpix, IssueGeometryMismatch, IssueBadValue, IssueKind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+}
+
+func TestSanitySurvivesRandomHeaderFlips(t *testing.T) {
+	// Fuzz-ish: random single-bit header damage must never panic and must
+	// either repair or flag fatal.
+	raw := EncodeImage(testImage(t, 16, 16, 10))
+	src := rng.New(11)
+	for trial := 0; trial < 200; trial++ {
+		damaged := append([]byte(nil), raw...)
+		bit := src.Intn(BlockSize * 8)
+		damaged[bit/8] ^= 1 << uint(bit%8)
+		rep, out := SanityCheck(damaged)
+		if !rep.Fatal {
+			if _, err := Decode(out); err != nil {
+				// Repairs that pass sanity must decode.
+				t.Fatalf("trial %d: non-fatal report but decode failed: %v", trial, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package fits
+
+import (
+	"testing"
+
+	"spaceproc/internal/dataset"
+)
+
+// FuzzDecode asserts the FITS parser never panics on arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	im := dataset.NewImage(8, 8)
+	f.Add([]byte{})
+	f.Add([]byte("SIMPLE  =                    T"))
+	f.Add(EncodeImage(im))
+	f.Add(EncodeCube(dataset.NewCube(4, 4, 2)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must expose a consistent geometry.
+		elems := 1
+		for _, a := range file.Axes {
+			if a <= 0 {
+				t.Fatalf("decoded non-positive axis %v", file.Axes)
+			}
+			elems *= a
+		}
+		bytesPer := file.Bitpix
+		if bytesPer < 0 {
+			bytesPer = -bytesPer
+		}
+		if len(file.Raw) != elems*bytesPer/8 {
+			t.Fatalf("raw length %d inconsistent with %v x %d bits", len(file.Raw), file.Axes, file.Bitpix)
+		}
+	})
+}
+
+// FuzzSanityCheck asserts the repair pass never panics and that a
+// non-fatal verdict always yields a decodable stream.
+func FuzzSanityCheck(f *testing.F) {
+	im := dataset.NewImage(16, 16)
+	clean := EncodeImage(im)
+	f.Add(clean, uint16(0))
+	f.Add(clean, uint16(100))
+	f.Add([]byte("garbage"), uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, flip uint16) {
+		if len(data) > 0 {
+			bit := int(flip) % (len(data) * 8)
+			data[bit/8] ^= 1 << uint(bit%8)
+		}
+		rep, out := SanityCheck(data)
+		if rep.Fatal {
+			return
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("non-fatal sanity verdict but decode failed: %v", err)
+		}
+	})
+}

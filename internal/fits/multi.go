@@ -1,0 +1,123 @@
+package fits
+
+import (
+	"fmt"
+	"strconv"
+
+	"spaceproc/internal/dataset"
+)
+
+// Multi-HDU support: a whole baseline in one FITS file, one image HDU per
+// readout (primary HDU first, IMAGE extensions after), as observatories
+// actually archive readout stacks.
+
+// EncodeStack stores every readout of a baseline in one multi-HDU FITS
+// byte stream.
+func EncodeStack(s *dataset.Stack) []byte {
+	var out []byte
+	for i, f := range s.Frames {
+		out = append(out, encodeFrameHDU(f, i == 0, i)...)
+	}
+	return out
+}
+
+// encodeFrameHDU renders one frame as a primary HDU or IMAGE extension.
+func encodeFrameHDU(im *dataset.Image, primary bool, index int) []byte {
+	var h Header
+	if primary {
+		h.Set("SIMPLE", "T", "conforms to FITS standard")
+	} else {
+		h.Set("XTENSION", "'IMAGE   '", "image extension")
+	}
+	h.Set("BITPIX", strconv.Itoa(BitpixInt16), "16-bit signed storage")
+	h.Set("NAXIS", "2", "two-dimensional image")
+	h.Set("NAXIS1", strconv.Itoa(im.Width), "row length")
+	h.Set("NAXIS2", strconv.Itoa(im.Height), "number of rows")
+	if !primary {
+		h.Set("PCOUNT", "0", "no varying arrays")
+		h.Set("GCOUNT", "1", "one group")
+	}
+	h.Set("BZERO", strconv.Itoa(bzeroUint16), "unsigned 16-bit convention")
+	h.Set("BSCALE", "1", "")
+	h.Set("READOUT", strconv.Itoa(index), "readout ordinal within the baseline")
+
+	data := make([]byte, len(im.Pix)*2)
+	for i, p := range im.Pix {
+		putUint16BE(data[i*2:], uint16(int32(p)-bzeroUint16))
+	}
+	return assemble(h, data)
+}
+
+func putUint16BE(b []byte, v uint16) {
+	b[0] = byte(v >> 8)
+	b[1] = byte(v)
+}
+
+// HDUSize returns the byte length one of our image HDUs occupies: one
+// header block plus the block-padded data unit. It holds for headers of up
+// to 36 cards, which covers every header this package writes.
+func HDUSize(width, height int) int {
+	data := width * height * 2
+	padded := (data + BlockSize - 1) / BlockSize * BlockSize
+	return BlockSize + padded
+}
+
+// DecodeMulti parses a concatenation of image HDUs.
+func DecodeMulti(raw []byte) ([]*File, error) {
+	var out []*File
+	off := 0
+	for off < len(raw) {
+		// Skip trailing all-zero padding blocks, which are not an HDU.
+		if allZero(raw[off:]) {
+			break
+		}
+		f, err := Decode(raw[off:])
+		if err != nil {
+			return nil, fmt.Errorf("fits: HDU %d at offset %d: %w", len(out), off, err)
+		}
+		out = append(out, f)
+		if len(f.Axes) != 2 {
+			return nil, fmt.Errorf("fits: HDU %d is not a 2-D image", len(out)-1)
+		}
+		off += HDUSize(f.Axes[0], f.Axes[1])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no HDUs", ErrBadHeader)
+	}
+	return out, nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StackFromHDUs reassembles a baseline from decoded image HDUs of
+// identical geometry.
+func StackFromHDUs(files []*File) (*dataset.Stack, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fits: no HDUs")
+	}
+	first, err := files[0].Image()
+	if err != nil {
+		return nil, err
+	}
+	s := dataset.NewStack(len(files), first.Width, first.Height)
+	copy(s.Frames[0].Pix, first.Pix)
+	for i, f := range files[1:] {
+		im, err := f.Image()
+		if err != nil {
+			return nil, fmt.Errorf("fits: HDU %d: %w", i+1, err)
+		}
+		if im.Width != first.Width || im.Height != first.Height {
+			return nil, fmt.Errorf("fits: HDU %d geometry %dx%d != %dx%d",
+				i+1, im.Width, im.Height, first.Width, first.Height)
+		}
+		copy(s.Frames[i+1].Pix, im.Pix)
+	}
+	return s, nil
+}

@@ -1,0 +1,109 @@
+package fits
+
+import (
+	"testing"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+)
+
+func testStack(t *testing.T, n, w, h int, seed uint64) *dataset.Stack {
+	t.Helper()
+	src := rng.New(seed)
+	s := dataset.NewStack(n, w, h)
+	for _, f := range s.Frames {
+		for i := range f.Pix {
+			f.Pix[i] = uint16(src.Uint32())
+		}
+	}
+	return s
+}
+
+func TestEncodeStackRoundTrip(t *testing.T) {
+	s := testStack(t, 5, 12, 9, 1)
+	raw := EncodeStack(s)
+	if len(raw)%BlockSize != 0 {
+		t.Fatalf("multi-HDU stream length %d not block-aligned", len(raw))
+	}
+	files, err := DecodeMulti(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 5 {
+		t.Fatalf("decoded %d HDUs, want 5", len(files))
+	}
+	back, err := StackFromHDUs(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Frames {
+		for j := range s.Frames[i].Pix {
+			if s.Frames[i].Pix[j] != back.Frames[i].Pix[j] {
+				t.Fatalf("pixel mismatch frame %d offset %d", i, j)
+			}
+		}
+	}
+}
+
+func TestHDUSizeMatchesEncoding(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {128, 128}, {37, 21}, {1, 1}} {
+		s := testStack(t, 3, dims[0], dims[1], 2)
+		raw := EncodeStack(s)
+		if want := 3 * HDUSize(dims[0], dims[1]); len(raw) != want {
+			t.Fatalf("%v: stream %d bytes, HDUSize predicts %d", dims, len(raw), want)
+		}
+	}
+}
+
+func TestExtensionHeadersCarryReadoutIndex(t *testing.T) {
+	s := testStack(t, 3, 4, 4, 3)
+	files, err := DecodeMulti(EncodeStack(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := files[0].Header.Get("SIMPLE"); !ok {
+		t.Error("primary HDU missing SIMPLE")
+	}
+	if _, ok := files[1].Header.Get("XTENSION"); !ok {
+		t.Error("extension missing XTENSION")
+	}
+	for i, f := range files {
+		idx, err := f.Header.GetInt("READOUT")
+		if err != nil || int(idx) != i {
+			t.Fatalf("HDU %d READOUT = %v (%v)", i, idx, err)
+		}
+	}
+}
+
+func TestDecodeMultiErrors(t *testing.T) {
+	if _, err := DecodeMulti(nil); err == nil {
+		t.Error("empty stream should error")
+	}
+	if _, err := DecodeMulti(make([]byte, 2*BlockSize)); err == nil {
+		t.Error("all-zero stream should error")
+	}
+	s := testStack(t, 2, 4, 4, 4)
+	raw := EncodeStack(s)
+	if _, err := DecodeMulti(raw[:len(raw)-BlockSize]); err == nil {
+		t.Error("truncated second HDU should error")
+	}
+}
+
+func TestStackFromHDUsGeometryMismatch(t *testing.T) {
+	a := testStack(t, 1, 4, 4, 5)
+	b := testStack(t, 1, 8, 8, 6)
+	filesA, err := DecodeMulti(EncodeStack(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	filesB, err := DecodeMulti(EncodeStack(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StackFromHDUs(append(filesA, filesB...)); err == nil {
+		t.Error("mixed geometry should error")
+	}
+	if _, err := StackFromHDUs(nil); err == nil {
+		t.Error("no HDUs should error")
+	}
+}

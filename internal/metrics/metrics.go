@@ -1,0 +1,173 @@
+// Package metrics implements the paper's evaluation quantities: the
+// average relative error Psi of equations 3 and 4, the gain of a
+// preprocessing algorithm relative to no preprocessing, and small summary
+// statistics used by the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"spaceproc/internal/dataset"
+)
+
+// RelativeError16 computes Psi for 16-bit data: the mean over all elements
+// of |observed - ideal| / ideal. Elements whose ideal value is zero are
+// skipped (the paper's NGST data always carries background noise, making
+// zero reads impossible; skipping matches that assumption while keeping the
+// metric defined on synthetic data). It returns 0 for empty or all-zero
+// ideals.
+func RelativeError16(observed, ideal []uint16) float64 {
+	if len(observed) != len(ideal) {
+		panic(fmt.Sprintf("metrics: length mismatch %d != %d", len(observed), len(ideal)))
+	}
+	var sum float64
+	var n int
+	for i := range ideal {
+		if ideal[i] == 0 {
+			continue
+		}
+		d := float64(observed[i]) - float64(ideal[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d / float64(ideal[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RelativeError32 is RelativeError16 for float32 payloads; non-finite
+// observed values contribute |v|/ideal capped at MaxSampleError so a single
+// NaN or Inf (a bit flip in the exponent) cannot swamp the average beyond
+// the cap.
+func RelativeError32(observed, ideal []float32) float64 {
+	if len(observed) != len(ideal) {
+		panic(fmt.Sprintf("metrics: length mismatch %d != %d", len(observed), len(ideal)))
+	}
+	var sum float64
+	var n int
+	for i := range ideal {
+		iv := float64(ideal[i])
+		if iv == 0 || math.IsNaN(iv) || math.IsInf(iv, 0) {
+			continue
+		}
+		ov := float64(observed[i])
+		var rel float64
+		if math.IsNaN(ov) || math.IsInf(ov, 0) {
+			rel = MaxSampleError
+		} else {
+			rel = math.Abs(ov-iv) / math.Abs(iv)
+			if rel > MaxSampleError {
+				rel = MaxSampleError
+			}
+		}
+		sum += rel
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxSampleError caps one sample's contribution to RelativeError32 at
+// "completely wrong". A flip in a float32 exponent bit can inflate a
+// sample by ~1e38; uncapped, a single such flip would dominate the dataset
+// average and hide every other effect the experiments measure. The paper's
+// OTIS numbers (e.g. Psi ~12% at Gamma0 = 0.05) are only reachable under a
+// bounded per-sample error, so the cap is part of the metric
+// reconstruction (see DESIGN.md section 2).
+const MaxSampleError = 1.0
+
+// SeriesError computes Psi between an observed and ideal temporal series.
+func SeriesError(observed, ideal dataset.Series) float64 {
+	return RelativeError16(observed, ideal)
+}
+
+// StackError computes Psi across all readouts of a baseline.
+func StackError(observed, ideal *dataset.Stack) float64 {
+	if observed.Len() != ideal.Len() {
+		panic(fmt.Sprintf("metrics: stack depth mismatch %d != %d", observed.Len(), ideal.Len()))
+	}
+	var sum float64
+	for i := range ideal.Frames {
+		sum += RelativeError16(observed.Frames[i].Pix, ideal.Frames[i].Pix)
+	}
+	return sum / float64(ideal.Len())
+}
+
+// CubeError computes Psi across all samples of a radiance cube.
+func CubeError(observed, ideal *dataset.Cube) float64 {
+	return RelativeError32(observed.Data, ideal.Data)
+}
+
+// Gain is the improvement factor of preprocessing: Psi without
+// preprocessing divided by Psi after. It returns +Inf when preprocessing
+// removed all error and 1 when it changed nothing; values below 1 mean the
+// algorithm made the data worse (the breakdown regime of Figure 9).
+func Gain(psiNo, psiAfter float64) float64 {
+	if psiAfter == 0 {
+		if psiNo == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return psiNo / psiAfter
+}
+
+// Accumulator collects repeated measurements of one quantity.
+type Accumulator struct {
+	n      int
+	sum    float64
+	sumSq  float64
+	minVal float64
+	maxVal float64
+}
+
+// Add records one measurement.
+func (a *Accumulator) Add(v float64) {
+	if a.n == 0 || v < a.minVal {
+		a.minVal = v
+	}
+	if a.n == 0 || v > a.maxVal {
+		a.maxVal = v
+	}
+	a.n++
+	a.sum += v
+	a.sumSq += v * v
+}
+
+// N returns the number of measurements.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 with no data.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two measurements.
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumSq/float64(a.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest measurement, or 0 with no data.
+func (a *Accumulator) Min() float64 { return a.minVal }
+
+// Max returns the largest measurement, or 0 with no data.
+func (a *Accumulator) Max() float64 { return a.maxVal }

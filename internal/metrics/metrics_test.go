@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spaceproc/internal/dataset"
+)
+
+func TestRelativeError16Basics(t *testing.T) {
+	ideal := []uint16{100, 200, 400}
+	if got := RelativeError16(ideal, ideal); got != 0 {
+		t.Fatalf("identical data: Psi = %v", got)
+	}
+	obs := []uint16{110, 180, 400}
+	// |110-100|/100 = .1, |180-200|/200 = .1, 0 -> mean = 0.0666...
+	want := (0.1 + 0.1 + 0) / 3
+	if got := RelativeError16(obs, ideal); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Psi = %v, want %v", got, want)
+	}
+}
+
+func TestRelativeError16SkipsZeroIdeal(t *testing.T) {
+	ideal := []uint16{0, 100}
+	obs := []uint16{9999, 150}
+	if got := RelativeError16(obs, ideal); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Psi = %v, want 0.5 (zero-ideal skipped)", got)
+	}
+	if got := RelativeError16([]uint16{1, 2}, []uint16{0, 0}); got != 0 {
+		t.Fatalf("all-zero ideal: Psi = %v, want 0", got)
+	}
+	if got := RelativeError16(nil, nil); got != 0 {
+		t.Fatalf("empty: Psi = %v, want 0", got)
+	}
+}
+
+func TestRelativeError16PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	RelativeError16([]uint16{1}, []uint16{1, 2})
+}
+
+func TestRelativeError16Property(t *testing.T) {
+	// Psi is non-negative and zero iff observed == ideal on the support.
+	f := func(obs, id []uint16) bool {
+		n := len(obs)
+		if len(id) < n {
+			n = len(id)
+		}
+		psi := RelativeError16(obs[:n], id[:n])
+		if psi < 0 {
+			return false
+		}
+		same := true
+		for i := 0; i < n; i++ {
+			if id[i] != 0 && obs[i] != id[i] {
+				same = false
+			}
+		}
+		return same == (psi == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeError32NonFiniteCapped(t *testing.T) {
+	ideal := []float32{1, 1}
+	obs := []float32{float32(math.NaN()), 1}
+	got := RelativeError32(obs, ideal)
+	want := MaxSampleError / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("NaN handling: Psi = %v, want %v", got, want)
+	}
+	obs2 := []float32{float32(math.Inf(1)), 1}
+	if got := RelativeError32(obs2, ideal); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Inf handling: Psi = %v, want %v", got, want)
+	}
+	// Huge finite values also cap.
+	obs3 := []float32{3e38, 1}
+	if got := RelativeError32(obs3, ideal); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("huge value: Psi = %v, want %v", got, want)
+	}
+}
+
+func TestRelativeError32SkipsNonFiniteIdeal(t *testing.T) {
+	ideal := []float32{float32(math.NaN()), 2}
+	obs := []float32{5, 3}
+	if got := RelativeError32(obs, ideal); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Psi = %v, want 0.5", got)
+	}
+}
+
+func TestStackError(t *testing.T) {
+	a := dataset.NewStack(2, 2, 1)
+	b := dataset.NewStack(2, 2, 1)
+	for _, s := range []*dataset.Stack{a, b} {
+		for _, f := range s.Frames {
+			f.Pix[0], f.Pix[1] = 100, 200
+		}
+	}
+	b.Frames[1].Pix[0] = 150 // frame 1: 0.5/2 = 0.25 mean; frame 0: 0
+	if got := StackError(b, a); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("StackError = %v, want 0.125", got)
+	}
+}
+
+func TestStackErrorPanicsOnDepthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("depth mismatch did not panic")
+		}
+	}()
+	StackError(dataset.NewStack(1, 2, 2), dataset.NewStack(2, 2, 2))
+}
+
+func TestCubeError(t *testing.T) {
+	a := dataset.NewCube(2, 1, 1)
+	b := dataset.NewCube(2, 1, 1)
+	a.Data[0], a.Data[1] = 10, 20
+	b.Data[0], b.Data[1] = 11, 20
+	if got := CubeError(b, a); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("CubeError = %v, want 0.05", got)
+	}
+}
+
+func TestGain(t *testing.T) {
+	if g := Gain(0.1, 0.01); math.Abs(g-10) > 1e-12 {
+		t.Errorf("Gain = %v, want 10", g)
+	}
+	if g := Gain(0.1, 0); !math.IsInf(g, 1) {
+		t.Errorf("Gain with perfect repair = %v, want +Inf", g)
+	}
+	if g := Gain(0, 0); g != 1 {
+		t.Errorf("Gain(0,0) = %v, want 1", g)
+	}
+	if g := Gain(0.1, 0.2); g >= 1 {
+		t.Errorf("breakdown regime Gain = %v, want < 1", g)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.StdDev() != 0 || a.N() != 0 {
+		t.Fatal("zero-value accumulator not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	if math.Abs(a.StdDev()-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", a.StdDev())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleValue(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Mean() != 3 || a.StdDev() != 0 || a.Min() != 3 || a.Max() != 3 {
+		t.Fatalf("single-value stats wrong: %v %v %v %v", a.Mean(), a.StdDev(), a.Min(), a.Max())
+	}
+}

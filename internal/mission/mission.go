@@ -1,0 +1,288 @@
+// Package mission runs multi-baseline observation campaigns end to end:
+// synthesize a baseline, persist it as FITS files, damage both the data
+// memory and the file headers, reload through the sanity layer, run the
+// Figure 1 pipeline with or without input preprocessing, and account for
+// the science error and downlink budget. It is the integration layer a
+// flight-software team would drive acceptance tests through.
+package mission
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/core"
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/downlink"
+	"spaceproc/internal/fault"
+	"spaceproc/internal/fits"
+	"spaceproc/internal/metrics"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/store"
+	"spaceproc/internal/synth"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Baselines is the number of observation baselines to fly.
+	Baselines int
+	// Scene is the per-baseline synthesis configuration.
+	Scene synth.SceneConfig
+	// MemoryRate is the per-bit flip probability applied to the raw
+	// readouts in data memory.
+	MemoryRate float64
+	// HeaderRate is the per-bit flip probability applied to each FITS
+	// header block on storage.
+	HeaderRate float64
+	// Workers is the pipeline worker count.
+	Workers int
+	// TileSize is the fragment edge length.
+	TileSize int
+	// Preprocess configures worker-side input preprocessing; nil
+	// disables it.
+	Preprocess *core.NGSTConfig
+	// Dir is the working directory for the FITS store; it must exist.
+	// When empty, the storage layer (and header damage) is skipped.
+	Dir string
+	// PassBudget, when positive, schedules the compressed products into
+	// ground-station passes of that many bytes each and reports the
+	// passes flown.
+	PassBudget int
+	// Seed drives all synthesis and injection.
+	Seed uint64
+}
+
+// DefaultConfig returns a small campaign suitable for tests and demos.
+func DefaultConfig(dir string) Config {
+	scene := synth.DefaultSceneConfig()
+	scene.Width, scene.Height = 64, 64
+	scene.Readouts = 16
+	pre := core.DefaultNGSTConfig()
+	return Config{
+		Baselines:  3,
+		Scene:      scene,
+		MemoryRate: 0.005,
+		HeaderRate: 0.0002,
+		Workers:    4,
+		TileSize:   32,
+		Preprocess: &pre,
+		Dir:        dir,
+		Seed:       1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Baselines <= 0:
+		return fmt.Errorf("mission: baselines must be positive, got %d", c.Baselines)
+	case c.MemoryRate < 0 || c.MemoryRate > 1:
+		return fmt.Errorf("mission: memory rate %v outside [0,1]", c.MemoryRate)
+	case c.HeaderRate < 0 || c.HeaderRate > 1:
+		return fmt.Errorf("mission: header rate %v outside [0,1]", c.HeaderRate)
+	case c.Workers <= 0:
+		return fmt.Errorf("mission: workers must be positive, got %d", c.Workers)
+	case c.TileSize <= 0:
+		return fmt.Errorf("mission: tile size must be positive, got %d", c.TileSize)
+	}
+	if c.Preprocess != nil {
+		if err := c.Preprocess.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Scene.Validate()
+}
+
+// BaselineResult records one baseline's outcome.
+type BaselineResult struct {
+	// Index is the baseline ordinal.
+	Index int
+	// Psi is the relative error of the downlinked image against the
+	// fault-free pipeline output.
+	Psi float64
+	// CRHits and CRSteps are the cosmic-ray rejection statistics.
+	CRHits, CRSteps int
+	// HeaderIssues/HeaderRepairs/HeaderLost summarize the storage
+	// layer's sanity pass (zero when the store is skipped).
+	HeaderIssues, HeaderRepairs, HeaderLost int
+	// DownlinkBytes is the compressed payload size.
+	DownlinkBytes int
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	Baselines []BaselineResult
+	// MeanPsi averages Psi over baselines.
+	MeanPsi float64
+	// TotalDownlinkBytes sums the compressed payloads.
+	TotalDownlinkBytes int
+	// Passes lists the ground-station passes flown when Config.PassBudget
+	// is set; every product eventually flies.
+	Passes []downlink.Pass
+}
+
+// Run flies the campaign.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var pre core.SeriesPreprocessor
+	if cfg.Preprocess != nil {
+		a, err := core.NewAlgoNGST(*cfg.Preprocess)
+		if err != nil {
+			return nil, err
+		}
+		pre = a
+	}
+	master, err := newMaster(pre, cfg.Workers, cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+	refMaster, err := newMaster(nil, cfg.Workers, cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	var psiAcc metrics.Accumulator
+	for b := 0; b < cfg.Baselines; b++ {
+		res, err := runBaseline(cfg, b, master, refMaster)
+		if err != nil {
+			return nil, fmt.Errorf("mission: baseline %d: %w", b, err)
+		}
+		rep.Baselines = append(rep.Baselines, *res)
+		rep.TotalDownlinkBytes += res.DownlinkBytes
+		psiAcc.Add(res.Psi)
+	}
+	rep.MeanPsi = psiAcc.Mean()
+
+	if cfg.PassBudget > 0 {
+		sched := downlink.NewScheduler()
+		for _, b := range rep.Baselines {
+			// Cleaner baselines carry more science value per byte.
+			prio := 1
+			if b.Psi < 0.02 {
+				prio = 2
+			}
+			if err := sched.Enqueue(downlink.Product{
+				ID:       fmt.Sprintf("baseline_%03d", b.Index),
+				Bytes:    b.DownlinkBytes,
+				Priority: prio,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		for sched.Pending() > 0 {
+			pass := sched.Plan(cfg.PassBudget)
+			rep.Passes = append(rep.Passes, pass)
+			if len(pass.Sent) == 0 {
+				// A product larger than the budget would loop forever;
+				// surface it instead.
+				return nil, fmt.Errorf("mission: %d product(s) exceed the per-pass budget %d",
+					sched.Pending(), cfg.PassBudget)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func newMaster(pre core.SeriesPreprocessor, workers, tile int) (*cluster.Master, error) {
+	ws := make([]cluster.Worker, workers)
+	for i := range ws {
+		w, err := cluster.NewLocalWorker(pre, crreject.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return cluster.NewMaster(ws, cluster.WithTileSize(tile))
+}
+
+func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*BaselineResult, error) {
+	scene, err := synth.NewScene(cfg.Scene, rng.NewStream(cfg.Seed, uint64(b)*4))
+	if err != nil {
+		return nil, err
+	}
+	reference, err := refMaster.Run(scene.Observed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Damage the raw readouts in data memory.
+	damaged := scene.Observed.Clone()
+	fault.Uncorrelated{Gamma0: cfg.MemoryRate}.InjectStack(damaged, rng.NewStream(cfg.Seed, uint64(b)*4+1))
+
+	result := &BaselineResult{Index: b}
+
+	// Through the storage layer, with header damage and sanity repair.
+	working := damaged
+	if cfg.Dir != "" {
+		dir := filepath.Join(cfg.Dir, fmt.Sprintf("baseline_%03d", b))
+		if err := store.SaveBaseline(dir, damaged); err != nil {
+			return nil, err
+		}
+		if err := damageHeaders(dir, cfg.HeaderRate, rng.NewStream(cfg.Seed, uint64(b)*4+2)); err != nil {
+			return nil, err
+		}
+		loaded, loadRep, err := store.LoadBaseline(dir,
+			fits.WithExpectedAxes(cfg.Scene.Width, cfg.Scene.Height))
+		if err != nil {
+			return nil, err
+		}
+		store.InterpolateLost(loaded, loadRep.Unrecoverable)
+		working = loaded
+		result.HeaderIssues = loadRep.HeaderIssues
+		result.HeaderRepairs = loadRep.HeaderRepairs
+		result.HeaderLost = len(loadRep.Unrecoverable)
+	}
+
+	out, err := master.Run(working)
+	if err != nil {
+		return nil, err
+	}
+	result.Psi = metrics.RelativeError16(out.Image.Pix, reference.Image.Pix)
+	result.CRHits, result.CRSteps = out.Stats.Hits, out.Stats.Steps
+	result.DownlinkBytes = len(out.Compressed)
+	return result, nil
+}
+
+// damageHeaders flips bits in the first header block of every FITS file in
+// dir.
+func damageHeaders(dir string, rate float64, src *rng.Source) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	injector := fault.Uncorrelated{Gamma0: rate}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".fits" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(raw) < fits.BlockSize {
+			continue
+		}
+		injector.InjectBytes(raw[:fits.BlockSize], src)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render writes the report as a text table.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("%4s  %10s  %7s  %7s  %14s  %10s\n",
+		"base", "Psi", "CRhits", "hdrFix", "hdrLostFrames", "downlinkB")
+	for _, b := range r.Baselines {
+		out += fmt.Sprintf("%4d  %10.6f  %7d  %7d  %14d  %10d\n",
+			b.Index, b.Psi, b.CRHits, b.HeaderRepairs, b.HeaderLost, b.DownlinkBytes)
+	}
+	out += fmt.Sprintf("mean Psi %.6f, total downlink %d bytes\n", r.MeanPsi, r.TotalDownlinkBytes)
+	return out
+}

@@ -1,0 +1,155 @@
+package mission
+
+import (
+	"strings"
+	"testing"
+
+	"spaceproc/internal/core"
+)
+
+func TestCampaignWithPreprocessingBeatsWithout(t *testing.T) {
+	cfg := DefaultConfig(t.TempDir())
+	cfg.Baselines = 2
+	withPre, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgNo := cfg
+	cfgNo.Dir = t.TempDir()
+	cfgNo.Preprocess = nil
+	without, err := Run(cfgNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if withPre.MeanPsi >= without.MeanPsi {
+		t.Fatalf("preprocessing did not help: with %.5f, without %.5f", withPre.MeanPsi, without.MeanPsi)
+	}
+	if len(withPre.Baselines) != 2 || withPre.TotalDownlinkBytes == 0 {
+		t.Fatalf("report malformed: %+v", withPre)
+	}
+}
+
+func TestCampaignWithoutStoreLayer(t *testing.T) {
+	cfg := DefaultConfig("")
+	cfg.Baselines = 1
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Baselines[0]
+	if b.HeaderIssues != 0 || b.HeaderRepairs != 0 || b.HeaderLost != 0 {
+		t.Fatalf("store-less run reported header activity: %+v", b)
+	}
+	if b.CRHits == 0 {
+		t.Fatal("no cosmic rays rejected")
+	}
+}
+
+func TestCampaignHeaderActivityReported(t *testing.T) {
+	cfg := DefaultConfig(t.TempDir())
+	cfg.Baselines = 2
+	cfg.HeaderRate = 0.001 // heavy header damage to guarantee issues
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := 0
+	for _, b := range rep.Baselines {
+		issues += b.HeaderIssues
+	}
+	if issues == 0 {
+		t.Fatal("no header issues found at 0.1% header damage")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := DefaultConfig(t.TempDir())
+	cfg.Baselines = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = t.TempDir()
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanPsi != b.MeanPsi || a.TotalDownlinkBytes != b.TotalDownlinkBytes {
+		t.Fatalf("same seed produced different campaigns: %+v vs %+v", a, b)
+	}
+}
+
+func TestCampaignSchedulesPasses(t *testing.T) {
+	cfg := DefaultConfig("")
+	cfg.Baselines = 3
+	cfg.PassBudget = 8000 // roughly one product per pass
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) == 0 {
+		t.Fatal("no passes planned")
+	}
+	sent := 0
+	for _, p := range rep.Passes {
+		sent += len(p.Sent)
+		if p.SentBytes > cfg.PassBudget {
+			t.Fatalf("pass exceeded budget: %d > %d", p.SentBytes, cfg.PassBudget)
+		}
+	}
+	if sent != cfg.Baselines {
+		t.Fatalf("%d products flown, want %d", sent, cfg.Baselines)
+	}
+}
+
+func TestCampaignOversizedProductFailsCleanly(t *testing.T) {
+	cfg := DefaultConfig("")
+	cfg.Baselines = 1
+	cfg.PassBudget = 10 // nothing fits
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("oversized product should error, not loop")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig("")
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := good
+	bad.Baselines = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero baselines should be invalid")
+	}
+	bad = good
+	bad.MemoryRate = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("memory rate > 1 should be invalid")
+	}
+	bad = good
+	badPre := core.NGSTConfig{Upsilon: 3}
+	bad.Preprocess = &badPre
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid preprocessor config should be invalid")
+	}
+	bad = good
+	bad.TileSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tile should be invalid")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		Baselines: []BaselineResult{{Index: 0, Psi: 0.01, CRHits: 5, DownlinkBytes: 100}},
+		MeanPsi:   0.01, TotalDownlinkBytes: 100,
+	}
+	out := rep.Render()
+	for _, want := range []string{"base", "0.010000", "mean Psi", "100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

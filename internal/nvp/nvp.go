@@ -1,0 +1,166 @@
+// Package nvp implements N-Version Programming with the t/(n-1)-Variant
+// Programming adjudication the paper's introduction cites (Avizienis [4]):
+// n independently developed versions compute the same function; a
+// version's output is accepted when it agrees with at least t of the other
+// n-1 outputs.
+//
+// The package exists to demonstrate the paper's framing argument in code:
+// NVP masks faults in the *computation* (a buggy or upset version is
+// outvoted), but when the shared *input* is corrupted, every version
+// agrees on the same wrong answer and the voter happily releases it — the
+// fault model input preprocessing exists for.
+package nvp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Comparator reports whether two outputs agree within the application's
+// tolerance.
+type Comparator[O any] func(a, b O) bool
+
+// Config parameterizes an executor.
+type Config[I, O any] struct {
+	// Versions are the independently developed implementations.
+	Versions []func(I) (O, error)
+	// Agree is the output comparator.
+	Agree Comparator[O]
+	// T is the agreement threshold: an output needs agreement with at
+	// least T of the other n-1 outputs. The classic majority scheme is
+	// T = (n-1)/2 + 1 for odd n; T = n-1 demands unanimity.
+	T int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config[I, O]) Validate() error {
+	switch {
+	case len(c.Versions) < 2:
+		return fmt.Errorf("nvp: need at least 2 versions, got %d", len(c.Versions))
+	case c.Agree == nil:
+		return errors.New("nvp: nil comparator")
+	case c.T < 1 || c.T > len(c.Versions)-1:
+		return fmt.Errorf("nvp: T = %d outside [1, n-1] = [1, %d]", c.T, len(c.Versions)-1)
+	}
+	for i, v := range c.Versions {
+		if v == nil {
+			return fmt.Errorf("nvp: version %d is nil", i)
+		}
+	}
+	return nil
+}
+
+// Executor runs the scheme.
+type Executor[I, O any] struct {
+	cfg Config[I, O]
+}
+
+// New validates cfg and returns an executor.
+func New[I, O any](cfg Config[I, O]) (*Executor[I, O], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Executor[I, O]{cfg: cfg}, nil
+}
+
+// Report describes one adjudication.
+type Report struct {
+	// Agreements[i] counts how many other versions agreed with version i
+	// (-1 for a crashed version).
+	Agreements []int
+	// Winner is the index of the released version, or -1.
+	Winner int
+	// Crashed lists versions that returned errors or panicked.
+	Crashed []int
+}
+
+// ErrNoConsensus is returned when no version reaches the agreement
+// threshold.
+var ErrNoConsensus = errors.New("nvp: no version reached the agreement threshold")
+
+// Run executes every version on the input and adjudicates.
+func (e *Executor[I, O]) Run(input I) (O, Report, error) {
+	n := len(e.cfg.Versions)
+	outs := make([]O, n)
+	ok := make([]bool, n)
+	rep := Report{Agreements: make([]int, n), Winner: -1}
+	for i, v := range e.cfg.Versions {
+		out, err := safeCall(v, input)
+		if err != nil {
+			rep.Crashed = append(rep.Crashed, i)
+			rep.Agreements[i] = -1
+			continue
+		}
+		outs[i], ok[i] = out, true
+	}
+	for i := 0; i < n; i++ {
+		if !ok[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || !ok[j] {
+				continue
+			}
+			if e.cfg.Agree(outs[i], outs[j]) {
+				rep.Agreements[i]++
+			}
+		}
+	}
+	best := -1
+	for i := 0; i < n; i++ {
+		if !ok[i] || rep.Agreements[i] < e.cfg.T {
+			continue
+		}
+		if best < 0 || rep.Agreements[i] > rep.Agreements[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		var zero O
+		return zero, rep, ErrNoConsensus
+	}
+	rep.Winner = best
+	return outs[best], rep, nil
+}
+
+// safeCall converts a panic into an error.
+func safeCall[I, O any](fn func(I) (O, error), input I) (out O, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nvp: version panicked: %v", r)
+		}
+	}()
+	return fn(input)
+}
+
+// FloatSliceComparator returns a comparator for numeric vector outputs:
+// slices agree when every element differs by at most relTol relative to
+// the magnitude of the first operand (with absTol as the floor).
+func FloatSliceComparator(relTol, absTol float64) Comparator[[]float64] {
+	return func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			d := a[i] - b[i]
+			if d < 0 {
+				d = -d
+			}
+			limit := relTol * abs(a[i])
+			if limit < absTol {
+				limit = absTol
+			}
+			if d > limit {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

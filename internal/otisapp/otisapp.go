@@ -1,0 +1,143 @@
+// Package otisapp implements the OTIS application the preprocessing layer
+// feeds: the Orbital Thermal Imaging Spectrometer's retrieval of surface
+// temperature and emissivity from a multi-band radiance cube (Section 7.1:
+// "a two-dimensional temperature diagram in Kelvin and a three-dimensional
+// emissivity diagram").
+//
+// The retrieval is a standard reference-channel scheme: a per-pixel
+// temperature estimate is obtained by inverting Planck's law on each band
+// under an assumed emissivity and averaging the per-band brightness
+// temperatures; the emissivity cube is then the ratio of observed radiance
+// to black-body radiance at the retrieved temperature. Because OTIS has "no
+// inherent averaging or multiple imaging as in NGST, the correlation
+// between precision at output and input is much higher" — the property the
+// paper's OTIS experiments rest on.
+package otisapp
+
+import (
+	"fmt"
+	"math"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/physics"
+)
+
+// Config parameterizes the retrieval.
+type Config struct {
+	// Wavelengths are the cube's band centers in meters; the length must
+	// equal the cube's band count.
+	Wavelengths []float64
+	// AssumedEmissivity is the emissivity used for the temperature
+	// estimate, in (0, 1].
+	AssumedEmissivity float64
+}
+
+// DefaultConfig returns a retrieval configured for the given instrument
+// bands with the common long-wave infrared emissivity assumption.
+func DefaultConfig(wavelengths []float64) Config {
+	return Config{Wavelengths: wavelengths, AssumedEmissivity: 0.96}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if len(c.Wavelengths) == 0 {
+		return fmt.Errorf("otisapp: no wavelengths")
+	}
+	for i, w := range c.Wavelengths {
+		if w <= 0 {
+			return fmt.Errorf("otisapp: wavelength %d non-positive", i)
+		}
+	}
+	if c.AssumedEmissivity <= 0 || c.AssumedEmissivity > 1 {
+		return fmt.Errorf("otisapp: assumed emissivity %v outside (0,1]", c.AssumedEmissivity)
+	}
+	return nil
+}
+
+// Output is the retrieval result.
+type Output struct {
+	// Temps is the row-major temperature map in Kelvin.
+	Temps []float64
+	// Emissivity is the per-band, per-pixel emissivity cube.
+	Emissivity *dataset.Cube
+}
+
+// Retriever converts radiance cubes into temperature and emissivity maps.
+type Retriever struct {
+	cfg Config
+}
+
+// New validates cfg and returns a Retriever.
+func New(cfg Config) (*Retriever, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Retriever{cfg: cfg}, nil
+}
+
+// Process retrieves temperature and emissivity from the cube. It returns
+// an error if the cube's band count does not match the configured
+// wavelengths.
+func (r *Retriever) Process(c *dataset.Cube) (*Output, error) {
+	if c.Bands != len(r.cfg.Wavelengths) {
+		return nil, fmt.Errorf("otisapp: cube has %d bands, config has %d wavelengths",
+			c.Bands, len(r.cfg.Wavelengths))
+	}
+	plane := c.Width * c.Height
+	out := &Output{
+		Temps:      make([]float64, plane),
+		Emissivity: dataset.NewCube(c.Width, c.Height, c.Bands),
+	}
+	for i := 0; i < plane; i++ {
+		var sum float64
+		var n int
+		for b, lambda := range r.cfg.Wavelengths {
+			v := float64(c.Band(b)[i])
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				continue
+			}
+			temp := physics.BrightnessTemperature(lambda, v/r.cfg.AssumedEmissivity)
+			if temp <= 0 {
+				continue
+			}
+			sum += temp
+			n++
+		}
+		var temp float64
+		if n > 0 {
+			temp = sum / float64(n)
+		}
+		out.Temps[i] = temp
+		for b, lambda := range r.cfg.Wavelengths {
+			bb := physics.SpectralRadiance(lambda, temp)
+			if bb <= 0 {
+				continue
+			}
+			eps := float64(c.Band(b)[i]) / bb
+			out.Emissivity.Band(b)[i] = float32(eps)
+		}
+	}
+	return out, nil
+}
+
+// TempError returns the mean absolute temperature error in Kelvin between
+// a retrieved map and ground truth, skipping non-finite entries.
+func TempError(got, want []float64) float64 {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("otisapp: length mismatch %d != %d", len(got), len(want)))
+	}
+	var sum float64
+	var n int
+	for i := range got {
+		g, w := got[i], want[i]
+		if math.IsNaN(g) || math.IsNaN(w) || w == 0 {
+			continue
+		}
+		sum += math.Abs(g - w)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

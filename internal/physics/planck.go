@@ -1,0 +1,98 @@
+// Package physics provides the small amount of radiometry the OTIS
+// benchmark rests on: Planck's law for spectral radiance, its inversion to
+// brightness temperature, and the absolute physical bounds that the paper's
+// Section 7.2 uses to declare out-of-range samples as faults ("there are
+// theoretical absolute limits for the naturally occurring data sensed by
+// OTIS, set by the laws of thermo-physics").
+package physics
+
+import "math"
+
+// Physical constants (SI).
+const (
+	// PlanckH is Planck's constant in J*s.
+	PlanckH = 6.62607015e-34
+	// SpeedOfLight is c in m/s.
+	SpeedOfLight = 2.99792458e8
+	// BoltzmannK is Boltzmann's constant in J/K.
+	BoltzmannK = 1.380649e-23
+)
+
+// Radiation constants derived from the above, in wavelength form.
+const (
+	// C1 = 2*h*c^2, W*m^2/sr (first radiation constant over pi).
+	C1 = 2 * PlanckH * SpeedOfLight * SpeedOfLight
+	// C2 = h*c/k, m*K (second radiation constant).
+	C2 = PlanckH * SpeedOfLight / BoltzmannK
+)
+
+// Earth-observation bounds used as the "tropical"/"arctic" style logical
+// cut-offs of Section 7.2. Scene temperatures outside this range do not
+// occur in thermal imaging of the Earth's surface and atmosphere.
+const (
+	// MinSceneTemp is the coldest plausible scene temperature in Kelvin
+	// (high cloud tops / polar night).
+	MinSceneTemp = 150.0
+	// MaxSceneTemp is the hottest plausible scene temperature in Kelvin
+	// (active lava surfaces; everything hotter is a data fault).
+	MaxSceneTemp = 1500.0
+)
+
+// SpectralRadiance returns black-body spectral radiance at wavelength
+// lambda (meters) and temperature T (Kelvin), in W / (m^2 * sr * m).
+// It returns 0 for non-positive lambda or T.
+func SpectralRadiance(lambda, temp float64) float64 {
+	if lambda <= 0 || temp <= 0 {
+		return 0
+	}
+	x := C2 / (lambda * temp)
+	// For large x the exponential overflows float64; the radiance is then
+	// indistinguishable from zero.
+	if x > 700 {
+		return 0
+	}
+	return C1 / (lambda * lambda * lambda * lambda * lambda * (math.Exp(x) - 1))
+}
+
+// BrightnessTemperature inverts Planck's law: it returns the temperature in
+// Kelvin at which a black body would emit spectral radiance l at wavelength
+// lambda (meters). It returns 0 for non-positive inputs.
+func BrightnessTemperature(lambda, radiance float64) float64 {
+	if lambda <= 0 || radiance <= 0 {
+		return 0
+	}
+	arg := C1/(radiance*lambda*lambda*lambda*lambda*lambda) + 1
+	den := math.Log(arg)
+	if den <= 0 {
+		return 0
+	}
+	return C2 / (lambda * den)
+}
+
+// RadianceBounds returns the physically legal radiance interval at
+// wavelength lambda for Earth scenes: [radiance at MinSceneTemp, radiance
+// at MaxSceneTemp]. Samples outside it are unconditional data faults per
+// Section 7.2 rule (2).
+func RadianceBounds(lambda float64) (lo, hi float64) {
+	return SpectralRadiance(lambda, MinSceneTemp), SpectralRadiance(lambda, MaxSceneTemp)
+}
+
+// ThermalBands returns n instrument wavelengths (meters) evenly spaced over
+// the 8-14 micron long-wave infrared atmospheric window that thermal
+// imaging spectrometers such as OTIS observe.
+func ThermalBands(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	const lo, hi = 8e-6, 14e-6
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = (lo + hi) / 2
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

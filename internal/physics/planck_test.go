@@ -1,0 +1,125 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpectralRadianceKnownValue(t *testing.T) {
+	// Black body at 300 K, 10 micron: canonical value ~9.92e6 W/(m^2 sr m).
+	got := SpectralRadiance(10e-6, 300)
+	want := 9.92e6
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("SpectralRadiance(10um, 300K) = %g, want ~%g", got, want)
+	}
+}
+
+func TestSpectralRadianceMonotoneInTemperature(t *testing.T) {
+	lambda := 10e-6
+	prev := 0.0
+	for temp := 100.0; temp <= 1000; temp += 50 {
+		r := SpectralRadiance(lambda, temp)
+		if r <= prev {
+			t.Fatalf("radiance not increasing at T=%v: %g <= %g", temp, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestSpectralRadianceEdgeCases(t *testing.T) {
+	if SpectralRadiance(0, 300) != 0 {
+		t.Error("lambda=0 should give 0")
+	}
+	if SpectralRadiance(10e-6, 0) != 0 {
+		t.Error("T=0 should give 0")
+	}
+	if SpectralRadiance(-1, -1) != 0 {
+		t.Error("negative inputs should give 0")
+	}
+	// Extremely cold: x > 700 underflow guard.
+	if r := SpectralRadiance(1e-9, 1); r != 0 {
+		t.Errorf("deep underflow should give 0, got %g", r)
+	}
+}
+
+func TestBrightnessTemperatureInvertsPlanck(t *testing.T) {
+	for _, lambda := range []float64{8e-6, 10e-6, 14e-6} {
+		for _, temp := range []float64{150, 220, 300, 500, 1500} {
+			r := SpectralRadiance(lambda, temp)
+			back := BrightnessTemperature(lambda, r)
+			if math.Abs(back-temp)/temp > 1e-9 {
+				t.Fatalf("inversion failed: lambda=%g T=%g -> r=%g -> T=%g", lambda, temp, r, back)
+			}
+		}
+	}
+}
+
+func TestBrightnessTemperatureEdgeCases(t *testing.T) {
+	if BrightnessTemperature(0, 1) != 0 {
+		t.Error("lambda=0 should give 0")
+	}
+	if BrightnessTemperature(10e-6, 0) != 0 {
+		t.Error("radiance=0 should give 0")
+	}
+	if BrightnessTemperature(10e-6, -5) != 0 {
+		t.Error("negative radiance should give 0")
+	}
+}
+
+func TestInversionPropertyQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lambda := 8e-6 + float64(a%6000)*1e-9 // 8-14 um
+		temp := 150 + float64(b%1350)         // 150-1500 K
+		r := SpectralRadiance(lambda, temp)
+		back := BrightnessTemperature(lambda, r)
+		return math.Abs(back-temp) < 1e-6*temp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadianceBoundsOrdering(t *testing.T) {
+	for _, lambda := range ThermalBands(16) {
+		lo, hi := RadianceBounds(lambda)
+		if !(lo > 0 && hi > lo) {
+			t.Fatalf("bounds at %g: lo=%g hi=%g", lambda, lo, hi)
+		}
+		mid := SpectralRadiance(lambda, 300)
+		if mid <= lo || mid >= hi {
+			t.Fatalf("300K radiance %g outside bounds [%g,%g]", mid, lo, hi)
+		}
+	}
+}
+
+func TestThermalBands(t *testing.T) {
+	if ThermalBands(0) != nil {
+		t.Error("n=0 should give nil")
+	}
+	one := ThermalBands(1)
+	if len(one) != 1 || one[0] < 8e-6 || one[0] > 14e-6 {
+		t.Errorf("n=1: %v", one)
+	}
+	bands := ThermalBands(7)
+	if len(bands) != 7 {
+		t.Fatalf("len = %d", len(bands))
+	}
+	if bands[0] != 8e-6 || math.Abs(bands[6]-14e-6) > 1e-12 {
+		t.Errorf("endpoints: %g %g", bands[0], bands[6])
+	}
+	for i := 1; i < len(bands); i++ {
+		if bands[i] <= bands[i-1] {
+			t.Fatal("bands not increasing")
+		}
+	}
+}
+
+func TestWienDisplacementSanity(t *testing.T) {
+	// Peak of 300 K black body is near 9.66 um; radiance there should
+	// exceed radiance at both window edges.
+	peak := SpectralRadiance(9.66e-6, 300)
+	if peak < SpectralRadiance(8e-6, 300) || peak < SpectralRadiance(14e-6, 300) {
+		t.Fatal("Planck curve shape wrong: 9.66um should be near the 300K peak")
+	}
+}

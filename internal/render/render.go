@@ -1,0 +1,84 @@
+// Package render writes data products as binary PGM (P5) images, the
+// zero-dependency way to look at them. cmd/experiments uses it to emit the
+// paper's Figure 8 gallery (the Blob/Stripe/Spots morphologies) and
+// integrated NGST frames.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"spaceproc/internal/dataset"
+)
+
+// GrayPGM writes a row-major float64 field as an 8-bit PGM, linearly
+// scaled between the field's min and max (a constant field renders
+// mid-gray).
+func GrayPGM(w io.Writer, field []float64, width, height int) error {
+	if width <= 0 || height <= 0 || len(field) != width*height {
+		return fmt.Errorf("render: field of %d values is not %dx%d", len(field), width, height)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range field {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi { // all non-finite
+		lo, hi = 0, 0
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	row := make([]byte, width)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := field[y*width+x]
+			switch {
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				row[x] = 0
+			case scale == 0:
+				row[x] = 128
+			default:
+				row[x] = byte(math.Round((v - lo) * scale))
+			}
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImagePGM writes a 16-bit image.
+func ImagePGM(w io.Writer, im *dataset.Image) error {
+	field := make([]float64, len(im.Pix))
+	for i, p := range im.Pix {
+		field[i] = float64(p)
+	}
+	return GrayPGM(w, field, im.Width, im.Height)
+}
+
+// BandPGM writes one spectral plane of a cube.
+func BandPGM(w io.Writer, c *dataset.Cube, band int) error {
+	if band < 0 || band >= c.Bands {
+		return fmt.Errorf("render: band %d outside [0,%d)", band, c.Bands)
+	}
+	plane := c.Band(band)
+	field := make([]float64, len(plane))
+	for i, p := range plane {
+		field[i] = float64(p)
+	}
+	return GrayPGM(w, field, c.Width, c.Height)
+}

@@ -1,0 +1,99 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+func TestGrayPGMHeaderAndScaling(t *testing.T) {
+	var buf bytes.Buffer
+	field := []float64{0, 5, 10, 2.5}
+	if err := GrayPGM(&buf, field, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !strings.HasPrefix(string(out), "P5\n2 2\n255\n") {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	pix := out[len(out)-4:]
+	if pix[0] != 0 || pix[2] != 255 {
+		t.Fatalf("scaling wrong: %v", pix)
+	}
+	if pix[1] != 128 && pix[1] != 127 { // 5 of [0,10]
+		t.Fatalf("midpoint = %d", pix[1])
+	}
+}
+
+func TestGrayPGMConstantAndNaN(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GrayPGM(&buf, []float64{7, 7, 7, 7}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	for _, p := range out[len(out)-4:] {
+		if p != 128 {
+			t.Fatalf("constant field pixel = %d, want 128", p)
+		}
+	}
+	buf.Reset()
+	if err := GrayPGM(&buf, []float64{math.NaN(), 1, 2, 3}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[len(buf.Bytes())-4] != 0 {
+		t.Fatal("NaN should render black")
+	}
+}
+
+func TestGrayPGMAllNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GrayPGM(&buf, []float64{math.NaN(), math.Inf(1)}, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrayPGMGeometryError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GrayPGM(&buf, []float64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("bad geometry should error")
+	}
+	if err := GrayPGM(&buf, nil, 0, 0); err == nil {
+		t.Fatal("zero geometry should error")
+	}
+}
+
+func TestImagePGM(t *testing.T) {
+	im := dataset.NewImage(3, 2)
+	for i := range im.Pix {
+		im.Pix[i] = uint16(i * 1000)
+	}
+	var buf bytes.Buffer
+	if err := ImagePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len("P5\n3 2\n255\n")+6 {
+		t.Fatalf("output length %d", buf.Len())
+	}
+}
+
+func TestBandPGM(t *testing.T) {
+	sc, err := synth.NewOTISScene(synth.DefaultOTISConfig(synth.Stripe), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := BandPGM(&buf, sc.Cube, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+	if err := BandPGM(&buf, sc.Cube, 99); err == nil {
+		t.Fatal("out-of-range band should error")
+	}
+}

@@ -1,0 +1,69 @@
+package rice
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float32 support for OTIS radiance cubes. IEEE-754 words do not delta-map
+// well as whole integers (the exponent/mantissa boundary breaks
+// arithmetic), so the encoder splits each sample into its high and low
+// 16-bit halves and codes the two streams separately: the high halves
+// (sign, exponent, top mantissa) are strongly correlated across a smooth
+// radiance field and compress hard; the low halves carry most of the
+// entropy and cost close to verbatim, bounded by the per-block escape.
+
+// EncodeFloat32 compresses an IEEE-754 float32 sample stream.
+func EncodeFloat32(samples []float32) []byte {
+	hi := make([]uint16, len(samples))
+	lo := make([]uint16, len(samples))
+	for i, v := range samples {
+		bits := math.Float32bits(v)
+		hi[i] = uint16(bits >> 16)
+		lo[i] = uint16(bits)
+	}
+	encHi := Encode(hi)
+	encLo := Encode(lo)
+	out := make([]byte, 4, 4+len(encHi)+len(encLo))
+	binary.BigEndian.PutUint32(out, uint32(len(encHi)))
+	out = append(out, encHi...)
+	out = append(out, encLo...)
+	return out
+}
+
+// DecodeFloat32 reverses EncodeFloat32.
+func DecodeFloat32(data []byte) ([]float32, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: missing float header", ErrTruncated)
+	}
+	hiLen := int(binary.BigEndian.Uint32(data))
+	if hiLen < 0 || 4+hiLen > len(data) {
+		return nil, fmt.Errorf("%w: high-half stream length %d", ErrCorrupt, hiLen)
+	}
+	hi, err := Decode(data[4 : 4+hiLen])
+	if err != nil {
+		return nil, fmt.Errorf("high halves: %w", err)
+	}
+	lo, err := Decode(data[4+hiLen:])
+	if err != nil {
+		return nil, fmt.Errorf("low halves: %w", err)
+	}
+	if len(hi) != len(lo) {
+		return nil, fmt.Errorf("%w: %d high halves, %d low halves", ErrCorrupt, len(hi), len(lo))
+	}
+	out := make([]float32, len(hi))
+	for i := range out {
+		out[i] = math.Float32frombits(uint32(hi[i])<<16 | uint32(lo[i]))
+	}
+	return out, nil
+}
+
+// RatioFloat32 returns the compression ratio achieved on samples.
+func RatioFloat32(samples []float32) float64 {
+	enc := EncodeFloat32(samples)
+	if len(enc) == 0 {
+		return 1
+	}
+	return float64(4*len(samples)) / float64(len(enc))
+}

@@ -1,0 +1,94 @@
+package rice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+func roundTripF32(t *testing.T, samples []float32) []byte {
+	t.Helper()
+	enc := EncodeFloat32(samples)
+	dec, err := DecodeFloat32(enc)
+	if err != nil {
+		t.Fatalf("DecodeFloat32: %v", err)
+	}
+	if len(dec) != len(samples) {
+		t.Fatalf("length %d != %d", len(dec), len(samples))
+	}
+	for i := range samples {
+		if math.Float32bits(dec[i]) != math.Float32bits(samples[i]) {
+			t.Fatalf("sample %d: %x != %x", i, math.Float32bits(dec[i]), math.Float32bits(samples[i]))
+		}
+	}
+	return enc
+}
+
+func TestFloat32RoundTripBasic(t *testing.T) {
+	roundTripF32(t, nil)
+	roundTripF32(t, []float32{0})
+	roundTripF32(t, []float32{1.5, -2.25, 3.75e7, 1e-20})
+	roundTripF32(t, []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))})
+}
+
+func TestFloat32RoundTripProperty(t *testing.T) {
+	f := func(bits []uint32) bool {
+		samples := make([]float32, len(bits))
+		for i, b := range bits {
+			samples[i] = math.Float32frombits(b)
+		}
+		dec, err := DecodeFloat32(EncodeFloat32(samples))
+		if err != nil || len(dec) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if math.Float32bits(dec[i]) != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat32SmoothRadianceCompresses(t *testing.T) {
+	sc, err := synth.NewOTISScene(synth.DefaultOTISConfig(synth.Blob), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := RatioFloat32(sc.Cube.Data)
+	if ratio < 1.5 {
+		t.Fatalf("smooth radiance ratio = %.2f, want >= 1.5", ratio)
+	}
+}
+
+func TestFloat32DecodeErrors(t *testing.T) {
+	if _, err := DecodeFloat32(nil); err == nil {
+		t.Error("nil input should error")
+	}
+	if _, err := DecodeFloat32([]byte{0, 0, 0, 99}); err == nil {
+		t.Error("bogus high-half length should error")
+	}
+	// Mismatched stream lengths.
+	hi := Encode([]uint16{1, 2})
+	lo := Encode([]uint16{1})
+	bad := make([]byte, 4)
+	bad[3] = byte(len(hi))
+	bad = append(bad, hi...)
+	bad = append(bad, lo...)
+	if _, err := DecodeFloat32(bad); err == nil {
+		t.Error("length mismatch should error")
+	}
+	// Truncations anywhere must error, not panic.
+	enc := EncodeFloat32([]float32{1, 2, 3, 4, 5})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeFloat32(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d silently succeeded", cut)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package rice
+
+import (
+	"testing"
+)
+
+// FuzzDecode asserts that no byte stream can panic the decoder: it either
+// returns samples or an error.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 4, 0xFF, 0xFF, 0xFF})
+	f.Add(Encode([]uint16{1, 2, 3, 60000, 0, 32768}))
+	f.Add(Encode(make([]uint16, 100)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip through Encode/Decode.
+		back, err := Decode(Encode(out))
+		if err != nil {
+			t.Fatalf("re-encode of decoded data failed: %v", err)
+		}
+		if len(back) != len(out) {
+			t.Fatalf("round trip changed length: %d != %d", len(back), len(out))
+		}
+		for i := range out {
+			if back[i] != out[i] {
+				t.Fatalf("round trip changed sample %d", i)
+			}
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip asserts Encode/Decode identity over arbitrary
+// sample buffers (bytes reinterpreted as uint16 pairs).
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78})
+	f.Add(make([]byte, 1000))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		samples := make([]uint16, len(raw)/2)
+		for i := range samples {
+			samples[i] = uint16(raw[2*i])<<8 | uint16(raw[2*i+1])
+		}
+		dec, err := Decode(Encode(samples))
+		if err != nil {
+			t.Fatalf("decode of fresh encoding failed: %v", err)
+		}
+		if len(dec) != len(samples) {
+			t.Fatalf("length %d != %d", len(dec), len(samples))
+		}
+		for i := range samples {
+			if dec[i] != samples[i] {
+				t.Fatalf("sample %d: %d != %d", i, dec[i], samples[i])
+			}
+		}
+	})
+}

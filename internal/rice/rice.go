@@ -1,0 +1,248 @@
+// Package rice implements the Rice entropy coder the NGST pipeline uses to
+// compress integrated images before downlink (the paper's Section 2:
+// "after compression using Rice Algorithm", citing Fixsen et al.'s NGST
+// cosmic-ray rejection and data compression work).
+//
+// The coder follows the classic CCSDS/FITS convention: samples are
+// delta-mapped against their predecessor, zigzag-folded to non-negative
+// integers, and coded in blocks with a per-block Rice parameter k chosen to
+// minimize the encoded size; each value is then an output of quotient unary
+// coding followed by k literal bits. A per-block escape to verbatim coding
+// bounds the worst case on incompressible (e.g. cosmic-ray-riddled) data —
+// the mechanism behind the paper's note that CR hits degrade the
+// compression ratio.
+package rice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the number of samples per independently-parameterized block.
+const BlockSize = 32
+
+// maxK is the largest usable Rice parameter for 16-bit deltas.
+const maxK = 16
+
+// escapeK is the k value marking a verbatim (uncompressed) block.
+const escapeK = 31
+
+// Errors returned by Decode.
+var (
+	// ErrCorrupt indicates the stream is not a valid encoding.
+	ErrCorrupt = errors.New("rice: corrupt stream")
+	// ErrTruncated indicates the stream ended mid-value.
+	ErrTruncated = errors.New("rice: truncated stream")
+)
+
+// Encode compresses samples. The output is self-describing: a header with
+// the sample count followed by the coded blocks.
+func Encode(samples []uint16) []byte {
+	var w bitWriter
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(samples)))
+	w.bytes = append(w.bytes, hdr[:]...)
+
+	prev := uint16(0)
+	mapped := make([]uint32, 0, BlockSize)
+	for off := 0; off < len(samples); off += BlockSize {
+		end := off + BlockSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		mapped = mapped[:0]
+		p := prev
+		for _, s := range samples[off:end] {
+			mapped = append(mapped, zigzag(int32(s)-int32(p)))
+			p = s
+		}
+		prev = p
+
+		k, cost := bestK(mapped)
+		verbatimCost := 5 + 16*len(mapped)
+		if cost >= verbatimCost {
+			w.writeBits(escapeK, 5)
+			for _, s := range samples[off:end] {
+				w.writeBits(uint32(s), 16)
+			}
+			continue
+		}
+		w.writeBits(uint32(k), 5)
+		for _, m := range mapped {
+			q := m >> uint(k)
+			for ; q >= 32; q -= 32 {
+				w.writeBits(0, 32)
+			}
+			// q zeros then a terminating 1.
+			w.writeBits(1, int(q)+1)
+			if k > 0 {
+				w.writeBits(m&(1<<uint(k)-1), k)
+			}
+		}
+	}
+	w.flush()
+	return w.bytes
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]uint16, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: missing header", ErrTruncated)
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	// Every sample costs at least one bit on the wire (and each block at
+	// least 5), so a count beyond the stream's bit budget is corrupt; the
+	// check also stops a hostile header from driving the preallocation.
+	if n > len(data)*8 {
+		return nil, fmt.Errorf("%w: header claims %d samples in %d bytes", ErrTruncated, n, len(data))
+	}
+	r := bitReader{bytes: data[4:]}
+	out := make([]uint16, 0, n)
+	prev := int32(0)
+	for len(out) < n {
+		k, err := r.readBits(5)
+		if err != nil {
+			return nil, err
+		}
+		blockLen := BlockSize
+		if rem := n - len(out); rem < blockLen {
+			blockLen = rem
+		}
+		if k == escapeK {
+			for j := 0; j < blockLen; j++ {
+				v, err := r.readBits(16)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, uint16(v))
+			}
+			prev = int32(out[len(out)-1])
+			continue
+		}
+		if k > maxK {
+			return nil, fmt.Errorf("%w: k = %d", ErrCorrupt, k)
+		}
+		for j := 0; j < blockLen; j++ {
+			q := uint32(0)
+			for {
+				b, err := r.readBits(1)
+				if err != nil {
+					return nil, err
+				}
+				if b == 1 {
+					break
+				}
+				q++
+				if q > 1<<20 {
+					return nil, fmt.Errorf("%w: runaway unary code", ErrCorrupt)
+				}
+			}
+			low := uint32(0)
+			if k > 0 {
+				low, err = r.readBits(int(k))
+				if err != nil {
+					return nil, err
+				}
+			}
+			delta := unzigzag(q<<uint(k) | low)
+			v := prev + delta
+			if v < 0 || v > 0xFFFF {
+				return nil, fmt.Errorf("%w: sample %d out of range", ErrCorrupt, v)
+			}
+			out = append(out, uint16(v))
+			prev = v
+		}
+	}
+	return out, nil
+}
+
+// bestK returns the Rice parameter minimizing the coded size of the mapped
+// block, along with that size in bits (excluding the 5-bit k field... the
+// returned cost includes it so callers can compare against verbatim).
+func bestK(mapped []uint32) (int, int) {
+	bestParam, bestCost := 0, 1<<62
+	for k := 0; k <= maxK; k++ {
+		cost := 5
+		for _, m := range mapped {
+			cost += int(m>>uint(k)) + 1 + k
+			if cost >= bestCost {
+				break
+			}
+		}
+		if cost < bestCost {
+			bestParam, bestCost = k, cost
+		}
+	}
+	return bestParam, bestCost
+}
+
+// zigzag folds a signed delta into a non-negative integer: 0, -1, 1, -2, 2
+// map to 0, 1, 2, 3, 4.
+func zigzag(v int32) uint32 {
+	return uint32((v << 1) ^ (v >> 31))
+}
+
+// unzigzag reverses zigzag.
+func unzigzag(u uint32) int32 {
+	return int32(u>>1) ^ -int32(u&1)
+}
+
+// bitWriter accumulates big-endian bit strings.
+type bitWriter struct {
+	bytes []byte
+	acc   uint64
+	nbits int
+}
+
+// writeBits appends the low n bits of v, most significant first. For unary
+// runs the caller may pass up to 32 bits at once.
+func (w *bitWriter) writeBits(v uint32, n int) {
+	w.acc = w.acc<<uint(n) | uint64(v)&(1<<uint(n)-1)
+	w.nbits += n
+	for w.nbits >= 8 {
+		w.nbits -= 8
+		w.bytes = append(w.bytes, byte(w.acc>>uint(w.nbits)))
+	}
+}
+
+// flush pads the final byte with zero bits.
+func (w *bitWriter) flush() {
+	if w.nbits > 0 {
+		w.bytes = append(w.bytes, byte(w.acc<<uint(8-w.nbits)))
+		w.nbits = 0
+	}
+}
+
+// bitReader consumes big-endian bit strings.
+type bitReader struct {
+	bytes []byte
+	pos   int
+	acc   uint64
+	nbits int
+}
+
+// readBits returns the next n bits (n <= 32), most significant first.
+func (r *bitReader) readBits(n int) (uint32, error) {
+	for r.nbits < n {
+		if r.pos >= len(r.bytes) {
+			return 0, ErrTruncated
+		}
+		r.acc = r.acc<<8 | uint64(r.bytes[r.pos])
+		r.pos++
+		r.nbits += 8
+	}
+	r.nbits -= n
+	v := uint32(r.acc>>uint(r.nbits)) & uint32(1<<uint(n)-1)
+	return v, nil
+}
+
+// Ratio returns the compression ratio achieved on samples: input bytes over
+// encoded bytes. Larger is better; 1 means no compression.
+func Ratio(samples []uint16) float64 {
+	enc := Encode(samples)
+	if len(enc) == 0 {
+		return 1
+	}
+	return float64(2*len(samples)) / float64(len(enc))
+}

@@ -1,0 +1,214 @@
+package rice
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+func roundTrip(t *testing.T, samples []uint16) []byte {
+	t.Helper()
+	enc := Encode(samples)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(dec) != len(samples) {
+		t.Fatalf("length %d != %d", len(dec), len(samples))
+	}
+	for i := range samples {
+		if dec[i] != samples[i] {
+			t.Fatalf("sample %d: %d != %d", i, dec[i], samples[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	tests := [][]uint16{
+		{},
+		{0},
+		{65535},
+		{1, 2, 3, 4, 5},
+		{27000, 27001, 26999, 27002, 27000},
+		make([]uint16, 1000), // all zeros
+	}
+	for _, s := range tests {
+		roundTrip(t, s)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := src.Intn(500) + 1
+		s := make([]uint16, n)
+		for i := range s {
+			s[i] = uint16(src.Uint32())
+		}
+		roundTrip(t, s)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(s []uint16) bool {
+		enc := Encode(s)
+		dec, err := Decode(enc)
+		if err != nil || len(dec) != len(s) {
+			return false
+		}
+		for i := range s {
+			if dec[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothDataCompresses(t *testing.T) {
+	// NGST-like smooth temporal data must compress well.
+	ser, err := synth.GaussianSeries(synth.SeriesConfig{N: 4096, Initial: 27000, Sigma: 30}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := roundTrip(t, ser)
+	ratio := float64(2*len(ser)) / float64(len(enc))
+	if ratio < 2 {
+		t.Fatalf("smooth data ratio = %.2f, want >= 2", ratio)
+	}
+}
+
+func TestRandomDataDoesNotExplode(t *testing.T) {
+	// Incompressible data must stay near 1:1 thanks to the verbatim
+	// escape (overhead bounded by the per-block k field).
+	src := rng.New(3)
+	s := make([]uint16, 4096)
+	for i := range s {
+		s[i] = uint16(src.Uint32())
+	}
+	enc := roundTrip(t, s)
+	overhead := float64(len(enc))/float64(2*len(s)) - 1
+	if overhead > 0.05 {
+		t.Fatalf("incompressible overhead = %.1f%%, want <= 5%%", overhead*100)
+	}
+}
+
+func TestBitFlipsDegradeCompression(t *testing.T) {
+	// The paper's Section 2 motivation: damage (CR hits / bit flips)
+	// reduces the compression ratio.
+	ser, err := synth.GaussianSeries(synth.SeriesConfig{N: 8192, Initial: 27000, Sigma: 30}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Ratio(ser)
+	damaged := append([]uint16(nil), ser...)
+	src := rng.New(5)
+	for i := range damaged {
+		if src.Bernoulli(0.05) {
+			damaged[i] ^= 1 << uint(src.Intn(16))
+		}
+	}
+	dirty := Ratio(damaged)
+	if dirty >= clean {
+		t.Fatalf("damage did not degrade compression: clean %.2f, damaged %.2f", clean, dirty)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil input: %v", err)
+	}
+	if _, err := Decode([]byte{0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: %v", err)
+	}
+	// Header claims samples but no body follows.
+	if _, err := Decode([]byte{0, 0, 0, 10}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("missing body: %v", err)
+	}
+	// Illegal k (between maxK and escape).
+	bad := []byte{0, 0, 0, 1, 20 << 3} // k=20 in the top 5 bits
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad k: %v", err)
+	}
+	// Truncating a valid stream mid-body must error, not panic.
+	s := []uint16{100, 200, 300, 400, 500, 600, 700, 800}
+	enc := Encode(s)
+	for cut := 4; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d silently succeeded", cut)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	tests := []struct {
+		v int32
+		u uint32
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}, {-32768, 65535}, {32767, 65534}}
+	for _, tt := range tests {
+		if got := zigzag(tt.v); got != tt.u {
+			t.Errorf("zigzag(%d) = %d, want %d", tt.v, got, tt.u)
+		}
+		if got := unzigzag(tt.u); got != tt.v {
+			t.Errorf("unzigzag(%d) = %d, want %d", tt.u, got, tt.v)
+		}
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int32) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	var w bitWriter
+	w.writeBits(0b101, 3)
+	w.writeBits(0xFFFF, 16)
+	w.writeBits(0, 1)
+	w.writeBits(0xDEADBEEF, 32)
+	w.flush()
+	r := bitReader{bytes: w.bytes}
+	if v, _ := r.readBits(3); v != 0b101 {
+		t.Fatalf("3-bit read = %b", v)
+	}
+	if v, _ := r.readBits(16); v != 0xFFFF {
+		t.Fatalf("16-bit read = %x", v)
+	}
+	if v, _ := r.readBits(1); v != 0 {
+		t.Fatalf("1-bit read = %d", v)
+	}
+	if v, _ := r.readBits(32); v != 0xDEADBEEF {
+		t.Fatalf("32-bit read = %x", v)
+	}
+	if _, err := r.readBits(32); err == nil {
+		t.Fatal("reading past end should error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(make([]uint16, 640)); r < 10 {
+		t.Fatalf("all-zero ratio = %.2f, want large", r)
+	}
+}
+
+func TestLargeValuesWithHugeDeltas(t *testing.T) {
+	// Alternating extremes stress the unary chunking path (q >= 32).
+	s := make([]uint16, 64)
+	for i := range s {
+		if i%2 == 0 {
+			s[i] = 0
+		} else {
+			s[i] = 65535
+		}
+	}
+	roundTrip(t, s)
+}

@@ -1,0 +1,216 @@
+// Package store persists baselines as FITS files — the storage layer of
+// the Figure 1 pipeline. Each readout frame is one FITS file in a baseline
+// directory; loading runs the Section 3.2 header sanity analysis on every
+// file (the Lambda = 0 preprocessing level), repairs what the redundancy
+// pins down, and reports what it found.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/fits"
+)
+
+// framePattern names readout i of a baseline.
+const framePattern = "readout_%04d.fits"
+
+// SaveBaseline writes every readout of the stack into dir, creating it if
+// needed.
+func SaveBaseline(dir string, s *dataset.Stack) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for i, f := range s.Frames {
+		path := filepath.Join(dir, fmt.Sprintf(framePattern, i))
+		if err := os.WriteFile(path, fits.EncodeImage(f), 0o644); err != nil {
+			return fmt.Errorf("store: write readout %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadReport summarizes the sanity pass over one baseline.
+type LoadReport struct {
+	// Frames is the number of readouts loaded.
+	Frames int
+	// HeaderIssues counts issues found across all frame headers.
+	HeaderIssues int
+	// HeaderRepairs counts issues repaired.
+	HeaderRepairs int
+	// Unrecoverable lists frame indices whose headers could not be made
+	// decodable; their pixels are zero-filled in the returned stack.
+	Unrecoverable []int
+}
+
+// LoadBaseline reads the readouts saved in dir, sanity-checking and
+// repairing every header. Frames with unrecoverable headers are
+// zero-filled and reported rather than failing the whole baseline (the
+// pipeline can still integrate the surviving readouts).
+func LoadBaseline(dir string, opts ...fits.SanityOption) (*dataset.Stack, *LoadReport, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".fits" {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("store: no FITS readouts in %s", dir)
+	}
+	sort.Strings(paths)
+
+	rep := &LoadReport{Frames: len(paths)}
+	var stack *dataset.Stack
+	for i, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+		sanity, fixed := fits.SanityCheck(raw, opts...)
+		rep.HeaderIssues += len(sanity.Issues)
+		rep.HeaderRepairs += sanity.Repaired
+
+		var im *dataset.Image
+		if sanity.Fatal {
+			rep.Unrecoverable = append(rep.Unrecoverable, i)
+		} else {
+			f, err := fits.Decode(fixed)
+			if err != nil {
+				rep.Unrecoverable = append(rep.Unrecoverable, i)
+			} else if im, err = f.Image(); err != nil {
+				rep.Unrecoverable = append(rep.Unrecoverable, i)
+				im = nil
+			}
+		}
+		if stack == nil {
+			if im == nil {
+				// Defer geometry until the first decodable frame.
+				continue
+			}
+			stack = dataset.NewStack(len(paths), im.Width, im.Height)
+			// Backfill any earlier unrecoverable frames as zeros (already
+			// zeroed by NewStack).
+		}
+		if im != nil {
+			if im.Width != stack.Width() || im.Height != stack.Height() {
+				return nil, nil, fmt.Errorf("store: readout %d geometry %dx%d != baseline %dx%d",
+					i, im.Width, im.Height, stack.Width(), stack.Height())
+			}
+			copy(stack.Frames[i].Pix, im.Pix)
+		}
+	}
+	if stack == nil {
+		return nil, nil, fmt.Errorf("store: no readout in %s survived header repair", dir)
+	}
+	return stack, rep, nil
+}
+
+// SaveBaselineFile writes the whole baseline into one multi-HDU FITS file
+// (one image HDU per readout).
+func SaveBaselineFile(path string, s *dataset.Stack) error {
+	if err := os.WriteFile(path, fits.EncodeStack(s), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LoadBaselineFile reads a multi-HDU baseline file with per-HDU header
+// sanity repair. HDU boundaries are recovered from the first decodable
+// HDU's geometry (every readout shares it), so a damaged header in the
+// middle of the file does not desynchronize the walk. Unrecoverable HDUs
+// are zero-filled and reported, mirroring LoadBaseline.
+func LoadBaselineFile(path string, opts ...fits.SanityOption) (*dataset.Stack, *LoadReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	// Find the HDU size from the first decodable header (repairing it if
+	// needed).
+	sanity, fixed := fits.SanityCheck(raw, opts...)
+	first, err := fits.Decode(fixed)
+	if err != nil || len(first.Axes) != 2 {
+		return nil, nil, fmt.Errorf("store: cannot establish baseline geometry from %s (first HDU: %v, sanity fatal=%v)",
+			path, err, sanity.Fatal)
+	}
+	width, height := first.Axes[0], first.Axes[1]
+	hduSize := fits.HDUSize(width, height)
+	n := len(raw) / hduSize
+	if n == 0 {
+		return nil, nil, fmt.Errorf("store: %s shorter than one HDU", path)
+	}
+
+	rep := &LoadReport{Frames: n}
+	stack := dataset.NewStack(n, width, height)
+	for i := 0; i < n; i++ {
+		slice := raw[i*hduSize : (i+1)*hduSize]
+		hduSan, hduFixed := fits.SanityCheck(slice, opts...)
+		rep.HeaderIssues += len(hduSan.Issues)
+		rep.HeaderRepairs += hduSan.Repaired
+		if hduSan.Fatal {
+			rep.Unrecoverable = append(rep.Unrecoverable, i)
+			continue
+		}
+		f, err := fits.Decode(hduFixed)
+		if err != nil {
+			rep.Unrecoverable = append(rep.Unrecoverable, i)
+			continue
+		}
+		im, err := f.Image()
+		if err != nil || im.Width != width || im.Height != height {
+			rep.Unrecoverable = append(rep.Unrecoverable, i)
+			continue
+		}
+		copy(stack.Frames[i].Pix, im.Pix)
+	}
+	if len(rep.Unrecoverable) == n {
+		return nil, nil, fmt.Errorf("store: no HDU in %s survived header repair", path)
+	}
+	return stack, rep, nil
+}
+
+// InterpolateLost replaces every frame listed in lost with the nearest
+// surviving readout (ties go to the earlier frame). Leaving a destroyed
+// readout zero-filled would fabricate two enormous temporal steps at every
+// coordinate — worse for the downstream cosmic-ray rejection than simply
+// repeating a neighbor, which only flattens one inter-readout difference.
+func InterpolateLost(s *dataset.Stack, lost []int) {
+	if len(lost) == 0 {
+		return
+	}
+	isLost := make(map[int]bool, len(lost))
+	for _, i := range lost {
+		if i >= 0 && i < s.Len() {
+			isLost[i] = true
+		}
+	}
+	if len(isLost) == s.Len() {
+		return // nothing to interpolate from
+	}
+	for i := range s.Frames {
+		if !isLost[i] {
+			continue
+		}
+		src := -1
+		for d := 1; d < s.Len(); d++ {
+			if j := i - d; j >= 0 && !isLost[j] {
+				src = j
+				break
+			}
+			if j := i + d; j < s.Len() && !isLost[j] {
+				src = j
+				break
+			}
+		}
+		if src >= 0 {
+			copy(s.Frames[i].Pix, s.Frames[src].Pix)
+		}
+	}
+}

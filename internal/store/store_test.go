@@ -1,0 +1,298 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/fault"
+	"spaceproc/internal/fits"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+func testStack(t *testing.T, n int) *dataset.Stack {
+	t.Helper()
+	st, err := synth.GaussianStack(synth.SeriesConfig{N: n, Initial: 20000, Sigma: 100}, 16, 16, 4000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := testStack(t, 8)
+	if err := SaveBaseline(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := LoadBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 8 || rep.HeaderIssues != 0 || len(rep.Unrecoverable) != 0 {
+		t.Fatalf("clean load report %+v", rep)
+	}
+	for i := range st.Frames {
+		for j := range st.Frames[i].Pix {
+			if st.Frames[i].Pix[j] != back.Frames[i].Pix[j] {
+				t.Fatalf("pixel mismatch frame %d offset %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadRepairsDamagedHeader(t *testing.T) {
+	dir := t.TempDir()
+	st := testStack(t, 4)
+	if err := SaveBaseline(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the NAXIS1 keyword of readout 2's header.
+	path := filepath.Join(dir, "readout_0002.fits")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(string(raw[:fits.BlockSize]), "NAXIS1")
+	raw[idx] ^= 0x02
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, rep, err := LoadBaseline(dir, fits.WithExpectedAxes(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HeaderRepairs == 0 {
+		t.Fatalf("expected a header repair: %+v", rep)
+	}
+	if len(rep.Unrecoverable) != 0 {
+		t.Fatalf("repairable header reported unrecoverable: %+v", rep)
+	}
+	if back.Frames[2].At(3, 3) != st.Frames[2].At(3, 3) {
+		t.Fatal("repaired frame lost pixel data")
+	}
+}
+
+func TestLoadZeroFillsUnrecoverableFrame(t *testing.T) {
+	dir := t.TempDir()
+	st := testStack(t, 4)
+	if err := SaveBaseline(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy readout 1's header beyond repair.
+	path := filepath.Join(dir, "readout_0001.fits")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Uncorrelated{Gamma0: 0.2}.InjectBytes(raw[:fits.BlockSize], rng.New(2))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, rep, err := LoadBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrecoverable) != 1 || rep.Unrecoverable[0] != 1 {
+		t.Fatalf("unrecoverable report %+v", rep)
+	}
+	for _, p := range back.Frames[1].Pix {
+		if p != 0 {
+			t.Fatal("unrecoverable frame not zero-filled")
+		}
+	}
+	if back.Frames[0].At(2, 2) != st.Frames[0].At(2, 2) {
+		t.Fatal("healthy frame corrupted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir should error")
+	}
+	empty := t.TempDir()
+	if _, _, err := LoadBaseline(empty); err == nil {
+		t.Error("empty dir should error")
+	}
+	// Geometry mismatch across frames.
+	dir := t.TempDir()
+	a := dataset.NewImage(8, 8)
+	b := dataset.NewImage(4, 4)
+	if err := os.WriteFile(filepath.Join(dir, "readout_0000.fits"), fits.EncodeImage(a), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "readout_0001.fits"), fits.EncodeImage(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBaseline(dir); err == nil {
+		t.Error("geometry mismatch should error")
+	}
+}
+
+func TestLoadAllFramesDestroyed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "readout_0000.fits"), make([]byte, fits.BlockSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBaseline(dir); err == nil {
+		t.Error("all-destroyed baseline should error")
+	}
+}
+
+func TestInterpolateLost(t *testing.T) {
+	st := dataset.NewStack(5, 2, 1)
+	for i, f := range st.Frames {
+		f.Pix[0] = uint16(100 * (i + 1))
+		f.Pix[1] = uint16(100*(i+1) + 1)
+	}
+	st.Frames[1].Pix[0], st.Frames[1].Pix[1] = 0, 0
+	st.Frames[4].Pix[0], st.Frames[4].Pix[1] = 0, 0
+	InterpolateLost(st, []int{1, 4})
+	if st.Frames[1].Pix[0] != 100 { // nearest survivor is frame 0
+		t.Fatalf("frame 1 interpolated to %d", st.Frames[1].Pix[0])
+	}
+	if st.Frames[4].Pix[0] != 400 { // nearest survivor is frame 3
+		t.Fatalf("frame 4 interpolated to %d", st.Frames[4].Pix[0])
+	}
+	if st.Frames[2].Pix[0] != 300 {
+		t.Fatal("healthy frame disturbed")
+	}
+}
+
+func TestInterpolateLostEdgeCases(t *testing.T) {
+	st := dataset.NewStack(2, 1, 1)
+	st.Frames[0].Pix[0], st.Frames[1].Pix[0] = 7, 9
+	InterpolateLost(st, nil) // no-op
+	if st.Frames[0].Pix[0] != 7 {
+		t.Fatal("no-op disturbed data")
+	}
+	InterpolateLost(st, []int{0, 1}) // everything lost: nothing to copy
+	if st.Frames[0].Pix[0] != 7 || st.Frames[1].Pix[0] != 9 {
+		t.Fatal("all-lost case should leave frames untouched")
+	}
+	InterpolateLost(st, []int{-1, 99}) // out-of-range indices ignored
+}
+
+func TestBaselineFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.fits")
+	st := testStack(t, 6)
+	if err := SaveBaselineFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := LoadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 6 || rep.HeaderIssues != 0 {
+		t.Fatalf("clean load report %+v", rep)
+	}
+	for i := range st.Frames {
+		for j := range st.Frames[i].Pix {
+			if st.Frames[i].Pix[j] != back.Frames[i].Pix[j] {
+				t.Fatalf("pixel mismatch frame %d offset %d", i, j)
+			}
+		}
+	}
+}
+
+func TestBaselineFileRepairsMidFileHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.fits")
+	st := testStack(t, 4)
+	if err := SaveBaselineFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage a keyword in HDU 2's header (HDU size for 16x16 images).
+	hduSize := fits.HDUSize(16, 16)
+	region := raw[2*hduSize : 2*hduSize+fits.BlockSize]
+	idx := strings.Index(string(region), "NAXIS2")
+	region[idx] ^= 0x02
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, rep, err := LoadBaselineFile(path, fits.WithExpectedAxes(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HeaderRepairs == 0 {
+		t.Fatalf("mid-file header not repaired: %+v", rep)
+	}
+	if len(rep.Unrecoverable) != 0 {
+		t.Fatalf("repairable HDU reported lost: %+v", rep)
+	}
+	if back.Frames[2].At(5, 5) != st.Frames[2].At(5, 5) {
+		t.Fatal("repaired HDU lost pixel data")
+	}
+}
+
+func TestBaselineFileZeroFillsDestroyedHDU(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.fits")
+	st := testStack(t, 3)
+	if err := SaveBaselineFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hduSize := fits.HDUSize(16, 16)
+	fault.Uncorrelated{Gamma0: 0.2}.InjectBytes(raw[hduSize:hduSize+fits.BlockSize], rng.New(3))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := LoadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrecoverable) != 1 || rep.Unrecoverable[0] != 1 {
+		t.Fatalf("unrecoverable report %+v", rep)
+	}
+	for _, p := range back.Frames[1].Pix {
+		if p != 0 {
+			t.Fatal("destroyed HDU not zero-filled")
+		}
+	}
+}
+
+func TestBaselineFileErrors(t *testing.T) {
+	if _, _, err := LoadBaselineFile(filepath.Join(t.TempDir(), "missing.fits")); err == nil {
+		t.Error("missing file should error")
+	}
+	short := filepath.Join(t.TempDir(), "short.fits")
+	if err := os.WriteFile(short, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBaselineFile(short); err == nil {
+		t.Error("junk file should error")
+	}
+}
+
+func TestLoadIgnoresNonFITSFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := testStack(t, 2)
+	if err := SaveBaseline(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := LoadBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 2 || back.Len() != 2 {
+		t.Fatalf("loaded %d frames, want 2", rep.Frames)
+	}
+}

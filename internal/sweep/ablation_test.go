@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"testing"
+)
+
+func TestAblationVotingShape(t *testing.T) {
+	res, err := AblationVoting(quickNGST(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The carry guard is load-bearing at low fault rates: removing it
+	// must cost at least 2x.
+	full, _ := res.Get("Full", 0.0025)
+	noGuard, _ := res.Get("NoCarryGuard", 0.0025)
+	if noGuard < 2*full {
+		t.Fatalf("carry guard ablation shows no effect: full %.6g, without %.6g", full, noGuard)
+	}
+	// Every variant still beats no preprocessing at practical rates.
+	raw, _ := res.Get("NoPreprocessing", 0.01)
+	for _, name := range []string{"Full", "NoQuorum", "NoCarryGuard", "NoGuards"} {
+		v, ok := res.Get(name, 0.01)
+		if !ok || v >= raw {
+			t.Fatalf("%s (%.6g) not below raw (%.6g)", name, v, raw)
+		}
+	}
+}
+
+func TestAblationThresholdsShape(t *testing.T) {
+	res, err := AblationThresholds(quickNGST(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The literal (sign-uncorrected) Phi must be clearly worse than the
+	// corrected form at the high end, where it prunes almost all voters.
+	dyn, _ := res.Get("Dynamic", 0.05)
+	lit, _ := res.Get("LiteralPhi", 0.05)
+	if lit < 1.5*dyn {
+		t.Fatalf("literal Phi ablation shows no effect: dynamic %.6g, literal %.6g", dyn, lit)
+	}
+}
+
+func TestAblationLayoutShape(t *testing.T) {
+	cfg := quickNGST()
+	cfg.Trials = 5
+	res, err := AblationLayout(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved (frame-major) storage must beat series-major under
+	// bursts at every burst length.
+	sm, _ := res.SeriesByName("SeriesMajor")
+	fm, _ := res.SeriesByName("FrameMajor")
+	if len(sm.Points) == 0 || len(sm.Points) != len(fm.Points) {
+		t.Fatal("layout series malformed")
+	}
+	for i := range sm.Points {
+		if fm.Points[i].Y >= sm.Points[i].Y {
+			t.Fatalf("at burst %v frame-major (%.6g) not below series-major (%.6g)",
+				sm.Points[i].X, fm.Points[i].Y, sm.Points[i].Y)
+		}
+	}
+}
+
+func TestAblationECCShape(t *testing.T) {
+	cfg := quickNGST()
+	res, err := AblationECC(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At low rates SEC-DED is near-perfect (single flips per 22-bit word
+	// dominate) — clearly better than preprocessing's window-C residual.
+	eccLo, _ := res.Get("SECDED(+37.5%mem)", 0.001)
+	preLo, _ := res.Get("AlgoNGST", 0.001)
+	if eccLo >= preLo {
+		t.Fatalf("at 0.001 ECC (%.6g) should beat preprocessing (%.6g)", eccLo, preLo)
+	}
+	// At high rates multi-flip words defeat ECC; preprocessing degrades
+	// more gracefully, and the combination is at least as good as ECC
+	// alone.
+	eccHi, _ := res.Get("SECDED(+37.5%mem)", 0.1)
+	bothHi, _ := res.Get("SECDED+AlgoNGST", 0.1)
+	if bothHi > eccHi {
+		t.Fatalf("at 0.1 the combination (%.6g) should not lose to ECC alone (%.6g)", bothHi, eccHi)
+	}
+	raw, _ := res.Get("NoProtection", 0.01)
+	for _, name := range []string{"AlgoNGST", "SECDED(+37.5%mem)", "SECDED+AlgoNGST"} {
+		v, _ := res.Get(name, 0.01)
+		if v >= raw {
+			t.Fatalf("%s (%.6g) not below no-protection (%.6g)", name, v, raw)
+		}
+	}
+}
+
+func TestAblationLocalityShape(t *testing.T) {
+	cfg := quickOTIS()
+	res, err := AblationLocality(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 7.1: spatial beats spectral, decisively, on material with a
+	// non-flat emissivity spectrum.
+	for _, g := range []float64{0.0025, 0.025} {
+		spatial, _ := res.Get("Spatial", g)
+		spectral, _ := res.Get("Spectral", g)
+		if spatial*2 >= spectral {
+			t.Fatalf("at Gamma0=%v spatial (%.6g) not well below spectral (%.6g)", g, spatial, spectral)
+		}
+	}
+}

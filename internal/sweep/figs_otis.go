@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"fmt"
+
+	"spaceproc/internal/core"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/fault"
+	"spaceproc/internal/metrics"
+	"spaceproc/internal/rng"
+	"spaceproc/internal/synth"
+)
+
+// OTISSweepConfig parameterizes the OTIS-benchmark experiments
+// (Figures 7/8 and 9).
+type OTISSweepConfig struct {
+	// Trials is the number of independent scenes per measured point.
+	Trials int
+	// Scene is the dataset geometry (kind is overridden per experiment).
+	Scene synth.OTISConfig
+}
+
+// DefaultOTISSweepConfig returns the default OTIS experiment parameters.
+func DefaultOTISSweepConfig() OTISSweepConfig {
+	return OTISSweepConfig{Trials: 3, Scene: synth.DefaultOTISConfig(synth.Blob)}
+}
+
+// Validate reports whether the configuration is usable.
+func (c OTISSweepConfig) Validate() error {
+	if c.Trials <= 0 {
+		return fmt.Errorf("sweep: trials must be positive, got %d", c.Trials)
+	}
+	probe := c.Scene
+	probe.Kind = synth.Blob
+	return probe.Validate()
+}
+
+// otisGamma0Sweep is the uncorrelated axis of the Figure 7/8 experiment.
+var otisGamma0Sweep = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.3}
+
+// OTISKinds are the three evaluation datasets of Section 7.3.
+var OTISKinds = []synth.OTISKind{synth.Blob, synth.Stripe, synth.Spots}
+
+// cubePreprocessorError measures mean cube Psi for a preprocessor over
+// cfg.Trials scenes of the given kind.
+func cubePreprocessorError(cfg OTISSweepConfig, kind synth.OTISKind, mk func(*synth.OTISScene) core.CubePreprocessor,
+	seed uint64, inject func(*dataset.Cube, *rng.Source)) float64 {
+
+	var acc metrics.Accumulator
+	for trial := 0; trial < cfg.Trials; trial++ {
+		sceneCfg := cfg.Scene
+		sceneCfg.Kind = kind
+		sc, err := synth.NewOTISScene(sceneCfg, rng.NewStream(seed, uint64(trial)*2))
+		if err != nil {
+			panic(err) // config validated by callers
+		}
+		damaged := sc.Cube.Clone()
+		inject(damaged, rng.NewStream(seed, uint64(trial)*2+1))
+		if mk != nil {
+			mk(sc).ProcessCube(damaged)
+		}
+		acc.Add(metrics.CubeError(damaged, sc.Cube))
+	}
+	return acc.Mean()
+}
+
+// otisAlgorithms returns the four compared pipelines; the constructor
+// closure lets Algo_OTIS receive the scene's wavelengths for its physical
+// bounds.
+func otisAlgorithms() []struct {
+	name string
+	mk   func(*synth.OTISScene) core.CubePreprocessor
+} {
+	return []struct {
+		name string
+		mk   func(*synth.OTISScene) core.CubePreprocessor
+	}{
+		{"NoPreprocessing", nil},
+		{"Median3", func(*synth.OTISScene) core.CubePreprocessor { return core.CubeMedian3{} }},
+		{"MajorityBit3", func(*synth.OTISScene) core.CubePreprocessor { return core.CubeMajorityBit3{} }},
+		{"AlgoOTIS", func(sc *synth.OTISScene) core.CubePreprocessor {
+			a, err := core.NewAlgoOTIS(core.DefaultOTISConfig(sc.Wavelengths))
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}},
+	}
+}
+
+// Fig7 regenerates the OTIS uncorrelated-fault comparison (the plot the
+// text calls "results from Figure 8"; the scan swapped the captions of
+// Figures 7 and 8). It returns one Result per dataset kind.
+func Fig7(cfg OTISSweepConfig, seed uint64) ([]*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, kind := range OTISKinds {
+		res := &Result{
+			ID:     fmt.Sprintf("fig7(%s)", kind),
+			Title:  fmt.Sprintf("Psi vs Gamma0, uncorrelated faults, OTIS %q", kind),
+			XLabel: "Gamma0",
+			YLabel: "average relative error Psi",
+		}
+		for _, alg := range otisAlgorithms() {
+			s := Series{Name: alg.name}
+			for _, g := range otisGamma0Sweep {
+				injector := fault.Uncorrelated{Gamma0: g}
+				psi := cubePreprocessorError(cfg, kind, alg.mk, seed, func(c *dataset.Cube, src *rng.Source) {
+					injector.InjectCube(c, src)
+				})
+				s.Points = append(s.Points, Point{X: g, Y: psi})
+			}
+			res.Series = append(res.Series, s)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig9 regenerates Figure 9: the OTIS comparison under the correlated
+// fault model, locating the breakdown point (~0.2 in the paper) beyond
+// which preprocessing hurts. It returns one Result per dataset kind.
+func Fig9(cfg OTISSweepConfig, seed uint64) ([]*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, kind := range OTISKinds {
+		res := &Result{
+			ID:     fmt.Sprintf("fig9(%s)", kind),
+			Title:  fmt.Sprintf("Psi vs GammaIni, correlated faults, OTIS %q", kind),
+			XLabel: "GammaIni",
+			YLabel: "average relative error Psi",
+		}
+		for _, alg := range otisAlgorithms() {
+			s := Series{Name: alg.name}
+			for _, g := range gammaIniSweep {
+				injector := fault.Correlated{GammaIni: g}
+				psi := cubePreprocessorError(cfg, kind, alg.mk, seed, func(c *dataset.Cube, src *rng.Source) {
+					if _, err := injector.InjectCube(c, src); err != nil {
+						panic(err)
+					}
+				})
+				s.Points = append(s.Points, Point{X: g, Y: psi})
+			}
+			res.Series = append(res.Series, s)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Breakdown returns the smallest swept X at which the named series becomes
+// worse than the reference (no-preprocessing) series — the Figure 9
+// breakdown point — or -1 if it never breaks down.
+func Breakdown(res *Result, name string) float64 {
+	pre, ok1 := res.SeriesByName(name)
+	raw, ok2 := res.SeriesByName("NoPreprocessing")
+	if !ok1 || !ok2 || len(pre.Points) != len(raw.Points) {
+		return -1
+	}
+	for i := range pre.Points {
+		if pre.Points[i].Y > raw.Points[i].Y {
+			return pre.Points[i].X
+		}
+	}
+	return -1
+}

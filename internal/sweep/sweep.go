@@ -1,0 +1,136 @@
+// Package sweep is the experiment harness: it regenerates every figure of
+// the paper's evaluation (Figures 2-9) as numeric series, plus the
+// reproduction's own extension experiments. Each runner is deterministic
+// given its seed; cmd/experiments renders the results as text tables, and
+// EXPERIMENTS.md records the measured numbers against the paper's claims.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	// ID is the experiment identifier, e.g. "fig2".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the curves.
+	Series []Series
+}
+
+// Render writes the result as an aligned text table: one row per X value,
+// one column per series.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# y: %s\n", r.YLabel); err != nil {
+		return err
+	}
+
+	// Collect the union of X values across series.
+	xsSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := make([]string, 0, len(r.Series)+1)
+	header = append(header, r.XLabel)
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{formatX(x)}
+		for _, s := range r.Series {
+			row = append(row, lookup(s, x))
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, cell := range row {
+			cells[i] = fmt.Sprintf("%*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatX(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e9 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+func lookup(s Series, x float64) string {
+	for _, p := range s.Points {
+		if p.X == x {
+			return fmt.Sprintf("%.6g", p.Y)
+		}
+	}
+	return "-"
+}
+
+// Get returns the Y value of the named series at x.
+func (r *Result) Get(name string, x float64) (float64, bool) {
+	for _, s := range r.Series {
+		if s.Name != name {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// SeriesByName returns the named series.
+func (r *Result) SeriesByName(name string) (Series, bool) {
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}

@@ -1,0 +1,308 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"spaceproc/internal/synth"
+)
+
+// quickNGST returns a fast configuration for shape assertions.
+func quickNGST() NGSTConfig {
+	cfg := DefaultNGSTConfig()
+	cfg.Trials = 10
+	return cfg
+}
+
+func quickOTIS() OTISSweepConfig {
+	cfg := DefaultOTISSweepConfig()
+	cfg.Trials = 1
+	cfg.Scene.Width, cfg.Scene.Height = 32, 32
+	cfg.Scene.Bands = 4
+	return cfg
+}
+
+func TestRenderTable(t *testing.T) {
+	res := &Result{
+		ID: "test", Title: "a test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 0.5}, {2, 0.25}}},
+			{Name: "b", Points: []Point{{1, 0.7}}},
+		},
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# test: a test", "x", "a", "b", "0.5", "0.25", "0.7", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	res := &Result{Series: []Series{{Name: "a", Points: []Point{{1, 2}}}}}
+	if v, ok := res.Get("a", 1); !ok || v != 2 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if _, ok := res.Get("a", 9); ok {
+		t.Fatal("Get on missing x should fail")
+	}
+	if _, ok := res.Get("zz", 1); ok {
+		t.Fatal("Get on missing series should fail")
+	}
+	if _, ok := res.SeriesByName("a"); !ok {
+		t.Fatal("SeriesByName failed")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Fig2(NGSTConfig{}, 1); err == nil {
+		t.Error("zero config should error")
+	}
+	if _, err := Fig7(OTISSweepConfig{}, 1); err == nil {
+		t.Error("zero OTIS config should error")
+	}
+	if _, err := FigHeader(HeaderConfig{}, 1); err == nil {
+		t.Error("zero header config should error")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Fig2(quickNGST(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	// Headline: at practical Gamma0, preprocessing beats no preprocessing
+	// by a large factor, and monotonicity of the no-preprocessing curve.
+	noPre, _ := res.SeriesByName("NoPreprocessing")
+	for i := 1; i < len(noPre.Points); i++ {
+		if noPre.Points[i].Y <= noPre.Points[i-1].Y {
+			t.Fatalf("no-preprocessing Psi not increasing at %v", noPre.Points[i].X)
+		}
+	}
+	// (At Gamma0 = 0.001 only ~10 bits flip across a 10-trial quick run,
+	// so the ratio is too noisy to assert; the mid-range rates are
+	// statistically stable.)
+	for _, g := range []float64{0.005, 0.01} {
+		raw, _ := res.Get("NoPreprocessing", g)
+		best := raw
+		for _, l := range fig2Sensitivities {
+			if v, ok := res.Get("AlgoNGST(L="+itoa(l)+")", g); ok && v < best {
+				best = v
+			}
+		}
+		if best*10 > raw {
+			t.Fatalf("at Gamma0=%v best AlgoNGST %.6g not >= 10x below raw %.6g", g, best, raw)
+		}
+	}
+}
+
+func itoa(v int) string {
+	switch v {
+	case 20:
+		return "20"
+	case 50:
+		return "50"
+	case 80:
+		return "80"
+	case 100:
+		return "100"
+	default:
+		return "?"
+	}
+}
+
+func TestFig2Deterministic(t *testing.T) {
+	a, err := Fig2(quickNGST(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig2(quickNGST(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range a.Series {
+		for j, p := range s.Points {
+			if b.Series[i].Points[j].Y != p.Y {
+				t.Fatalf("non-deterministic at series %d point %d", i, j)
+			}
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res, err := Fig3(quickNGST(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lambda = 0 must be near-free; Lambda > 0 costs far more than the
+	// generic filters.
+	zero, _ := res.Get("AlgoNGST", 0)
+	mid, _ := res.Get("AlgoNGST", 50)
+	med, _ := res.Get("Median3", 50)
+	if zero*10 > mid {
+		t.Fatalf("Lambda=0 cost %.0f not far below Lambda=50 cost %.0f", zero, mid)
+	}
+	if mid < 5*med {
+		t.Fatalf("AlgoNGST cost %.0f not above median cost %.0f", mid, med)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(quickNGST(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At low GammaIni, Algo_NGST must beat both generic filters and raw.
+	raw, _ := res.Get("NoPreprocessing", 0.02)
+	ngst, _ := res.Get("AlgoNGST(L=80)", 0.02)
+	maj, _ := res.Get("MajorityBit3", 0.02)
+	if ngst >= maj || ngst*5 >= raw {
+		t.Fatalf("correlated low-rate ordering wrong: raw %.5f, majority %.5f, ngst %.5f", raw, maj, ngst)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	cfg := quickNGST()
+	res, err := Fig5(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative error falls as mean intensity rises (same absolute damage
+	// over a larger denominator).
+	noPre, _ := res.SeriesByName("NoPreprocessing")
+	if noPre.Points[0].Y <= noPre.Points[len(noPre.Points)-1].Y {
+		t.Fatalf("raw Psi should fall with intensity: %v vs %v",
+			noPre.Points[0].Y, noPre.Points[len(noPre.Points)-1].Y)
+	}
+	// Preprocessing helps across the gamut.
+	ngst, _ := res.SeriesByName("AlgoNGST(bestL)")
+	for i := range noPre.Points {
+		if ngst.Points[i].Y >= noPre.Points[i].Y {
+			t.Fatalf("AlgoNGST not below raw at intensity %v", noPre.Points[i].X)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	cfg := quickNGST()
+	results, err := Fig6(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Fig6Sigmas) {
+		t.Fatalf("got %d results, want %d", len(results), len(Fig6Sigmas))
+	}
+	// sigma = 0: more voters win at moderate Gamma0 (Upsilon 6 <= 2).
+	flat := results[0]
+	u2, _ := flat.Get("Upsilon=2", 0.01)
+	u6, _ := flat.Get("Upsilon=6", 0.01)
+	if u6 >= u2 {
+		t.Fatalf("sigma=0: Upsilon=6 (%.6g) should beat Upsilon=2 (%.6g)", u6, u2)
+	}
+	// sigma = 8000: Upsilon 6 suffers at low Gamma0 from pseudo-corrections.
+	turb := results[len(results)-1]
+	u2t, _ := turb.Get("Upsilon=2", 0.001)
+	u6t, _ := turb.Get("Upsilon=6", 0.001)
+	if u6t <= u2t {
+		t.Fatalf("sigma=8000: Upsilon=6 (%.6g) should lose to Upsilon=2 (%.6g) at low Gamma0", u6t, u2t)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	results, err := Fig7(quickOTIS(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, res := range results {
+		raw, _ := res.Get("NoPreprocessing", 0.025)
+		algo, _ := res.Get("AlgoOTIS", 0.025)
+		if algo*3 >= raw {
+			t.Fatalf("%s: AlgoOTIS %.5g not well below raw %.5g at 0.025", res.ID, algo, raw)
+		}
+	}
+}
+
+func TestFig9BreakdownExists(t *testing.T) {
+	results, err := Fig9(quickOTIS(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		// Preprocessing must help at the lowest rate...
+		raw, _ := res.Get("NoPreprocessing", 0.02)
+		algo, _ := res.Get("AlgoOTIS", 0.02)
+		if algo >= raw {
+			t.Fatalf("%s: no gain at GammaIni=0.02", res.ID)
+		}
+		// ...and break down somewhere in the swept range (the paper finds
+		// ~0.2; the exact point depends on the dataset).
+		bp := Breakdown(res, "AlgoOTIS")
+		if bp < 0.1 {
+			t.Fatalf("%s: breakdown at %v, want within the high-GammaIni regime", res.ID, bp)
+		}
+	}
+}
+
+func TestFigHeaderShape(t *testing.T) {
+	cfg := DefaultHeaderConfig()
+	cfg.Trials = 50
+	res, err := FigHeader(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []float64{1e-4, 1e-3} {
+		raw, _ := res.Get("NoRepair", g)
+		rep, _ := res.Get("SanityRepair", g)
+		hint, _ := res.Get("SanityRepair+Geometry", g)
+		if rep < raw {
+			t.Fatalf("repair made decodability worse at %v: %v < %v", g, rep, raw)
+		}
+		if hint < rep {
+			t.Fatalf("geometry hint made repair worse at %v: %v < %v", g, hint, rep)
+		}
+	}
+	raw, _ := res.Get("NoRepair", 1e-3)
+	rep, _ := res.Get("SanityRepair+Geometry", 1e-3)
+	if rep <= raw {
+		t.Fatalf("sanity repair gained nothing at 1e-3: %v vs %v", rep, raw)
+	}
+	// DATASUM detects essentially all data-unit damage at every rate.
+	for _, g := range []float64{1e-4, 1e-3, 1e-2} {
+		det, ok := res.Get("DataSumDetects", g)
+		if !ok || det < 0.99 {
+			t.Fatalf("DATASUM detection at %v = %v, want ~1", g, det)
+		}
+	}
+}
+
+func TestBreakdownHelper(t *testing.T) {
+	res := &Result{Series: []Series{
+		{Name: "NoPreprocessing", Points: []Point{{1, 0.5}, {2, 0.6}}},
+		{Name: "X", Points: []Point{{1, 0.1}, {2, 0.9}}},
+	}}
+	if bp := Breakdown(res, "X"); bp != 2 {
+		t.Fatalf("Breakdown = %v, want 2", bp)
+	}
+	if bp := Breakdown(res, "NoPreprocessing"); bp != -1 {
+		t.Fatalf("self Breakdown = %v, want -1", bp)
+	}
+	if bp := Breakdown(res, "missing"); bp != -1 {
+		t.Fatalf("missing Breakdown = %v, want -1", bp)
+	}
+}
+
+func TestOTISKindsCoverAllThree(t *testing.T) {
+	if len(OTISKinds) != 3 || OTISKinds[0] != synth.Blob || OTISKinds[1] != synth.Stripe || OTISKinds[2] != synth.Spots {
+		t.Fatalf("OTISKinds = %v", OTISKinds)
+	}
+}

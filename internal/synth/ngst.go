@@ -1,0 +1,197 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+)
+
+// ReadoutMode selects how the simulated detector reads across a baseline.
+type ReadoutMode int
+
+// Readout modes.
+const (
+	// Stationary readouts follow the paper's eq. 1 model directly: each
+	// readout is the scene level plus a Gaussian wander. This is the
+	// mode the paper's evaluation uses.
+	Stationary ReadoutMode = iota
+	// Ramp readouts accumulate charge non-destructively (the real NGST
+	// detector behaviour): readout i holds roughly i/N of the scene
+	// level, and a cosmic ray deposits a persistent extra step.
+	Ramp
+)
+
+// String names the mode.
+func (m ReadoutMode) String() string {
+	switch m {
+	case Stationary:
+		return "Stationary"
+	case Ramp:
+		return "Ramp"
+	default:
+		return fmt.Sprintf("ReadoutMode(%d)", int(m))
+	}
+}
+
+// SceneConfig parameterizes the NGST scene/readout simulator that stands in
+// for the NGST Mission Simulator. A scene is a static star field over sky
+// background; each of the N non-destructive readouts observes the scene
+// with the Gaussian temporal wander of eq. 1, and cosmic-ray hits deposit
+// persistent charge steps from the hit readout onward (the behaviour the
+// cosmic-ray rejection algorithms of [10,11,12] are designed to remove).
+type SceneConfig struct {
+	// Mode selects stationary (paper model, default) or accumulating
+	// ramp readouts.
+	Mode ReadoutMode
+	// Width and Height are the frame dimensions.
+	Width, Height int
+	// Readouts is the number N of readouts in the baseline.
+	Readouts int
+	// Background is the mean sky background level in counts.
+	Background float64
+	// Stars is the number of point sources to place.
+	Stars int
+	// StarPeak is the maximum central intensity of a star in counts.
+	StarPeak float64
+	// TemporalSigma is the per-readout Gaussian wander (eq. 1 sigma).
+	TemporalSigma float64
+	// CRRate is the per-pixel probability that a cosmic ray hits the
+	// pixel somewhere within the baseline. The paper cites an expected
+	// ~10% data loss per 1000 s exposure.
+	CRRate float64
+	// CRAmplitude is the mean charge step a hit deposits, in counts.
+	CRAmplitude float64
+}
+
+// DefaultSceneConfig returns the configuration used throughout the
+// reproduction for pipeline-level experiments: a 128x128 tile with the
+// paper's 64 readouts and ~10% CR hit rate.
+func DefaultSceneConfig() SceneConfig {
+	return SceneConfig{
+		Width:         dataset.TileSize,
+		Height:        dataset.TileSize,
+		Readouts:      dataset.BaselineReadouts,
+		Background:    12000,
+		Stars:         24,
+		StarPeak:      30000,
+		TemporalSigma: 60,
+		CRRate:        0.10,
+		CRAmplitude:   9000,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c SceneConfig) Validate() error {
+	switch {
+	case c.Mode != Stationary && c.Mode != Ramp:
+		return fmt.Errorf("synth: unknown readout mode %d", int(c.Mode))
+	case c.Width <= 0 || c.Height <= 0:
+		return fmt.Errorf("synth: invalid scene dimensions %dx%d", c.Width, c.Height)
+	case c.Readouts <= 0:
+		return fmt.Errorf("synth: readouts must be positive, got %d", c.Readouts)
+	case c.Background < 0 || c.StarPeak < 0 || c.CRAmplitude < 0:
+		return fmt.Errorf("synth: negative intensity parameter")
+	case c.CRRate < 0 || c.CRRate > 1:
+		return fmt.Errorf("synth: CR rate %v outside [0,1]", c.CRRate)
+	case c.TemporalSigma < 0:
+		return fmt.Errorf("synth: negative temporal sigma")
+	}
+	return nil
+}
+
+// Scene is a generated NGST baseline. Ideal is the fault-free, CR-free
+// stack (the paper's Pi); Observed adds cosmic-ray steps (but no bit
+// flips — those are injected separately by the fault package). CRHits maps
+// frame-flat pixel offsets to the readout index at which a CR struck.
+type Scene struct {
+	Ideal    *dataset.Stack
+	Observed *dataset.Stack
+	CRHits   map[int]int
+}
+
+// NewScene simulates one baseline.
+func NewScene(cfg SceneConfig, src *rng.Source) (*Scene, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	base := renderStarField(cfg, src)
+
+	ideal := dataset.NewStack(cfg.Readouts, cfg.Width, cfg.Height)
+	observed := dataset.NewStack(cfg.Readouts, cfg.Width, cfg.Height)
+	hits := make(map[int]int)
+
+	for off, level := range base {
+		x, y := off%cfg.Width, off/cfg.Width
+		crAt := -1
+		if src.Bernoulli(cfg.CRRate) {
+			crAt = src.Intn(cfg.Readouts)
+			hits[off] = crAt
+		}
+		var crStep float64
+		switch cfg.Mode {
+		case Ramp:
+			// Non-destructive accumulation: each readout adds one
+			// interval's worth of flux plus read noise, so the final
+			// readout carries the full scene level.
+			flux := level / float64(cfg.Readouts)
+			var acc float64
+			for i := 0; i < cfg.Readouts; i++ {
+				acc += flux + src.Normal(0, cfg.TemporalSigma)
+				ideal.Frames[i].Set(x, y, clampPixel(acc))
+				if crAt >= 0 && i == crAt {
+					crStep = cfg.CRAmplitude * (0.5 + src.Float64())
+				}
+				observed.Frames[i].Set(x, y, clampPixel(acc+crStep))
+			}
+		default: // Stationary
+			cur := level
+			for i := 0; i < cfg.Readouts; i++ {
+				if i > 0 {
+					cur += src.Normal(0, cfg.TemporalSigma)
+				}
+				ideal.Frames[i].Set(x, y, clampPixel(cur))
+				if crAt >= 0 && i == crAt {
+					// Charge deposit persists in all later
+					// non-destructive reads.
+					crStep = cfg.CRAmplitude * (0.5 + src.Float64())
+				}
+				observed.Frames[i].Set(x, y, clampPixel(cur+crStep))
+			}
+		}
+	}
+	return &Scene{Ideal: ideal, Observed: observed, CRHits: hits}, nil
+}
+
+// renderStarField returns the static per-pixel mean intensity of the scene.
+func renderStarField(cfg SceneConfig, src *rng.Source) []float64 {
+	base := make([]float64, cfg.Width*cfg.Height)
+	for i := range base {
+		base[i] = cfg.Background + src.Normal(0, cfg.Background*0.01)
+	}
+	for s := 0; s < cfg.Stars; s++ {
+		cx := src.Float64() * float64(cfg.Width)
+		cy := src.Float64() * float64(cfg.Height)
+		peak := cfg.StarPeak * (0.2 + 0.8*src.Float64())
+		sigma := 1.0 + 2.5*src.Float64()
+		// Render out to 4 sigma.
+		r := int(4*sigma) + 1
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x, y := int(cx)+dx, int(cy)+dy
+				if x < 0 || x >= cfg.Width || y < 0 || y >= cfg.Height {
+					continue
+				}
+				d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+				base[y*cfg.Width+x] += peak * math.Exp(-d2/(2*sigma*sigma))
+			}
+		}
+	}
+	for i, v := range base {
+		if v > PixelMax {
+			base[i] = PixelMax
+		}
+	}
+	return base
+}

@@ -1,0 +1,234 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/physics"
+	"spaceproc/internal/rng"
+)
+
+// OTISKind selects which of the paper's three OTIS evaluation datasets to
+// synthesize. Section 7.3 chooses them because together they span "nearly
+// the entire gamut of variations likely to be encountered on site".
+type OTISKind int
+
+const (
+	// Blob has broad areas of unchanging temperature with a few dark
+	// spots — representative of the majority of OTIS datasets.
+	Blob OTISKind = iota + 1
+	// Stripe has a prominent vertical region of turbulent data through
+	// the center, calm elsewhere.
+	Stripe
+	// Spots has many conspicuous warm and cold spots, large and small,
+	// spread over the entire plot.
+	Spots
+)
+
+// String returns the paper's name for the dataset.
+func (k OTISKind) String() string {
+	switch k {
+	case Blob:
+		return "Blob"
+	case Stripe:
+		return "Stripe"
+	case Spots:
+		return "Spots"
+	default:
+		return fmt.Sprintf("OTISKind(%d)", int(k))
+	}
+}
+
+// OTISConfig parameterizes OTIS dataset synthesis.
+type OTISConfig struct {
+	// Kind selects the morphology.
+	Kind OTISKind
+	// Width and Height are the spatial dimensions of the field of view.
+	Width, Height int
+	// Bands is the number of spectral bands in the radiance cube.
+	Bands int
+	// BaseTemp is the mean scene temperature in Kelvin.
+	BaseTemp float64
+	// Emissivity is the (spatially uniform) surface emissivity in (0, 1].
+	Emissivity float64
+	// Spectrum optionally overrides Emissivity with a per-band emissivity
+	// (real materials are not grey bodies; quartz-like surfaces dip
+	// sharply in the 8.5-9.5 micron reststrahlen region, which is what
+	// breaks spectral locality in Section 7.1). Length must equal Bands
+	// when non-nil.
+	Spectrum []float64
+}
+
+// QuartzLikeSpectrum returns a per-band emissivity over the ThermalBands(n)
+// wavelengths with a quartz-style reststrahlen dip near 9 microns:
+// epsilon(lambda) = 0.96 - 0.28 * exp(-((lambda - 9um) / 0.5um)^2).
+func QuartzLikeSpectrum(n int) []float64 {
+	bands := physics.ThermalBands(n)
+	out := make([]float64, len(bands))
+	for i, lambda := range bands {
+		d := (lambda - 9e-6) / 0.5e-6
+		out[i] = 0.96 - 0.28*math.Exp(-d*d)
+	}
+	return out
+}
+
+// DefaultOTISConfig returns the geometry used by the figure-7/9
+// experiments: a 64x64 field of view with 8 long-wave infrared bands at
+// Earth-like temperatures.
+func DefaultOTISConfig(kind OTISKind) OTISConfig {
+	return OTISConfig{
+		Kind:       kind,
+		Width:      64,
+		Height:     64,
+		Bands:      8,
+		BaseTemp:   290,
+		Emissivity: 0.96,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c OTISConfig) Validate() error {
+	switch {
+	case c.Kind < Blob || c.Kind > Spots:
+		return fmt.Errorf("synth: unknown OTIS dataset kind %d", int(c.Kind))
+	case c.Width <= 0 || c.Height <= 0:
+		return fmt.Errorf("synth: invalid OTIS dimensions %dx%d", c.Width, c.Height)
+	case c.Bands <= 0:
+		return fmt.Errorf("synth: bands must be positive, got %d", c.Bands)
+	case c.BaseTemp < physics.MinSceneTemp || c.BaseTemp > physics.MaxSceneTemp:
+		return fmt.Errorf("synth: base temperature %v K outside physical scene bounds", c.BaseTemp)
+	case c.Emissivity <= 0 || c.Emissivity > 1:
+		return fmt.Errorf("synth: emissivity %v outside (0,1]", c.Emissivity)
+	case c.Spectrum != nil && len(c.Spectrum) != c.Bands:
+		return fmt.Errorf("synth: spectrum has %d entries for %d bands", len(c.Spectrum), c.Bands)
+	}
+	for i, eps := range c.Spectrum {
+		if eps <= 0 || eps > 1 {
+			return fmt.Errorf("synth: spectrum entry %d = %v outside (0,1]", i, eps)
+		}
+	}
+	return nil
+}
+
+// OTISScene is a generated OTIS observation: the ground-truth temperature
+// field (Kelvin) and the ideal radiance cube the instrument would record
+// over the ThermalBands wavelengths.
+type OTISScene struct {
+	Temps       []float64 // row-major Width*Height Kelvin field
+	Cube        *dataset.Cube
+	Wavelengths []float64
+}
+
+// NewOTISScene synthesizes one observation of the requested morphology.
+func NewOTISScene(cfg OTISConfig, src *rng.Source) (*OTISScene, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	temps := temperatureField(cfg, src)
+	bands := physics.ThermalBands(cfg.Bands)
+	cube := dataset.NewCube(cfg.Width, cfg.Height, cfg.Bands)
+	for b, lambda := range bands {
+		eps := cfg.Emissivity
+		if cfg.Spectrum != nil {
+			eps = cfg.Spectrum[b]
+		}
+		plane := cube.Band(b)
+		for i, temp := range temps {
+			plane[i] = float32(eps * physics.SpectralRadiance(lambda, temp))
+		}
+	}
+	return &OTISScene{Temps: temps, Cube: cube, Wavelengths: bands}, nil
+}
+
+// temperatureField renders the morphology as a Kelvin field.
+func temperatureField(cfg OTISConfig, src *rng.Source) []float64 {
+	w, h := cfg.Width, cfg.Height
+	temps := make([]float64, w*h)
+	for i := range temps {
+		temps[i] = cfg.BaseTemp
+	}
+	addUndulation(temps, w, h, 1.5, src)
+
+	switch cfg.Kind {
+	case Blob:
+		// A few cold dark spots on an otherwise unchanging background.
+		n := 3 + src.Intn(3)
+		for i := 0; i < n; i++ {
+			addSpot(temps, w, h, -(12 + 18*src.Float64()), 3+5*src.Float64(), src)
+		}
+	case Stripe:
+		// Turbulent vertical band through the center, sigma ~ 10 K.
+		bandLo, bandHi := w*5/12, w*7/12
+		for y := 0; y < h; y++ {
+			for x := bandLo; x < bandHi; x++ {
+				temps[y*w+x] += src.Normal(0, 10)
+			}
+		}
+	case Spots:
+		// Conspicuous warm and cold spots everywhere.
+		n := 25 + src.Intn(15)
+		for i := 0; i < n; i++ {
+			amp := 8 + 22*src.Float64()
+			if src.Bernoulli(0.5) {
+				amp = -amp
+			}
+			addSpot(temps, w, h, amp, 1.5+4*src.Float64(), src)
+		}
+	}
+
+	clampTemps(temps)
+	return temps
+}
+
+// addUndulation layers a few low-frequency sinusoids (amplitude in Kelvin)
+// so even "flat" regions carry the gentle natural variation real scenes do.
+func addUndulation(temps []float64, w, h int, amp float64, src *rng.Source) {
+	type wave struct{ kx, ky, phase, a float64 }
+	waves := make([]wave, 3)
+	for i := range waves {
+		waves[i] = wave{
+			kx:    (src.Float64() - 0.5) * 4 * math.Pi / float64(w),
+			ky:    (src.Float64() - 0.5) * 4 * math.Pi / float64(h),
+			phase: src.Float64() * 2 * math.Pi,
+			a:     amp * (0.5 + src.Float64()),
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var v float64
+			for _, wv := range waves {
+				v += wv.a * math.Sin(wv.kx*float64(x)+wv.ky*float64(y)+wv.phase)
+			}
+			temps[y*w+x] += v
+		}
+	}
+}
+
+// addSpot adds a Gaussian thermal anomaly of the given amplitude (Kelvin,
+// may be negative) and radius (pixels) at a random location.
+func addSpot(temps []float64, w, h int, amp, sigma float64, src *rng.Source) {
+	cx := src.Float64() * float64(w)
+	cy := src.Float64() * float64(h)
+	r := int(3*sigma) + 1
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			x, y := int(cx)+dx, int(cy)+dy
+			if x < 0 || x >= w || y < 0 || y >= h {
+				continue
+			}
+			d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+			temps[y*w+x] += amp * math.Exp(-d2/(2*sigma*sigma))
+		}
+	}
+}
+
+func clampTemps(temps []float64) {
+	for i, v := range temps {
+		if v < physics.MinSceneTemp {
+			temps[i] = physics.MinSceneTemp
+		} else if v > physics.MaxSceneTemp {
+			temps[i] = physics.MaxSceneTemp
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/physics"
+	"spaceproc/internal/rng"
+)
+
+func TestGaussianSeriesLengthAndStart(t *testing.T) {
+	cfg := SeriesConfig{N: 64, Initial: 27000, Sigma: 250}
+	ser, err := GaussianSeries(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ser) != 64 {
+		t.Fatalf("len = %d, want 64", len(ser))
+	}
+	if ser[0] != 27000 {
+		t.Fatalf("Pi(1) = %d, want 27000", ser[0])
+	}
+}
+
+func TestGaussianSeriesZeroSigmaIsConstant(t *testing.T) {
+	ser, err := GaussianSeries(SeriesConfig{N: 64, Initial: 27000, Sigma: 0}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ser {
+		if v != 27000 {
+			t.Fatalf("index %d = %d, want constant 27000", i, v)
+		}
+	}
+}
+
+func TestGaussianSeriesStepStatistics(t *testing.T) {
+	// The step Pi(i+1)-Pi(i) should have mean ~0 and stddev ~sigma.
+	const sigma = 250.0
+	src := rng.New(3)
+	var steps []float64
+	for d := 0; d < 200; d++ {
+		ser, err := GaussianSeries(SeriesConfig{N: 64, Initial: 27000, Sigma: sigma}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(ser); i++ {
+			steps = append(steps, float64(ser[i])-float64(ser[i-1]))
+		}
+	}
+	var sum, sumSq float64
+	for _, s := range steps {
+		sum += s
+		sumSq += s * s
+	}
+	n := float64(len(steps))
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 6*sigma/math.Sqrt(n) {
+		t.Errorf("step mean = %v, want ~0", mean)
+	}
+	if math.Abs(sd-sigma) > 0.05*sigma {
+		t.Errorf("step stddev = %v, want ~%v", sd, sigma)
+	}
+}
+
+func TestGaussianSeriesClamping(t *testing.T) {
+	// Huge sigma forces values onto the rails without wrapping.
+	src := rng.New(4)
+	ser, err := GaussianSeries(SeriesConfig{N: 256, Initial: 60000, Sigma: 8000}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRail := false
+	for _, v := range ser {
+		if v == PixelMax || v == 0 {
+			sawRail = true
+		}
+	}
+	if !sawRail {
+		t.Error("sigma=8000 walk never touched the rails; clamping untested")
+	}
+}
+
+func TestGaussianSeriesValidation(t *testing.T) {
+	if _, err := GaussianSeries(SeriesConfig{N: 0}, rng.New(1)); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := GaussianSeries(SeriesConfig{N: 4, Sigma: -1}, rng.New(1)); err == nil {
+		t.Error("negative sigma should error")
+	}
+}
+
+func TestGaussianStack(t *testing.T) {
+	cfg := SeriesConfig{N: 8, Initial: 20000, Sigma: 100}
+	s, err := GaussianStack(cfg, 16, 12, 5000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 8 || s.Width() != 16 || s.Height() != 12 {
+		t.Fatalf("stack geometry (%d,%d,%d)", s.Len(), s.Width(), s.Height())
+	}
+	// Spread should give differing initial values across pixels.
+	a := s.Frames[0].At(0, 0)
+	differs := false
+	for x := 1; x < 16; x++ {
+		if s.Frames[0].At(x, 0) != a {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("spread > 0 produced identical initial values everywhere")
+	}
+	if _, err := GaussianStack(cfg, 0, 4, 0, rng.New(5)); err == nil {
+		t.Error("zero width should error")
+	}
+}
+
+func TestNewSceneGeometryAndDeterminism(t *testing.T) {
+	cfg := DefaultSceneConfig()
+	cfg.Width, cfg.Height = 32, 32
+	a, err := NewScene(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScene(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ideal.Len() != cfg.Readouts || a.Ideal.Width() != 32 {
+		t.Fatalf("scene geometry (%d,%d)", a.Ideal.Len(), a.Ideal.Width())
+	}
+	for i := range a.Ideal.Frames {
+		for j := range a.Ideal.Frames[i].Pix {
+			if a.Ideal.Frames[i].Pix[j] != b.Ideal.Frames[i].Pix[j] {
+				t.Fatal("same seed produced different scenes")
+			}
+		}
+	}
+}
+
+func TestNewSceneCosmicRaysArePersistentSteps(t *testing.T) {
+	cfg := DefaultSceneConfig()
+	cfg.Width, cfg.Height = 48, 48
+	cfg.TemporalSigma = 0 // isolate the CR signal
+	sc, err := NewScene(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.CRHits) == 0 {
+		t.Fatal("10% CR rate produced no hits on 2304 pixels")
+	}
+	for off, hit := range sc.CRHits {
+		x, y := off%cfg.Width, off/cfg.Width
+		ideal := sc.Ideal.SeriesAt(x, y)
+		obs := sc.Observed.SeriesAt(x, y)
+		for i := range obs {
+			if i < hit && obs[i] != ideal[i] {
+				t.Fatalf("pixel (%d,%d): CR contaminated readout %d before hit %d", x, y, i, hit)
+			}
+			if i >= hit && obs[i] <= ideal[i] && ideal[i] < PixelMax {
+				t.Fatalf("pixel (%d,%d): readout %d shows no CR step (obs %d ideal %d)", x, y, i, obs[i], ideal[i])
+			}
+		}
+	}
+}
+
+func TestNewSceneCleanPixelsMatch(t *testing.T) {
+	cfg := DefaultSceneConfig()
+	cfg.Width, cfg.Height = 32, 32
+	sc, err := NewScene(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if _, hit := sc.CRHits[y*32+x]; hit {
+				continue
+			}
+			for i := range sc.Ideal.Frames {
+				if sc.Ideal.Frames[i].At(x, y) != sc.Observed.Frames[i].At(x, y) {
+					t.Fatalf("clean pixel (%d,%d) differs at readout %d", x, y, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSceneValidation(t *testing.T) {
+	bad := DefaultSceneConfig()
+	bad.CRRate = 1.5
+	if _, err := NewScene(bad, rng.New(1)); err == nil {
+		t.Error("CRRate > 1 should error")
+	}
+	bad = DefaultSceneConfig()
+	bad.Readouts = 0
+	if _, err := NewScene(bad, rng.New(1)); err == nil {
+		t.Error("zero readouts should error")
+	}
+}
+
+func TestOTISKindString(t *testing.T) {
+	if Blob.String() != "Blob" || Stripe.String() != "Stripe" || Spots.String() != "Spots" {
+		t.Fatal("OTISKind names wrong")
+	}
+	if OTISKind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestOTISScenesWithinPhysicalBounds(t *testing.T) {
+	for _, kind := range []OTISKind{Blob, Stripe, Spots} {
+		sc, err := NewOTISScene(DefaultOTISConfig(kind), rng.New(11))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for i, temp := range sc.Temps {
+			if temp < physics.MinSceneTemp || temp > physics.MaxSceneTemp {
+				t.Fatalf("%v: temp[%d] = %v K out of bounds", kind, i, temp)
+			}
+		}
+		for b, lambda := range sc.Wavelengths {
+			lo, hi := physics.RadianceBounds(lambda)
+			for i, v := range sc.Cube.Band(b) {
+				if float64(v) < 0 || float64(v) > hi {
+					t.Fatalf("%v band %d sample %d = %v outside [0,%v] (lo=%v)", kind, b, i, v, hi, lo)
+				}
+			}
+		}
+	}
+}
+
+func TestOTISMorphologies(t *testing.T) {
+	// Variance structure must match the described morphology.
+	variance := func(f []float64, idx []int) float64 {
+		var sum, sumSq float64
+		for _, i := range idx {
+			sum += f[i]
+			sumSq += f[i] * f[i]
+		}
+		n := float64(len(idx))
+		m := sum / n
+		return sumSq/n - m*m
+	}
+	cfg := DefaultOTISConfig(Stripe)
+	sc, err := NewOTISScene(cfg, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var band, calm []int
+	bandLo, bandHi := cfg.Width*5/12, cfg.Width*7/12
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			if x >= bandLo && x < bandHi {
+				band = append(band, y*cfg.Width+x)
+			} else if x < bandLo-4 || x >= bandHi+4 {
+				calm = append(calm, y*cfg.Width+x)
+			}
+		}
+	}
+	vb, vc := variance(sc.Temps, band), variance(sc.Temps, calm)
+	if vb < 5*vc {
+		t.Errorf("Stripe: central band variance %v not markedly above calm %v", vb, vc)
+	}
+
+	// Spots must be rougher overall than Blob.
+	rough := func(kind OTISKind, seed uint64) float64 {
+		sc, err := NewOTISScene(DefaultOTISConfig(kind), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := DefaultOTISConfig(kind).Width
+		var sum float64
+		var n int
+		for y := 0; y < w; y++ {
+			for x := 1; x < w; x++ {
+				d := sc.Temps[y*w+x] - sc.Temps[y*w+x-1]
+				sum += d * d
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	var blobR, spotsR float64
+	for seed := uint64(0); seed < 5; seed++ {
+		blobR += rough(Blob, 100+seed)
+		spotsR += rough(Spots, 100+seed)
+	}
+	if spotsR < 2*blobR {
+		t.Errorf("Spots roughness %v not clearly above Blob %v", spotsR, blobR)
+	}
+}
+
+func TestOTISValidation(t *testing.T) {
+	bad := DefaultOTISConfig(Blob)
+	bad.Emissivity = 0
+	if _, err := NewOTISScene(bad, rng.New(1)); err == nil {
+		t.Error("zero emissivity should error")
+	}
+	bad = DefaultOTISConfig(Blob)
+	bad.Kind = OTISKind(0)
+	if _, err := NewOTISScene(bad, rng.New(1)); err == nil {
+		t.Error("unknown kind should error")
+	}
+	bad = DefaultOTISConfig(Blob)
+	bad.BaseTemp = 5000
+	if _, err := NewOTISScene(bad, rng.New(1)); err == nil {
+		t.Error("unphysical base temperature should error")
+	}
+}
+
+func TestDefaultSceneConfigMatchesPaperGeometry(t *testing.T) {
+	cfg := DefaultSceneConfig()
+	if cfg.Width != dataset.TileSize || cfg.Readouts != dataset.BaselineReadouts {
+		t.Fatalf("default scene %dx%d/%d readouts does not match the paper's tile geometry",
+			cfg.Width, cfg.Height, cfg.Readouts)
+	}
+	if cfg.CRRate != 0.10 {
+		t.Fatalf("default CR rate %v; the paper anticipates 10%% data loss", cfg.CRRate)
+	}
+}

@@ -1,0 +1,28 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/mission"
+	"spaceproc/internal/store"
+)
+
+// Mission campaigns (internal/mission): multi-baseline end-to-end runs
+// through synthesis, FITS storage, fault injection, sanity repair,
+// pipeline and downlink accounting.
+type (
+	// MissionConfig parameterizes a campaign.
+	MissionConfig = mission.Config
+	// MissionReport aggregates a campaign.
+	MissionReport = mission.Report
+	// MissionBaselineResult records one baseline's outcome.
+	MissionBaselineResult = mission.BaselineResult
+)
+
+// DefaultMissionConfig returns a small campaign rooted at dir.
+func DefaultMissionConfig(dir string) MissionConfig { return mission.DefaultConfig(dir) }
+
+// RunMission flies the campaign.
+func RunMission(cfg MissionConfig) (*MissionReport, error) { return mission.Run(cfg) }
+
+// InterpolateLostFrames replaces destroyed readouts with their nearest
+// surviving neighbor (the recovery policy LoadBaseline's report feeds).
+func InterpolateLostFrames(s *Stack, lost []int) { store.InterpolateLost(s, lost) }

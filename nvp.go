@@ -1,0 +1,33 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/nvp"
+)
+
+// N-Version Programming (internal/nvp): the classic software-redundancy
+// scheme the paper's introduction contrasts input preprocessing against,
+// with t/(n-1)-VP adjudication. Exposed specialized to series-consuming
+// computations with numeric vector outputs (the shape of the repo's
+// science products).
+type (
+	// SeriesNVP runs n versions of a series-consuming computation and
+	// votes on their outputs.
+	SeriesNVP = nvp.Executor[Series, []float64]
+	// SeriesNVPConfig parameterizes SeriesNVP.
+	SeriesNVPConfig = nvp.Config[Series, []float64]
+	// NVPReport describes one adjudication.
+	NVPReport = nvp.Report
+)
+
+// ErrNoConsensus is returned when no version reaches the agreement
+// threshold.
+var ErrNoConsensus = nvp.ErrNoConsensus
+
+// NewSeriesNVP validates cfg and returns the executor.
+func NewSeriesNVP(cfg SeriesNVPConfig) (*SeriesNVP, error) { return nvp.New(cfg) }
+
+// FloatSliceComparator returns a tolerance comparator for numeric vector
+// outputs.
+func FloatSliceComparator(relTol, absTol float64) func(a, b []float64) bool {
+	return nvp.FloatSliceComparator(relTol, absTol)
+}

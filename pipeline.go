@@ -1,0 +1,158 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/alft"
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/otisapp"
+	"spaceproc/internal/rice"
+)
+
+// The Figure 1 master/worker pipeline (internal/cluster).
+type (
+	// Worker processes one tile.
+	Worker = cluster.Worker
+	// LocalWorker runs preprocessing + CR rejection in process.
+	LocalWorker = cluster.LocalWorker
+	// Master fragments baselines, dispatches tiles, reassembles and
+	// compresses.
+	Master = cluster.Master
+	// MasterOption configures a Master.
+	MasterOption = cluster.MasterOption
+	// PipelineResult is the master's output for one baseline.
+	PipelineResult = cluster.Result
+	// TileResult is a worker's output for one tile.
+	TileResult = cluster.TileResult
+	// WorkerServer exposes a Worker over TCP (the Myrinet stand-in).
+	WorkerServer = cluster.Server
+	// RemoteWorker is the master-side proxy for a TCP worker.
+	RemoteWorker = cluster.RemoteWorker
+	// CostModel maps sensitivity levels to measured per-series costs.
+	CostModel = cluster.CostModel
+	// AdaptiveWorker preprocesses each tile at the highest sensitivity
+	// its compute budget allows (the Section 2.1 slack-CPU idea).
+	AdaptiveWorker = cluster.AdaptiveWorker
+)
+
+// DefaultWorkers is the paper's 16-processor estimate.
+const DefaultWorkers = cluster.DefaultWorkers
+
+// NewLocalWorker builds an in-process worker; pre may be nil to skip
+// preprocessing.
+func NewLocalWorker(pre SeriesPreprocessor, rejCfg CRConfig) (*LocalWorker, error) {
+	return cluster.NewLocalWorker(pre, rejCfg)
+}
+
+// NewMaster builds a pipeline master over the workers.
+func NewMaster(workers []Worker, opts ...MasterOption) (*Master, error) {
+	return cluster.NewMaster(workers, opts...)
+}
+
+// WithTileSize overrides the 128x128 fragment size.
+func WithTileSize(n int) MasterOption { return cluster.WithTileSize(n) }
+
+// WithRetries bounds tile reassignment after worker failures.
+func WithRetries(n int) MasterOption { return cluster.WithRetries(n) }
+
+// NewAdaptiveWorker builds a budgeted worker over a measured cost model.
+func NewAdaptiveWorker(model CostModel, upsilon int, budget float64, rejCfg CRConfig) (*AdaptiveWorker, error) {
+	return cluster.NewAdaptiveWorker(model, upsilon, budget, rejCfg)
+}
+
+// NewWorkerServer exposes a worker over TCP.
+func NewWorkerServer(w Worker) *WorkerServer { return cluster.NewServer(w) }
+
+// DialWorker connects the master to a TCP worker.
+func DialWorker(addr string) (*RemoteWorker, error) { return cluster.Dial(addr) }
+
+// Cosmic-ray rejection (the NGST application; internal/crreject).
+type (
+	// CRConfig parameterizes step detection.
+	CRConfig = crreject.Config
+	// CRRejector integrates baselines with cosmic-ray removal.
+	CRRejector = crreject.Rejector
+	// CRStats summarizes one integration.
+	CRStats = crreject.Stats
+)
+
+// DefaultCRConfig returns the pipeline's rejection parameters.
+func DefaultCRConfig() CRConfig { return crreject.DefaultConfig() }
+
+// NewCRRejector validates cfg and returns a rejector.
+func NewCRRejector(cfg CRConfig) (*CRRejector, error) { return crreject.New(cfg) }
+
+// Rice compression (the downlink coder; internal/rice).
+
+// RiceEncode compresses 16-bit samples (delta + Rice coding with per-block
+// adaptive k and a verbatim escape).
+func RiceEncode(samples []uint16) []byte { return rice.Encode(samples) }
+
+// RiceDecode reverses RiceEncode.
+func RiceDecode(data []byte) ([]uint16, error) { return rice.Decode(data) }
+
+// RiceRatio returns the compression ratio achieved on samples.
+func RiceRatio(samples []uint16) float64 { return rice.Ratio(samples) }
+
+// RiceEncodeFloat32 compresses an IEEE-754 float32 stream (OTIS radiance),
+// coding the high and low 16-bit halves as separate Rice streams.
+func RiceEncodeFloat32(samples []float32) []byte { return rice.EncodeFloat32(samples) }
+
+// RiceDecodeFloat32 reverses RiceEncodeFloat32.
+func RiceDecodeFloat32(data []byte) ([]float32, error) { return rice.DecodeFloat32(data) }
+
+// OTIS retrieval (the OTIS application; internal/otisapp).
+type (
+	// OTISRetrievalConfig parameterizes the temperature/emissivity
+	// retrieval.
+	OTISRetrievalConfig = otisapp.Config
+	// OTISRetriever converts radiance cubes into science products.
+	OTISRetriever = otisapp.Retriever
+	// OTISOutput is a retrieved temperature map plus emissivity cube.
+	OTISOutput = otisapp.Output
+)
+
+// DefaultOTISRetrievalConfig returns the retrieval defaults for the bands.
+func DefaultOTISRetrievalConfig(wavelengths []float64) OTISRetrievalConfig {
+	return otisapp.DefaultConfig(wavelengths)
+}
+
+// NewOTISRetriever validates cfg and returns a retriever.
+func NewOTISRetriever(cfg OTISRetrievalConfig) (*OTISRetriever, error) { return otisapp.New(cfg) }
+
+// TempError returns the mean absolute temperature error in Kelvin.
+func TempError(got, want []float64) float64 { return otisapp.TempError(got, want) }
+
+// Application-Level Fault Tolerance (internal/alft), specialized to the
+// OTIS retrieval as in the paper's Section 7.
+type (
+	// OTISALFT runs a primary/secondary OTIS retrieval under acceptance
+	// filters with logic-grid output selection.
+	OTISALFT = alft.Executor[*Cube, *OTISOutput]
+	// OTISFilter is a named acceptance check over a retrieval output.
+	OTISFilter = alft.Filter[*OTISOutput]
+	// ALFTReport describes one primary/secondary execution.
+	ALFTReport = alft.Report
+	// ALFTChoice identifies which output the logic grid released.
+	ALFTChoice = alft.Choice
+)
+
+// Logic-grid outcomes.
+const (
+	ChosePrimary   = alft.ChosePrimary
+	ChoseSecondary = alft.ChoseSecondary
+	ChoseDegraded  = alft.ChoseDegraded
+)
+
+// TempBoundsFilter accepts outputs whose temperatures are physically
+// plausible for at least minFraction of samples.
+func TempBoundsFilter(minFraction float64) OTISFilter { return alft.TempBoundsFilter(minFraction) }
+
+// EmissivityFilter accepts outputs whose emissivities are physical for at
+// least minFraction of samples.
+func EmissivityFilter(minFraction float64) OTISFilter { return alft.EmissivityFilter(minFraction) }
+
+// RoughnessFilter accepts outputs whose temperature map stays spatially
+// smooth (mean |gradient| below the limit).
+func RoughnessFilter(width int, maxKelvinPerPixel float64) OTISFilter {
+	return alft.RoughnessFilter(width, maxKelvinPerPixel)
+}

@@ -1,0 +1,29 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/store"
+)
+
+// Baseline storage (internal/store): FITS-file-per-readout persistence
+// with the Lambda = 0 header sanity analysis applied on load.
+
+// BaselineLoadReport summarizes the header sanity pass over one baseline.
+type BaselineLoadReport = store.LoadReport
+
+// SaveBaseline writes every readout of the stack into dir as FITS files.
+func SaveBaseline(dir string, s *Stack) error { return store.SaveBaseline(dir, s) }
+
+// LoadBaseline reads a baseline directory, sanity-checking and repairing
+// every frame header; unrecoverable frames are zero-filled and reported.
+func LoadBaseline(dir string, opts ...FITSSanityOption) (*Stack, *BaselineLoadReport, error) {
+	return store.LoadBaseline(dir, opts...)
+}
+
+// SaveBaselineFile writes the whole baseline into one multi-HDU FITS file.
+func SaveBaselineFile(path string, s *Stack) error { return store.SaveBaselineFile(path, s) }
+
+// LoadBaselineFile reads a multi-HDU baseline file with per-HDU header
+// sanity repair.
+func LoadBaselineFile(path string, opts ...FITSSanityOption) (*Stack, *BaselineLoadReport, error) {
+	return store.LoadBaselineFile(path, opts...)
+}
