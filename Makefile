@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the tier-1 verification gate
+# (referenced from ROADMAP.md): vet, build everything, and run the full
+# test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./...

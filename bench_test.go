@@ -242,6 +242,44 @@ func BenchmarkFig1Pipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkFig1PipelineTelemetry is BenchmarkFig1Pipeline with the
+// observability layer attached — compare the two to measure the cost of
+// instrumentation (it should stay within a few percent).
+func BenchmarkFig1PipelineTelemetry(b *testing.B) {
+	cfg := spaceproc.DefaultSceneConfig()
+	cfg.Width, cfg.Height = 128, 128
+	cfg.Readouts = 16
+	scene, err := spaceproc.NewScene(cfg, spaceproc.NewRNG(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := spaceproc.NewTelemetryRegistry()
+	pre, err := spaceproc.NewAlgoNGST(spaceproc.DefaultNGSTConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre.Instrument(reg)
+	workers := make([]spaceproc.Worker, 4)
+	for i := range workers {
+		w, err := spaceproc.NewLocalWorker(pre, spaceproc.DefaultCRConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers[i] = w
+	}
+	master, err := spaceproc.NewMaster(workers,
+		spaceproc.WithTileSize(32), spaceproc.WithTelemetry(reg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Run(scene.Observed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRiceCompression measures the downlink coder on smooth data.
 func BenchmarkRiceCompression(b *testing.B) {
 	ser, err := spaceproc.GaussianSeries(spaceproc.SeriesConfig{N: 16384, Initial: 27000, Sigma: 30},

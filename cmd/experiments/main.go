@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"spaceproc/internal/sweep"
+	"spaceproc/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trials := fs.Int("trials", 0, "override trials per point (0 = per-experiment default)")
 	quick := fs.Bool("quick", false, "reduced trial counts for a fast smoke run")
 	renderDir := fs.String("render-dir", "figures", "output directory for the fig8 PGM gallery")
+	showMetrics := fs.Bool("metrics", false, "print aggregated preprocessing telemetry after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,6 +52,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ngstCfg.Trials = *trials
 		otisCfg.Trials = *trials
 		hdrCfg.Trials = *trials
+	}
+	var reg *telemetry.Registry
+	if *showMetrics {
+		reg = telemetry.NewRegistry()
+		ngstCfg.Telemetry = reg
+		otisCfg.Telemetry = reg
 	}
 
 	emit := func(res *sweep.Result, err error) bool {
@@ -118,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "experiments: %v\n", err)
 			ok = false
 		}
+	}
+	if reg != nil {
+		fmt.Fprint(stdout, reg.Snapshot().Render())
 	}
 	if !ok {
 		return 1

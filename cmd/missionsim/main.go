@@ -13,6 +13,7 @@ import (
 
 	"spaceproc/internal/core"
 	"spaceproc/internal/mission"
+	"spaceproc/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func run(args []string, out io.Writer) error {
 	dir := fs.String("dir", "", "FITS working directory (default: a temporary directory)")
 	passBudget := fs.Int("pass-budget", 0, "bytes per ground-station pass (0 disables downlink scheduling)")
 	seed := fs.Uint64("seed", 1, "campaign seed")
+	showMetrics := fs.Bool("metrics", false, "print the telemetry snapshot after the campaign")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +61,12 @@ func run(args []string, out io.Writer) error {
 		cfg.Preprocess = &pre
 	}
 
+	var reg *telemetry.Registry
+	if *showMetrics {
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
+	}
+
 	fmt.Fprintf(out, "campaign: %d baselines, memory Gamma0=%.4f, header Gamma0=%.5f\n",
 		cfg.Baselines, cfg.MemoryRate, cfg.HeaderRate)
 	rep, err := mission.Run(cfg)
@@ -69,6 +77,10 @@ func run(args []string, out io.Writer) error {
 	for i, pass := range rep.Passes {
 		fmt.Fprintf(out, "pass %d: %d product(s), %d bytes (%.0f%% of budget), %d deferred\n",
 			i, len(pass.Sent), pass.SentBytes, pass.Utilization*100, pass.Deferred)
+	}
+	if reg != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, reg.Snapshot().Render())
 	}
 	return nil
 }

@@ -38,8 +38,14 @@ func run(args []string, out io.Writer) error {
 	noPre := fs.Bool("no-preprocess", false, "disable input preprocessing")
 	tcp := fs.Bool("tcp", false, "serve workers over loopback TCP")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	showMetrics := fs.Bool("metrics", false, "print the pipeline telemetry snapshot after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *spaceproc.TelemetryRegistry
+	if *showMetrics {
+		reg = spaceproc.NewTelemetryRegistry()
 	}
 
 	cfg := spaceproc.DefaultSceneConfig()
@@ -57,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		a.Instrument(reg)
 		pre = a
 		fmt.Fprintf(out, "preprocessing: %s\n", a.Name())
 	} else {
@@ -75,7 +82,11 @@ func run(args []string, out io.Writer) error {
 				ws[i] = lw
 				continue
 			}
-			srv := spaceproc.NewWorkerServer(lw)
+			var srvOpts []spaceproc.WorkerServerOption
+			if reg != nil {
+				srvOpts = append(srvOpts, spaceproc.WithWorkerServerTelemetry(reg))
+			}
+			srv := spaceproc.NewWorkerServer(lw, srvOpts...)
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
 				return nil, nil, err
@@ -120,7 +131,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer cleanupMain()
-	master, err := spaceproc.NewMaster(mainWorkers, spaceproc.WithTileSize(*tile))
+	masterOpts := []spaceproc.MasterOption{spaceproc.WithTileSize(*tile)}
+	if reg != nil {
+		masterOpts = append(masterOpts, spaceproc.WithTelemetry(reg))
+	}
+	master, err := spaceproc.NewMaster(mainWorkers, masterOpts...)
 	if err != nil {
 		return err
 	}
@@ -137,6 +152,10 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "downlink: %d bytes (ratio %.2f:1)\n", len(res.Compressed), res.CompressionRatio())
 	fmt.Fprintf(out, "relative error vs fault-free pipeline: %.6f\n", psi)
+	if reg != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, reg.Snapshot().Render())
+	}
 	return nil
 }
 

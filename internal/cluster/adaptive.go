@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"spaceproc/internal/core"
 	"spaceproc/internal/crreject"
 	"spaceproc/internal/dataset"
+	"spaceproc/internal/telemetry"
 )
 
 // The paper notes that "the slack CPU time in the slave nodes can be very
@@ -56,54 +59,119 @@ func (m CostModel) Pick(budget float64, seriesCount int) int {
 	return best
 }
 
+// AdaptiveConfig parameterizes an AdaptiveWorker, mirroring how NGSTConfig
+// and OTISConfig configure the core algorithms.
+type AdaptiveConfig struct {
+	// Model is the measured per-series cost of each sensitivity level.
+	Model CostModel
+	// Upsilon is the number of neighbors each pixel consults; it must be
+	// even and >= 2 (see core.NGSTConfig).
+	Upsilon int
+	// Budget is the per-tile compute allowance, in the cost model's
+	// units; it must be non-negative.
+	Budget float64
+	// Rejection configures the cosmic-ray rejector that integrates the
+	// preprocessed tile.
+	Rejection crreject.Config
+	// Telemetry, when non-nil, records the chosen sensitivity
+	// (adaptive_lambda gauge) and processed-tile counter into the
+	// registry.
+	Telemetry *telemetry.Registry
+}
+
+// DefaultAdaptiveConfig returns a config over the given model with the
+// paper's Upsilon = 4 and the default rejection parameters. The zero
+// Budget pins the worker at the model's lowest sensitivity until the
+// caller sets a real allowance.
+func DefaultAdaptiveConfig(model CostModel) AdaptiveConfig {
+	return AdaptiveConfig{Model: model, Upsilon: 4, Rejection: crreject.DefaultConfig()}
+}
+
+// Validate reports whether the configuration is usable.
+func (c AdaptiveConfig) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Upsilon < 2 || c.Upsilon%2 != 0 {
+		return fmt.Errorf("cluster: Upsilon must be even and >= 2, got %d", c.Upsilon)
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("cluster: negative budget %v", c.Budget)
+	}
+	return nil
+}
+
 // AdaptiveWorker preprocesses each tile at the highest sensitivity its
 // budget allows, then integrates.
 type AdaptiveWorker struct {
-	model   CostModel
-	upsilon int
-	budget  float64
-	rej     *crreject.Rejector
+	cfg AdaptiveConfig
+	rej *crreject.Rejector
 
 	// lastLambda records the sensitivity chosen for the most recent tile
 	// (observable for tests and telemetry).
-	lastLambda int
+	lastLambda atomic.Int64
+
+	lambdaGauge *telemetry.Gauge
+	tilesSeen   *telemetry.Counter
 }
 
 var _ Worker = (*AdaptiveWorker)(nil)
 
-// NewAdaptiveWorker builds a worker with the given per-tile budget, in the
-// cost model's units.
-func NewAdaptiveWorker(model CostModel, upsilon int, budget float64, rejCfg crreject.Config) (*AdaptiveWorker, error) {
-	if err := model.Validate(); err != nil {
+// NewAdaptive validates cfg and builds the worker.
+func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveWorker, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if budget < 0 {
-		return nil, fmt.Errorf("cluster: negative budget %v", budget)
-	}
-	rej, err := crreject.New(rejCfg)
+	rej, err := crreject.New(cfg.Rejection)
 	if err != nil {
 		return nil, err
 	}
-	return &AdaptiveWorker{model: model, upsilon: upsilon, budget: budget, rej: rej}, nil
+	w := &AdaptiveWorker{cfg: cfg, rej: rej}
+	if cfg.Telemetry != nil {
+		w.lambdaGauge = cfg.Telemetry.Gauge("adaptive_lambda")
+		w.tilesSeen = cfg.Telemetry.Counter("adaptive_tiles_total")
+	}
+	return w, nil
+}
+
+// NewAdaptiveWorker builds a worker with the given per-tile budget, in the
+// cost model's units.
+//
+// Deprecated: use NewAdaptive with an AdaptiveConfig; the positional
+// arguments predate the config-struct convention of the core algorithms.
+func NewAdaptiveWorker(model CostModel, upsilon int, budget float64, rejCfg crreject.Config) (*AdaptiveWorker, error) {
+	return NewAdaptive(AdaptiveConfig{Model: model, Upsilon: upsilon, Budget: budget, Rejection: rejCfg})
 }
 
 // LastLambda returns the sensitivity used for the most recent tile.
-func (w *AdaptiveWorker) LastLambda() int { return w.lastLambda }
+func (w *AdaptiveWorker) LastLambda() int { return int(w.lastLambda.Load()) }
 
 // ProcessTile implements Worker.
-func (w *AdaptiveWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+func (w *AdaptiveWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResult, error) {
 	if t.Stack == nil || t.Stack.Len() == 0 {
 		return TileResult{}, fmt.Errorf("cluster: empty tile")
 	}
+	if err := ctx.Err(); err != nil {
+		return TileResult{}, err
+	}
 	seriesCount := t.Stack.Width() * t.Stack.Height()
-	lambda := w.model.Pick(w.budget, seriesCount)
-	w.lastLambda = lambda
+	lambda := w.cfg.Model.Pick(w.cfg.Budget, seriesCount)
+	w.lastLambda.Store(int64(lambda))
+	if w.lambdaGauge != nil {
+		w.lambdaGauge.Set(float64(lambda))
+		w.tilesSeen.Inc()
+	}
 	if lambda > 0 {
-		pre, err := core.NewAlgoNGST(core.NGSTConfig{Upsilon: w.upsilon, Sensitivity: lambda})
+		pre, err := core.NewAlgoNGST(core.NGSTConfig{Upsilon: w.cfg.Upsilon, Sensitivity: lambda})
 		if err != nil {
 			return TileResult{}, err
 		}
-		core.ProcessStackWith(pre, t.Stack)
+		if err := processStackCtx(ctx, pre, t.Stack); err != nil {
+			return TileResult{}, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return TileResult{}, err
 	}
 	img, stats := w.rej.Integrate(t.Stack)
 	return TileResult{Index: t.Index, X0: t.X0, Y0: t.Y0, Image: img, Stats: stats}, nil

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"spaceproc/internal/crreject"
@@ -67,7 +68,7 @@ func TestAdaptiveWorkerHonorsBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rich.ProcessTile(cloneTile(tiles[0])); err != nil {
+	if _, err := rich.ProcessTile(context.Background(), cloneTile(tiles[0])); err != nil {
 		t.Fatal(err)
 	}
 	if rich.LastLambda() != 100 {
@@ -78,7 +79,7 @@ func TestAdaptiveWorkerHonorsBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := poor.ProcessTile(cloneTile(tiles[0])); err != nil {
+	if _, err := poor.ProcessTile(context.Background(), cloneTile(tiles[0])); err != nil {
 		t.Fatal(err)
 	}
 	if poor.LastLambda() != 0 {
@@ -116,7 +117,7 @@ func TestAdaptiveWorkerErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.ProcessTile(dataset.Tile{}); err == nil {
+	if _, err := w.ProcessTile(context.Background(), dataset.Tile{}); err == nil {
 		t.Error("empty tile should error")
 	}
 }

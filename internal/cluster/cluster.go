@@ -9,6 +9,12 @@
 // TCP/gob transport (see transport.go) standing in for the Myrinet
 // interconnect. The master tolerates worker failures by re-queueing a
 // failed tile onto another worker, bounded by a retry budget.
+//
+// The pipeline is observable: pass WithTelemetry to NewMaster and the
+// master records per-tile dispatch/process/retry/blit spans, per-worker
+// latency histograms and stage counters into the registry (see
+// internal/telemetry). Without a registry the instrumentation compiles
+// down to nil checks on the hot path.
 package cluster
 
 import (
@@ -16,11 +22,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"spaceproc/internal/core"
 	"spaceproc/internal/crreject"
 	"spaceproc/internal/dataset"
 	"spaceproc/internal/rice"
+	"spaceproc/internal/telemetry"
 )
 
 // DefaultWorkers is the paper's 16-processor estimate.
@@ -48,8 +56,11 @@ type statsPreprocessor interface {
 
 // Worker processes one tile.
 type Worker interface {
-	// ProcessTile preprocesses and integrates a tile.
-	ProcessTile(t dataset.Tile) (TileResult, error)
+	// ProcessTile preprocesses and integrates a tile. Implementations
+	// honor ctx cancellation and deadlines: the in-process workers poll
+	// ctx between row passes, and the TCP transport propagates the
+	// deadline to the remote node.
+	ProcessTile(ctx context.Context, t dataset.Tile) (TileResult, error)
 }
 
 // LocalWorker runs the slave-node computation in process: input
@@ -72,10 +83,14 @@ func NewLocalWorker(pre core.SeriesPreprocessor, rejCfg crreject.Config) (*Local
 	return &LocalWorker{pre: pre, rej: rej}, nil
 }
 
-// ProcessTile implements Worker.
-func (w *LocalWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+// ProcessTile implements Worker. Cancellation is polled between row
+// passes, so an abandoned tile stops within one row's work.
+func (w *LocalWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResult, error) {
 	if t.Stack == nil || t.Stack.Len() == 0 {
 		return TileResult{}, errors.New("cluster: empty tile")
+	}
+	if err := ctx.Err(); err != nil {
+		return TileResult{}, err
 	}
 	res := TileResult{Index: t.Index, X0: t.X0, Y0: t.Y0}
 	switch pre := w.pre.(type) {
@@ -83,6 +98,9 @@ func (w *LocalWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
 	case statsPreprocessor:
 		width, height := t.Stack.Width(), t.Stack.Height()
 		for y := 0; y < height; y++ {
+			if err := ctx.Err(); err != nil {
+				return TileResult{}, err
+			}
 			for x := 0; x < width; x++ {
 				ser := t.Stack.SeriesAt(x, y)
 				pre.ProcessSeriesStats(ser, &res.PreStats)
@@ -90,10 +108,31 @@ func (w *LocalWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
 			}
 		}
 	default:
-		core.ProcessStackWith(w.pre, t.Stack)
+		if err := processStackCtx(ctx, w.pre, t.Stack); err != nil {
+			return TileResult{}, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return TileResult{}, err
 	}
 	res.Image, res.Stats = w.rej.Integrate(t.Stack)
 	return res, nil
+}
+
+// processStackCtx is core.ProcessStackWith with per-row cancellation.
+func processStackCtx(ctx context.Context, p core.SeriesPreprocessor, s *dataset.Stack) error {
+	w, h := s.Width(), s.Height()
+	for y := 0; y < h; y++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for x := 0; x < w; x++ {
+			ser := s.SeriesAt(x, y)
+			p.ProcessSeries(ser)
+			s.SetSeriesAt(x, y, ser)
+		}
+	}
+	return nil
 }
 
 // Result is the master's output for one baseline.
@@ -124,7 +163,35 @@ type Master struct {
 	workers  []Worker
 	tileSize int
 	retries  int
+	tel      *telemetry.Registry
+	met      *masterMetrics
 }
+
+// masterMetrics holds the master's registry handles, resolved once at
+// construction so the per-tile path never touches the registry maps.
+type masterMetrics struct {
+	runs         *telemetry.Counter
+	tiles        *telemetry.Counter
+	completed    *telemetry.Counter
+	retried      *telemetry.Counter
+	failed       *telemetry.Counter
+	bytesOut     *telemetry.Counter
+	dispatchWait *telemetry.Histogram
+	tileProcess  *telemetry.Histogram
+	run          *telemetry.Histogram
+	perWorker    []*telemetry.Histogram
+}
+
+// Span stages recorded by the master; tests and dashboards key on these.
+const (
+	StageFragment = "fragment"
+	StageDispatch = "dispatch"
+	StageProcess  = "process"
+	StageRetry    = "retry"
+	StageBlit     = "blit"
+	StageCompress = "compress"
+	StageRun      = "run"
+)
 
 // MasterOption configures a Master.
 type MasterOption func(*Master)
@@ -140,6 +207,13 @@ func WithRetries(n int) MasterOption {
 	return func(m *Master) { m.retries = n }
 }
 
+// WithTelemetry wires the master's instrumentation into reg: per-tile
+// dispatch/process/retry/blit spans, per-worker process-latency histograms
+// (pipeline_worker_NN_process), and pipeline_* counters.
+func WithTelemetry(reg *telemetry.Registry) MasterOption {
+	return func(m *Master) { m.tel = reg }
+}
+
 // NewMaster builds a master over the given workers.
 func NewMaster(workers []Worker, opts ...MasterOption) (*Master, error) {
 	if len(workers) == 0 {
@@ -152,13 +226,33 @@ func NewMaster(workers []Worker, opts ...MasterOption) (*Master, error) {
 	if m.tileSize <= 0 {
 		return nil, fmt.Errorf("cluster: tile size %d must be positive", m.tileSize)
 	}
+	if m.tel != nil {
+		met := &masterMetrics{
+			runs:         m.tel.Counter("pipeline_runs_total"),
+			tiles:        m.tel.Counter("pipeline_tiles_total"),
+			completed:    m.tel.Counter("pipeline_tiles_completed_total"),
+			retried:      m.tel.Counter("pipeline_tile_retries_total"),
+			failed:       m.tel.Counter("pipeline_tile_failures_total"),
+			bytesOut:     m.tel.Counter("pipeline_bytes_compressed_total"),
+			dispatchWait: m.tel.Histogram("pipeline_dispatch_wait"),
+			tileProcess:  m.tel.Histogram("pipeline_tile_process"),
+			run:          m.tel.Histogram("pipeline_run"),
+			perWorker:    make([]*telemetry.Histogram, len(workers)),
+		}
+		for i := range workers {
+			met.perWorker[i] = m.tel.Histogram(fmt.Sprintf("pipeline_worker_%02d_process", i))
+		}
+		m.tel.Gauge("pipeline_workers").Set(float64(len(workers)))
+		m.met = met
+	}
 	return m, nil
 }
 
 // job is one unit of work with its retry budget.
 type job struct {
-	tile    dataset.Tile
-	retries int
+	tile     dataset.Tile
+	retries  int
+	enqueued time.Time // zero unless telemetry is enabled
 }
 
 // Run executes the pipeline on one baseline stack.
@@ -170,14 +264,23 @@ func (m *Master) Run(s *dataset.Stack) (*Result, error) {
 // tiles finish but no new tiles are dispatched, and the context's error is
 // returned.
 func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, error) {
+	runSpan := m.tel.StartSpan(StageRun, "baseline")
+	fragSpan := m.tel.StartSpan(StageFragment, "baseline")
 	tiles, err := dataset.Fragment(s, m.tileSize)
 	if err != nil {
 		return nil, err
 	}
+	fragSpan.End()
 
 	jobs := make(chan job, len(tiles))
+	now := time.Time{}
+	if m.met != nil {
+		now = time.Now()
+		m.met.runs.Inc()
+		m.met.tiles.Add(int64(len(tiles)))
+	}
 	for _, t := range tiles {
-		jobs <- job{tile: t}
+		jobs <- job{tile: t, enqueued: now}
 	}
 	results := make(chan TileResult, len(tiles))
 	failures := make(chan error, len(tiles))
@@ -192,9 +295,9 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 	}()
 
 	var wg sync.WaitGroup
-	for _, w := range m.workers {
+	for wi, w := range m.workers {
 		wg.Add(1)
-		go func(w Worker) {
+		go func(wi int, w Worker) {
 			defer wg.Done()
 			for {
 				select {
@@ -203,22 +306,10 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 				case <-ctx.Done():
 					return
 				case j := <-jobs:
-					res, err := w.ProcessTile(cloneTile(j.tile))
-					if err != nil {
-						if j.retries < m.retries {
-							retried <- struct{}{}
-							jobs <- job{tile: j.tile, retries: j.retries + 1}
-							continue
-						}
-						failures <- fmt.Errorf("cluster: tile %d failed permanently: %w", j.tile.Index, err)
-						pending.Done()
-						continue
-					}
-					results <- res
-					pending.Done()
+					m.processJob(ctx, wi, w, j, jobs, results, failures, retried, &pending)
 				}
 			}
-		}(w)
+		}(wi, w)
 	}
 
 	select {
@@ -242,8 +333,14 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 	close(retried)
 	wg.Wait()
 
-	if err := <-failures; err != nil {
-		return nil, err
+	// Aggregate every permanent tile failure, not just the first: a
+	// multi-tile outage reads very differently from a single bad segment.
+	var errs []error
+	for err := range failures {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 
 	out := &Result{Image: dataset.NewImage(s.Width(), s.Height())}
@@ -252,7 +349,9 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 	}
 	count := 0
 	for res := range results {
+		blitSpan := m.tel.StartSpan(StageBlit, fmt.Sprintf("tile_%d", res.Index))
 		blit(out.Image, res)
+		blitSpan.End()
 		out.Stats.Hits += res.Stats.Hits
 		out.Stats.Steps += res.Stats.Steps
 		out.PreStats.Add(res.PreStats)
@@ -261,8 +360,70 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 	if count != len(tiles) {
 		return nil, fmt.Errorf("cluster: reassembled %d of %d tiles", count, len(tiles))
 	}
+	compSpan := m.tel.StartSpan(StageCompress, "baseline")
 	out.Compressed = rice.Encode(out.Image.Pix)
+	compSpan.End()
+	if m.met != nil {
+		m.met.bytesOut.Add(int64(len(out.Compressed)))
+		runSpan.EndTo(m.met.run)
+	}
 	return out, nil
+}
+
+// processJob runs one tile on one worker, recording telemetry and routing
+// the outcome to the results, retry or failure channels. pending.Done
+// accounting stays with the master loop: a job leaves the pending set only
+// when it succeeds or fails permanently.
+func (m *Master) processJob(ctx context.Context, wi int, w Worker, j job,
+	jobs chan job, results chan TileResult, failures chan error, retried chan struct{},
+	pending *sync.WaitGroup) {
+
+	var label string
+	var start time.Time
+	if m.met != nil {
+		label = fmt.Sprintf("tile_%d", j.tile.Index)
+		if !j.enqueued.IsZero() {
+			wait := time.Since(j.enqueued)
+			m.tel.RecordSpan(StageDispatch, label, j.enqueued, wait)
+			m.met.dispatchWait.Observe(wait)
+		}
+		start = time.Now()
+	}
+	res, err := w.ProcessTile(ctx, cloneTile(j.tile))
+	if m.met != nil {
+		d := time.Since(start)
+		m.tel.RecordSpan(StageProcess, label, start, d)
+		m.met.tileProcess.Observe(d)
+		m.met.perWorker[wi].Observe(d)
+	}
+	if err != nil {
+		// A cancelled run is not a worker fault; leave the job queued and
+		// let the master's ctx branch drain (and account for) it.
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			jobs <- j
+			return
+		}
+		if j.retries < m.retries {
+			if m.met != nil {
+				m.met.retried.Inc()
+				m.tel.RecordSpan(StageRetry, label, start, time.Since(start))
+			}
+			retried <- struct{}{}
+			jobs <- job{tile: j.tile, retries: j.retries + 1, enqueued: enqueueTime(m.met)}
+			return
+		}
+		if m.met != nil {
+			m.met.failed.Inc()
+		}
+		failures <- fmt.Errorf("cluster: tile %d failed permanently: %w", j.tile.Index, err)
+		pending.Done()
+		return
+	}
+	if m.met != nil {
+		m.met.completed.Inc()
+	}
+	results <- res
+	pending.Done()
 }
 
 // blit copies a tile image into the frame.
@@ -277,4 +438,11 @@ func blit(dst *dataset.Image, res TileResult) {
 // stack.
 func cloneTile(t dataset.Tile) dataset.Tile {
 	return dataset.Tile{Index: t.Index, X0: t.X0, Y0: t.Y0, Stack: t.Stack.Clone()}
+}
+
+func enqueueTime(met *masterMetrics) time.Time {
+	if met == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }

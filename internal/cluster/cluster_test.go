@@ -155,11 +155,11 @@ type flakyWorker struct {
 	failures int32
 }
 
-func (w *flakyWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+func (w *flakyWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResult, error) {
 	if atomic.AddInt32(&w.failures, -1) >= 0 {
 		return TileResult{}, errors.New("injected worker failure")
 	}
-	return w.inner.ProcessTile(t)
+	return w.inner.ProcessTile(ctx, t)
 }
 
 func TestPipelineCollectsPreprocessingTelemetry(t *testing.T) {
@@ -247,10 +247,10 @@ type slowWorker struct {
 	release chan struct{}
 }
 
-func (w *slowWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+func (w *slowWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResult, error) {
 	w.started <- struct{}{}
 	<-w.release
-	return w.inner.ProcessTile(t)
+	return w.inner.ProcessTile(ctx, t)
 }
 
 func TestRunContextCancellation(t *testing.T) {
@@ -297,7 +297,7 @@ func TestLocalWorkerRejectsEmptyTile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.ProcessTile(dataset.Tile{}); err == nil {
+	if _, err := w.ProcessTile(context.Background(), dataset.Tile{}); err == nil {
 		t.Fatal("empty tile should error")
 	}
 }
@@ -363,13 +363,13 @@ func TestTCPWorkerSurvivesServerRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := remote.ProcessTile(tiles[0]); err != nil {
+	if _, err := remote.ProcessTile(context.Background(), tiles[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the connection server-side; the next call must fail, and the
 	// one after must succeed on a fresh server at the same address.
 	srv.Close()
-	if _, err := remote.ProcessTile(tiles[1]); err == nil {
+	if _, err := remote.ProcessTile(context.Background(), tiles[1]); err == nil {
 		t.Fatal("call against closed server should fail")
 	}
 	srv2 := NewServer(inner)
@@ -381,7 +381,7 @@ func TestTCPWorkerSurvivesServerRestart(t *testing.T) {
 	if addr2 != addr {
 		t.Skipf("rebound to different address %s", addr2)
 	}
-	if _, err := remote.ProcessTile(tiles[1]); err != nil {
+	if _, err := remote.ProcessTile(context.Background(), tiles[1]); err != nil {
 		t.Fatalf("re-dial after restart failed: %v", err)
 	}
 }
@@ -403,7 +403,7 @@ func TestRemoteWorkerReportsRemoteErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := remote.ProcessTile(tiles[0]); err == nil {
+	if _, err := remote.ProcessTile(context.Background(), tiles[0]); err == nil {
 		t.Fatal("remote error should propagate")
 	}
 }

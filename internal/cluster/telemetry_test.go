@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/telemetry"
+)
+
+// TestMasterTelemetryCountsTiles checks that a clean instrumented run
+// records every pipeline stage and per-worker latency.
+func TestMasterTelemetryCountsTiles(t *testing.T) {
+	sc := testScene(t, 21)
+	reg := telemetry.NewRegistry()
+	m, err := NewMaster(localWorkers(t, 2, nil), WithTileSize(32), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(sc.Observed); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	const tiles = 4 // 64x64 at 32-pixel tiles
+	if got := snap.Counters["pipeline_tiles_total"]; got != tiles {
+		t.Fatalf("tiles_total = %d, want %d", got, tiles)
+	}
+	if got := snap.Counters["pipeline_tiles_completed_total"]; got != tiles {
+		t.Fatalf("tiles_completed = %d, want %d", got, tiles)
+	}
+	for _, stage := range []string{StageFragment, StageDispatch, StageProcess, StageBlit, StageCompress, StageRun} {
+		if snap.SpanCounts[stage] == 0 {
+			t.Fatalf("no spans recorded for stage %q: %v", stage, snap.SpanCounts)
+		}
+	}
+	if snap.Gauges["pipeline_workers"] != 2 {
+		t.Fatalf("pipeline_workers = %v, want 2", snap.Gauges["pipeline_workers"])
+	}
+	var perWorker int64
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "pipeline_worker_") {
+			perWorker += h.Count
+		}
+	}
+	if perWorker != tiles {
+		t.Fatalf("per-worker histogram counts sum to %d, want %d", perWorker, tiles)
+	}
+	if snap.Histograms["pipeline_tile_process"].Count != tiles {
+		t.Fatalf("tile_process count = %d, want %d", snap.Histograms["pipeline_tile_process"].Count, tiles)
+	}
+}
+
+// TestMasterTelemetryRetries checks that the retry counter and the retry
+// span trace both agree with the Result's own count.
+func TestMasterTelemetryRetries(t *testing.T) {
+	sc := testScene(t, 22)
+	good, err := NewLocalWorker(nil, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyWorker{inner: good, failures: 2}
+	reg := telemetry.NewRegistry()
+	m, err := NewMaster([]Worker{flaky}, WithTileSize(32), WithRetries(3), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(sc.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["pipeline_tile_retries_total"]; got != int64(res.Retries) {
+		t.Fatalf("retry counter = %d, Result.Retries = %d", got, res.Retries)
+	}
+	if got := snap.SpanCounts[StageRetry]; got != int64(res.Retries) {
+		t.Fatalf("retry spans = %d, Result.Retries = %d", got, res.Retries)
+	}
+	if res.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", res.Retries)
+	}
+	if snap.Counters["pipeline_tile_failures_total"] != 0 {
+		t.Fatalf("failures counter = %d, want 0", snap.Counters["pipeline_tile_failures_total"])
+	}
+}
+
+// TestMasterTelemetryFailures checks the permanent-failure path: the
+// failure counter fires and the run errors.
+func TestMasterTelemetryFailures(t *testing.T) {
+	sc := testScene(t, 23)
+	alwaysBad := &flakyWorker{inner: nil, failures: 1 << 30}
+	reg := telemetry.NewRegistry()
+	m, err := NewMaster([]Worker{alwaysBad}, WithTileSize(32), WithRetries(1), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(sc.Observed); err == nil {
+		t.Fatal("run should fail when every tile exhausts its retries")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pipeline_tile_failures_total"] == 0 {
+		t.Fatal("failure counter not incremented")
+	}
+}
+
+// TestRunReportsEveryFailure checks that a run with several permanently
+// failed tiles surfaces all of them, not just the first drained error.
+func TestRunReportsEveryFailure(t *testing.T) {
+	sc := testScene(t, 25)
+	alwaysBad := &flakyWorker{inner: nil, failures: 1 << 30}
+	m, err := NewMaster([]Worker{alwaysBad}, WithTileSize(32), WithRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(sc.Observed)
+	if err == nil {
+		t.Fatal("run should fail")
+	}
+	// 64x64 at 32-pixel tiles: all four tiles fail and must all be named.
+	if got := strings.Count(err.Error(), "failed permanently"); got != 4 {
+		t.Fatalf("error names %d failed tiles, want 4:\n%v", got, err)
+	}
+}
+
+// TestServerSidecarServesObservability spins up a TCP worker with the HTTP
+// sidecar and checks /metrics, /healthz and /debug/pprof/ respond.
+func TestServerSidecarServesObservability(t *testing.T) {
+	sc := testScene(t, 24)
+	lw, err := NewLocalWorker(nil, crreject.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lw, WithSidecar("127.0.0.1:0"))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Telemetry() == nil {
+		t.Fatal("sidecar should imply a registry")
+	}
+
+	rw, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	m, err := NewMaster([]Worker{rw}, WithTileSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(sc.Observed); err != nil {
+		t.Fatal(err)
+	}
+
+	scAddr := srv.SidecarAddr()
+	if scAddr == "" {
+		t.Fatal("sidecar address empty after Listen")
+	}
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + scAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "counter server_requests_total 4") {
+		t.Fatalf("/metrics missing served-request count:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "spans serve 4") {
+		t.Fatalf("/metrics missing serve spans:\n%s", metrics)
+	}
+	if body := get("/healthz"); !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz body %q", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ unexpected body %q", body)
+	}
+}

@@ -1,24 +1,33 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"spaceproc/internal/dataset"
+	"spaceproc/internal/telemetry"
 )
 
 // The TCP transport stands in for the Myrinet interconnect of the Figure 1
 // architecture: each slave node runs a Server wrapping a Worker; the master
 // holds one RemoteWorker per slave. Frames are gob-encoded tiles and
 // results over a persistent connection, one request in flight per worker
-// (matching the master/slave dispatch of the paper's pipeline).
+// (matching the master/slave dispatch of the paper's pipeline). Context
+// deadlines propagate: the master-side proxy applies them to the socket and
+// ships them in the request so the slave enforces the same cut-off.
 
 // request is the wire format of one dispatch.
 type request struct {
 	Tile dataset.Tile
+	// Deadline is the absolute processing cut-off (zero when the caller's
+	// context carries none); the serving node derives its own context from
+	// it, so deadlines survive the wire.
+	Deadline time.Time
 }
 
 // response is the wire format of one result.
@@ -27,25 +36,69 @@ type response struct {
 	Err    string
 }
 
-// Server exposes a Worker over TCP.
+// Server exposes a Worker over TCP. With WithServerTelemetry it records
+// request counters and serve latency; with WithSidecar it additionally
+// runs an HTTP observability endpoint (/metrics, /healthz, /debug/pprof/)
+// next to the worker port.
 type Server struct {
-	worker Worker
+	worker      Worker
+	tel         *telemetry.Registry
+	sidecarAddr string
 
 	mu       sync.Mutex
 	listener net.Listener
+	sidecar  *telemetry.Server
 	closed   bool
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
+
+	requests *telemetry.Counter
+	errored  *telemetry.Counter
+	serveLat *telemetry.Histogram
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerTelemetry wires the server's request counters and latency
+// histogram into reg.
+func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) { s.tel = reg }
+}
+
+// WithSidecar serves the observability HTTP surface on addr (for example
+// "127.0.0.1:0") while the worker listener is up. It implies a registry:
+// when none was supplied via WithServerTelemetry, the server creates its
+// own.
+func WithSidecar(addr string) ServerOption {
+	return func(s *Server) { s.sidecarAddr = addr }
 }
 
 // NewServer returns a server around the worker.
-func NewServer(w Worker) *Server {
-	return &Server{worker: w, conns: make(map[net.Conn]struct{})}
+func NewServer(w Worker, opts ...ServerOption) *Server {
+	s := &Server{worker: w, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.sidecarAddr != "" && s.tel == nil {
+		s.tel = telemetry.NewRegistry()
+	}
+	if s.tel != nil {
+		s.requests = s.tel.Counter("server_requests_total")
+		s.errored = s.tel.Counter("server_errors_total")
+		s.serveLat = s.tel.Histogram("server_process")
+	}
+	return s
 }
+
+// Telemetry returns the server's registry (nil unless telemetry or a
+// sidecar was configured).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serving happens on background goroutines
-// until Close.
+// until Close. When a sidecar address is configured, the HTTP endpoint
+// starts here too (see SidecarAddr).
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -58,6 +111,15 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", errors.New("cluster: server already closed")
 	}
 	s.listener = ln
+	if s.sidecarAddr != "" && s.sidecar == nil {
+		sc, err := telemetry.NewServer(s.tel, s.sidecarAddr)
+		if err != nil {
+			s.mu.Unlock()
+			ln.Close()
+			return "", err
+		}
+		s.sidecar = sc
+	}
 	s.mu.Unlock()
 
 	s.wg.Add(1)
@@ -86,6 +148,17 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// SidecarAddr returns the bound observability address, or "" when no
+// sidecar is configured or Listen has not run yet.
+func (s *Server) SidecarAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sidecar == nil {
+		return ""
+	}
+	return s.sidecar.Addr()
+}
+
 // serve answers requests on one connection until it drops.
 func (s *Server) serve(conn net.Conn) {
 	defer func() {
@@ -102,7 +175,7 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 		var resp response
-		res, err := s.worker.ProcessTile(req.Tile)
+		res, err := s.process(req)
 		if err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -114,7 +187,34 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// Close stops the server and waits for in-flight requests.
+// process runs one request under the deadline it carried, recording server
+// telemetry when configured.
+func (s *Server) process(req request) (TileResult, error) {
+	ctx := context.Background()
+	if !req.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
+		defer cancel()
+	}
+	var start time.Time
+	if s.tel != nil {
+		s.requests.Inc()
+		start = time.Now()
+	}
+	res, err := s.worker.ProcessTile(ctx, req.Tile)
+	if s.tel != nil {
+		d := time.Since(start)
+		s.serveLat.Observe(d)
+		s.tel.RecordSpan("serve", fmt.Sprintf("tile_%d", req.Tile.Index), start, d)
+		if err != nil {
+			s.errored.Inc()
+		}
+	}
+	return res, err
+}
+
+// Close stops the server (worker listener and sidecar) and waits for
+// in-flight requests.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -124,7 +224,12 @@ func (s *Server) Close() {
 	for conn := range s.conns {
 		conn.Close()
 	}
+	sidecar := s.sidecar
+	s.sidecar = nil
 	s.mu.Unlock()
+	if sidecar != nil {
+		sidecar.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -161,9 +266,14 @@ func (w *RemoteWorker) connect() error {
 }
 
 // ProcessTile implements Worker by round-tripping the tile to the slave.
-// A transport error tears down the connection (the master's retry logic
-// reassigns the tile); the next call re-dials.
-func (w *RemoteWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
+// The context's deadline is applied to the socket and shipped with the
+// request; cancellation unblocks the in-flight round-trip by expiring the
+// socket. A transport error tears down the connection (the master's retry
+// logic reassigns the tile); the next call re-dials.
+func (w *RemoteWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResult, error) {
+	if err := ctx.Err(); err != nil {
+		return TileResult{}, err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.conn == nil {
@@ -171,19 +281,47 @@ func (w *RemoteWorker) ProcessTile(t dataset.Tile) (TileResult, error) {
 			return TileResult{}, err
 		}
 	}
-	if err := w.enc.Encode(&request{Tile: t}); err != nil {
+	conn := w.conn
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	// On cancellation, expire the socket so the blocked gob round-trip
+	// returns instead of hanging until the slave answers.
+	stopWatch := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stopWatch()
+
+	req := request{Tile: t}
+	if hasDeadline {
+		req.Deadline = deadline
+	}
+	if err := w.enc.Encode(&req); err != nil {
 		w.teardown()
-		return TileResult{}, fmt.Errorf("cluster: send tile %d: %w", t.Index, err)
+		return TileResult{}, transportErr(ctx, "send", t.Index, err)
 	}
 	var resp response
 	if err := w.dec.Decode(&resp); err != nil {
 		w.teardown()
-		return TileResult{}, fmt.Errorf("cluster: receive tile %d: %w", t.Index, err)
+		return TileResult{}, transportErr(ctx, "receive", t.Index, err)
 	}
 	if resp.Err != "" {
 		return TileResult{}, fmt.Errorf("cluster: remote: %s", resp.Err)
 	}
 	return resp.Result, nil
+}
+
+// transportErr attributes an I/O failure to the context when it was the
+// cause (cancellation or deadline), so callers can distinguish a dead
+// worker from an abandoned run.
+func transportErr(ctx context.Context, op string, tile int, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("cluster: %s tile %d: %w", op, tile, ctxErr)
+	}
+	return fmt.Errorf("cluster: %s tile %d: %w", op, tile, err)
 }
 
 func (w *RemoteWorker) teardown() {

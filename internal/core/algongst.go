@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spaceproc/internal/dataset"
+	"spaceproc/internal/telemetry"
 )
 
 // SeriesPreprocessor repairs suspected bit flips in a temporal pixel series
@@ -72,6 +73,38 @@ func (c NGSTConfig) Validate() error {
 // preprocessing for temporally redundant 16-bit pixel series.
 type AlgoNGST struct {
 	cfg NGSTConfig
+	tel *voteCounters
+}
+
+// voteCounters is the registry view of VoteStats: resolved once by
+// Instrument so the per-series path pays only atomic adds.
+type voteCounters struct {
+	series        *telemetry.Counter
+	corrected     *telemetry.Counter
+	bitsWindowA   *telemetry.Counter
+	bitsWindowB   *telemetry.Counter
+	guardRejected *telemetry.Counter
+	windowCBit    *telemetry.Gauge
+}
+
+func newVoteCounters(reg *telemetry.Registry) *voteCounters {
+	return &voteCounters{
+		series:        reg.Counter("preprocess_series_total"),
+		corrected:     reg.Counter("preprocess_corrected_total"),
+		bitsWindowA:   reg.Counter("preprocess_bits_window_a_total"),
+		bitsWindowB:   reg.Counter("preprocess_bits_window_b_total"),
+		guardRejected: reg.Counter("preprocess_guard_rejected_total"),
+		windowCBit:    reg.Gauge("preprocess_window_c_bit"),
+	}
+}
+
+func (c *voteCounters) add(s VoteStats) {
+	c.series.Add(int64(s.Series))
+	c.corrected.Add(int64(s.Corrected))
+	c.bitsWindowA.Add(int64(s.BitsWindowA))
+	c.bitsWindowB.Add(int64(s.BitsWindowB))
+	c.guardRejected.Add(int64(s.GuardRejected))
+	c.windowCBit.Set(float64(s.WindowCBit))
 }
 
 var _ SeriesPreprocessor = (*AlgoNGST)(nil)
@@ -92,6 +125,18 @@ func (a *AlgoNGST) Name() string {
 // Config returns the algorithm's configuration.
 func (a *AlgoNGST) Config() NGSTConfig { return a.cfg }
 
+// Instrument feeds the algorithm's correction counters
+// (preprocess_*_total) into reg on every pass, alongside whatever
+// VoteStats collector the caller supplies. A nil registry detaches the
+// instrumentation. Call before sharing the value across workers.
+func (a *AlgoNGST) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		a.tel = nil
+		return
+	}
+	a.tel = newVoteCounters(reg)
+}
+
 // ProcessSeries implements SeriesPreprocessor: it identifies temporally
 // non-conforming bits by Upsilon-way XOR voting with dynamic per-way
 // thresholds and repairs them in place.
@@ -111,6 +156,14 @@ func (a *AlgoNGST) ProcessSeriesStats(s dataset.Series, stats *VoteStats) {
 	for i, v := range s {
 		vals[i] = uint32(v)
 	}
+	// When instrumented, collect into a local VoteStats and fan out to
+	// both the caller's collector and the registry counters; otherwise
+	// the caller's pointer is used directly (zero extra cost).
+	collect := stats
+	var local VoteStats
+	if a.tel != nil {
+		collect = &local
+	}
 	opt := voteOptions{
 		disableQuorum:     a.cfg.DisableQuorum,
 		disableCarryGuard: a.cfg.DisableCarryGuard,
@@ -118,11 +171,17 @@ func (a *AlgoNGST) ProcessSeriesStats(s dataset.Series, stats *VoteStats) {
 		staticWindows:     a.cfg.StaticWindows,
 		staticLSB:         a.cfg.StaticLSB,
 		staticMSB:         a.cfg.StaticMSB,
-		stats:             stats,
+		stats:             collect,
 	}
 	corr := correctTemporalOpt(vals, a.cfg.Upsilon, a.cfg.Sensitivity, 16, opt)
 	for i := range s {
 		s[i] ^= uint16(corr[i])
+	}
+	if a.tel != nil {
+		a.tel.add(local)
+		if stats != nil {
+			stats.Add(local)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"spaceproc/internal/bitutil"
 	"spaceproc/internal/dataset"
 	"spaceproc/internal/physics"
+	"spaceproc/internal/telemetry"
 )
 
 // CubePreprocessor repairs suspected bit flips in an OTIS radiance cube in
@@ -95,6 +96,39 @@ func (c OTISConfig) Validate() error {
 // drastically on either side of a band of wavelengths".
 type AlgoOTIS struct {
 	cfg OTISConfig
+	tel *cubeCounters
+}
+
+// cubeCounters is the registry view of CubeStats, resolved once by
+// Instrument.
+type cubeCounters struct {
+	boundsRepairs  *telemetry.Counter
+	voted          *telemetry.Counter
+	trendPreserved *telemetry.Counter
+}
+
+func newCubeCounters(reg *telemetry.Registry) *cubeCounters {
+	return &cubeCounters{
+		boundsRepairs:  reg.Counter("preprocess_bounds_repairs_total"),
+		voted:          reg.Counter("preprocess_voted_total"),
+		trendPreserved: reg.Counter("preprocess_trend_preserved_total"),
+	}
+}
+
+func (c *cubeCounters) add(s CubeStats) {
+	c.boundsRepairs.Add(int64(s.BoundsRepairs))
+	c.voted.Add(int64(s.Voted))
+	c.trendPreserved.Add(int64(s.TrendPreserved))
+}
+
+// Instrument feeds the algorithm's correction counters into reg on every
+// pass (see AlgoNGST.Instrument). A nil registry detaches it.
+func (a *AlgoOTIS) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		a.tel = nil
+		return
+	}
+	a.tel = newCubeCounters(reg)
 }
 
 var _ CubePreprocessor = (*AlgoOTIS)(nil)
@@ -139,6 +173,21 @@ func (a *AlgoOTIS) ProcessCube(c *dataset.Cube) {
 // The caller owns stats, keeping the algorithm value safe for concurrent
 // use.
 func (a *AlgoOTIS) ProcessCubeStats(c *dataset.Cube, stats *CubeStats) {
+	collect := stats
+	var local CubeStats
+	if a.tel != nil {
+		collect = &local
+	}
+	a.processCubeStats(c, collect)
+	if a.tel != nil {
+		a.tel.add(local)
+		if stats != nil {
+			stats.Add(local)
+		}
+	}
+}
+
+func (a *AlgoOTIS) processCubeStats(c *dataset.Cube, stats *CubeStats) {
 	for b := 0; b < c.Bands; b++ {
 		lo, hi := a.bandBounds(b)
 		plane := c.Band(b)

@@ -21,6 +21,7 @@ import (
 	"spaceproc/internal/rng"
 	"spaceproc/internal/store"
 	"spaceproc/internal/synth"
+	"spaceproc/internal/telemetry"
 )
 
 // Config parameterizes a campaign.
@@ -51,6 +52,11 @@ type Config struct {
 	PassBudget int
 	// Seed drives all synthesis and injection.
 	Seed uint64
+	// Telemetry, when non-nil, receives per-baseline stage spans and
+	// latency histograms (mission_synth, mission_store, mission_pipeline,
+	// ...), the pipeline master's per-tile instrumentation, and the
+	// preprocessor's correction counters.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns a small campaign suitable for tests and demos.
@@ -133,13 +139,16 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		a.Instrument(cfg.Telemetry)
 		pre = a
 	}
-	master, err := newMaster(pre, cfg.Workers, cfg.TileSize)
+	master, err := newMaster(pre, cfg.Workers, cfg.TileSize, cfg.Telemetry)
 	if err != nil {
 		return nil, err
 	}
-	refMaster, err := newMaster(nil, cfg.Workers, cfg.TileSize)
+	// The reference master is the fault-free comparator; it stays
+	// uninstrumented so pipeline_* metrics count only the flight path.
+	refMaster, err := newMaster(nil, cfg.Workers, cfg.TileSize, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +196,7 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func newMaster(pre core.SeriesPreprocessor, workers, tile int) (*cluster.Master, error) {
+func newMaster(pre core.SeriesPreprocessor, workers, tile int, reg *telemetry.Registry) (*cluster.Master, error) {
 	ws := make([]cluster.Worker, workers)
 	for i := range ws {
 		w, err := cluster.NewLocalWorker(pre, crreject.DefaultConfig())
@@ -196,28 +205,51 @@ func newMaster(pre core.SeriesPreprocessor, workers, tile int) (*cluster.Master,
 		}
 		ws[i] = w
 	}
-	return cluster.NewMaster(ws, cluster.WithTileSize(tile))
+	opts := []cluster.MasterOption{cluster.WithTileSize(tile)}
+	if reg != nil {
+		opts = append(opts, cluster.WithTelemetry(reg))
+	}
+	return cluster.NewMaster(ws, opts...)
+}
+
+// stageSpan opens a per-baseline stage span whose duration also feeds the
+// mission_<stage> histogram; the returned func records both. With no
+// registry it is a no-op.
+func (c Config) stageSpan(stage string, baseline int) func() {
+	if c.Telemetry == nil {
+		return func() {}
+	}
+	span := c.Telemetry.StartSpan(stage, fmt.Sprintf("baseline_%03d", baseline))
+	hist := c.Telemetry.Histogram("mission_" + stage)
+	return func() { span.EndTo(hist) }
 }
 
 func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*BaselineResult, error) {
+	endSynth := cfg.stageSpan("synth", b)
 	scene, err := synth.NewScene(cfg.Scene, rng.NewStream(cfg.Seed, uint64(b)*4))
+	endSynth()
 	if err != nil {
 		return nil, err
 	}
+	endRef := cfg.stageSpan("reference", b)
 	reference, err := refMaster.Run(scene.Observed)
+	endRef()
 	if err != nil {
 		return nil, err
 	}
 
 	// Damage the raw readouts in data memory.
+	endInject := cfg.stageSpan("inject", b)
 	damaged := scene.Observed.Clone()
 	fault.Uncorrelated{Gamma0: cfg.MemoryRate}.InjectStack(damaged, rng.NewStream(cfg.Seed, uint64(b)*4+1))
+	endInject()
 
 	result := &BaselineResult{Index: b}
 
 	// Through the storage layer, with header damage and sanity repair.
 	working := damaged
 	if cfg.Dir != "" {
+		endStore := cfg.stageSpan("store", b)
 		dir := filepath.Join(cfg.Dir, fmt.Sprintf("baseline_%03d", b))
 		if err := store.SaveBaseline(dir, damaged); err != nil {
 			return nil, err
@@ -231,17 +263,22 @@ func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*Baselin
 			return nil, err
 		}
 		store.InterpolateLost(loaded, loadRep.Unrecoverable)
+		endStore()
 		working = loaded
 		result.HeaderIssues = loadRep.HeaderIssues
 		result.HeaderRepairs = loadRep.HeaderRepairs
 		result.HeaderLost = len(loadRep.Unrecoverable)
 	}
 
+	endPipe := cfg.stageSpan("pipeline", b)
 	out, err := master.Run(working)
+	endPipe()
 	if err != nil {
 		return nil, err
 	}
+	endScore := cfg.stageSpan("score", b)
 	result.Psi = metrics.RelativeError16(out.Image.Pix, reference.Image.Pix)
+	endScore()
 	result.CRHits, result.CRSteps = out.Stats.Hits, out.Stats.Steps
 	result.DownlinkBytes = len(out.Compressed)
 	return result, nil

@@ -66,6 +66,7 @@ func AblationThresholds(cfg NGSTConfig, seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		a.Instrument(cfg.Telemetry)
 		s := Series{Name: v.name}
 		for _, g := range ablationGammas {
 			s.Points = append(s.Points, Point{X: g, Y: mixedSigmaError(cfg, a, seed, g)})
@@ -118,6 +119,7 @@ func runSeriesVariants(res *Result, cfg NGSTConfig, seed uint64, variants []algo
 		if err != nil {
 			return err
 		}
+		a.Instrument(cfg.Telemetry)
 		s := Series{Name: v.name}
 		for _, g := range ablationGammas {
 			injector := fault.Uncorrelated{Gamma0: g}
@@ -163,6 +165,7 @@ func AblationLayout(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	a.Instrument(cfg.Telemetry)
 
 	for _, layout := range []string{"SeriesMajor", "FrameMajor"} {
 		s := Series{Name: layout}
@@ -261,6 +264,7 @@ func AblationLocality(cfg OTISSweepConfig, seed uint64) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
+				a.Instrument(cfg.Telemetry)
 				a.ProcessCube(damaged)
 				acc.Add(metrics.CubeError(damaged, sc.Cube))
 			}

@@ -31,6 +31,7 @@ func AblationECC(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pre.Instrument(cfg.Telemetry)
 
 	variants := []string{"NoProtection", "AlgoNGST", "SECDED(+37.5%mem)", "SECDED+AlgoNGST"}
 	series := make([]Series, len(variants))

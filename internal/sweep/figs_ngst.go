@@ -10,6 +10,7 @@ import (
 	"spaceproc/internal/metrics"
 	"spaceproc/internal/rng"
 	"spaceproc/internal/synth"
+	"spaceproc/internal/telemetry"
 )
 
 // NGSTConfig parameterizes the NGST-benchmark experiments (Figures 2-6).
@@ -22,6 +23,9 @@ type NGSTConfig struct {
 	Sigma float64
 	// Initial is Pi(1).
 	Initial uint16
+	// Telemetry, when non-nil, receives every constructed algorithm's
+	// correction counters (preprocess_*), aggregated across the sweep.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultNGSTConfig returns the paper-matching parameters: N = 64 readouts,
@@ -97,6 +101,7 @@ func Fig2(cfg NGSTConfig, seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		a.Instrument(cfg.Telemetry)
 		algos = append(algos, struct {
 			name string
 			pre  core.SeriesPreprocessor
@@ -162,6 +167,7 @@ func Fig3(cfg NGSTConfig, seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		a.Instrument(cfg.Telemetry)
 		ngst.Points = append(ngst.Points, Point{X: float64(lambda), Y: timePre(a)})
 	}
 	res.Series = append(res.Series, ngst)
@@ -200,6 +206,7 @@ func Fig4(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	a.Instrument(cfg.Telemetry)
 	algos := []struct {
 		name string
 		pre  core.SeriesPreprocessor
@@ -236,6 +243,7 @@ func bestLambdaError(cfg NGSTConfig, upsilon int, seed uint64,
 		if err != nil {
 			panic(err)
 		}
+		a.Instrument(cfg.Telemetry)
 		psi := seriesPreprocessorError(cfg, a, seed, inject)
 		if best < 0 || psi < best {
 			best = psi

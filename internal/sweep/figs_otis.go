@@ -9,6 +9,7 @@ import (
 	"spaceproc/internal/metrics"
 	"spaceproc/internal/rng"
 	"spaceproc/internal/synth"
+	"spaceproc/internal/telemetry"
 )
 
 // OTISSweepConfig parameterizes the OTIS-benchmark experiments
@@ -18,6 +19,9 @@ type OTISSweepConfig struct {
 	Trials int
 	// Scene is the dataset geometry (kind is overridden per experiment).
 	Scene synth.OTISConfig
+	// Telemetry, when non-nil, receives every constructed algorithm's
+	// repair counters (preprocess_*), aggregated across the sweep.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOTISSweepConfig returns the default OTIS experiment parameters.
@@ -66,8 +70,8 @@ func cubePreprocessorError(cfg OTISSweepConfig, kind synth.OTISKind, mk func(*sy
 
 // otisAlgorithms returns the four compared pipelines; the constructor
 // closure lets Algo_OTIS receive the scene's wavelengths for its physical
-// bounds.
-func otisAlgorithms() []struct {
+// bounds. A non-nil reg instruments every Algo_OTIS instance built.
+func otisAlgorithms(reg *telemetry.Registry) []struct {
 	name string
 	mk   func(*synth.OTISScene) core.CubePreprocessor
 } {
@@ -83,6 +87,7 @@ func otisAlgorithms() []struct {
 			if err != nil {
 				panic(err)
 			}
+			a.Instrument(reg)
 			return a
 		}},
 	}
@@ -103,7 +108,7 @@ func Fig7(cfg OTISSweepConfig, seed uint64) ([]*Result, error) {
 			XLabel: "Gamma0",
 			YLabel: "average relative error Psi",
 		}
-		for _, alg := range otisAlgorithms() {
+		for _, alg := range otisAlgorithms(cfg.Telemetry) {
 			s := Series{Name: alg.name}
 			for _, g := range otisGamma0Sweep {
 				injector := fault.Uncorrelated{Gamma0: g}
@@ -134,7 +139,7 @@ func Fig9(cfg OTISSweepConfig, seed uint64) ([]*Result, error) {
 			XLabel: "GammaIni",
 			YLabel: "average relative error Psi",
 		}
-		for _, alg := range otisAlgorithms() {
+		for _, alg := range otisAlgorithms(cfg.Telemetry) {
 			s := Series{Name: alg.name}
 			for _, g := range gammaIniSweep {
 				injector := fault.Correlated{GammaIni: g}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WriteText writes the snapshot in an expvar-style line-oriented text
+// format: one `kind name field=value...` line per metric, stable order.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uptime %s\n", fmtDur(s.Uptime))
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "histogram %s count=%d min=%s mean=%s p50=%s p95=%s p99=%s max=%s\n",
+			name, h.Count, fmtDur(h.Min), fmtDur(h.Mean),
+			fmtDur(h.P50), fmtDur(h.P95), fmtDur(h.P99), fmtDur(h.Max))
+	}
+	for _, stage := range sortedKeys(s.SpanCounts) {
+		fmt.Fprintf(&b, "spans %s %d\n", stage, s.SpanCounts[stage])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render returns a human-oriented summary table of the snapshot, the form
+// the cmd binaries print after a run.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	b.WriteString("telemetry summary\n")
+	if len(s.Counters) > 0 {
+		b.WriteString("  counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "    %-44s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("  gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "    %-44s %g\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("  latencies:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "    %-44s n=%-6d p50=%-9s p95=%-9s p99=%-9s max=%s\n",
+				name, h.Count, fmtDur(h.P50), fmtDur(h.P95), fmtDur(h.P99), fmtDur(h.Max))
+		}
+	}
+	if len(s.SpanCounts) > 0 {
+		b.WriteString("  spans:\n")
+		for _, stage := range sortedKeys(s.SpanCounts) {
+			fmt.Fprintf(&b, "    %-44s %d\n", stage, s.SpanCounts[stage])
+		}
+	}
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry's metrics, a
+// liveness probe, and the net/http/pprof profiling surface:
+//
+//	/metrics       text exposition of a fresh Snapshot
+//	/healthz       {"status":"ok","uptime":"..."}
+//	/debug/pprof/  index, cmdline, profile, symbol, trace, heap, ...
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{
+			"status": "ok",
+			"uptime": reg.Uptime().String(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is the observability sidecar: an HTTP listener dedicated to the
+// Handler surface, meant to run next to a worker or master process.
+type Server struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	srv    *http.Server
+	closed bool
+}
+
+// NewServer starts serving the registry on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is bound; Addr reports the bound address.
+func NewServer(reg *Registry, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the sidecar down, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

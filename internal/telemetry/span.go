@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one completed, named unit of pipeline work. Stage groups spans
+// for aggregation ("process", "retry", "blit"); Label distinguishes
+// instances within a stage ("tile_12", "worker_03", "baseline_001").
+type Span struct {
+	Stage    string
+	Label    string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// spanRing is a bounded ring buffer of completed spans plus monotonic
+// per-stage totals that survive eviction.
+type spanRing struct {
+	mu     sync.Mutex
+	buf    []Span
+	next   int
+	filled bool
+	total  map[string]int64
+}
+
+func (r *spanRing) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.buf = make([]Span, capacity)
+	r.total = make(map[string]int64)
+}
+
+func (r *spanRing) resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = make([]Span, capacity)
+	r.next = 0
+	r.filled = false
+	if r.total == nil {
+		r.total = make(map[string]int64)
+	}
+}
+
+func (r *spanRing) record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+	r.total[s.Stage]++
+	r.mu.Unlock()
+}
+
+// snapshot returns the buffered spans, oldest first.
+func (r *spanRing) snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		out := make([]Span, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+func (r *spanRing) totals() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.total))
+	for k, v := range r.total {
+		out[k] = v
+	}
+	return out
+}
+
+// RecordSpan appends a completed span to the ring buffer and bumps the
+// stage total.
+func (r *Registry) RecordSpan(stage, label string, start time.Time, d time.Duration) {
+	r.spans.record(Span{Stage: stage, Label: label, Start: start, Duration: d})
+}
+
+// ActiveSpan is an in-flight span returned by StartSpan.
+type ActiveSpan struct {
+	reg   *Registry
+	stage string
+	label string
+	start time.Time
+}
+
+// StartSpan opens a span; call End (or EndTo) to record it. A nil registry
+// yields a no-op span, so call sites need no nil guards.
+func (r *Registry) StartSpan(stage, label string) ActiveSpan {
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{reg: r, stage: stage, label: label, start: time.Now()}
+}
+
+// End records the span into the registry it was started from.
+func (s ActiveSpan) End() {
+	if s.reg == nil {
+		return
+	}
+	s.reg.RecordSpan(s.stage, s.label, s.start, time.Since(s.start))
+}
+
+// EndTo records the span and additionally observes its duration into h
+// (when h is non-nil), so one timing feeds both the trace buffer and a
+// latency histogram.
+func (s ActiveSpan) EndTo(h *Histogram) {
+	if s.reg == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.reg.RecordSpan(s.stage, s.label, s.start, d)
+	if h != nil {
+		h.Observe(d)
+	}
+}
+
+// Spans returns the buffered spans, oldest first.
+func (r *Registry) Spans() []Span { return r.spans.snapshot() }
+
+// SpanCount returns the total number of spans ever recorded for stage.
+func (r *Registry) SpanCount(stage string) int64 {
+	r.spans.mu.Lock()
+	defer r.spans.mu.Unlock()
+	return r.spans.total[stage]
+}

@@ -55,12 +55,18 @@ func WithTileSize(n int) MasterOption { return cluster.WithTileSize(n) }
 func WithRetries(n int) MasterOption { return cluster.WithRetries(n) }
 
 // NewAdaptiveWorker builds a budgeted worker over a measured cost model.
+//
+// Deprecated: use NewAdaptive with an AdaptiveConfig (see telemetry.go);
+// the positional arguments predate the config-struct convention.
 func NewAdaptiveWorker(model CostModel, upsilon int, budget float64, rejCfg CRConfig) (*AdaptiveWorker, error) {
 	return cluster.NewAdaptiveWorker(model, upsilon, budget, rejCfg)
 }
 
-// NewWorkerServer exposes a worker over TCP.
-func NewWorkerServer(w Worker) *WorkerServer { return cluster.NewServer(w) }
+// NewWorkerServer exposes a worker over TCP, optionally with telemetry and
+// an observability sidecar (see WorkerServerOption).
+func NewWorkerServer(w Worker, opts ...WorkerServerOption) *WorkerServer {
+	return cluster.NewServer(w, opts...)
+}
 
 // DialWorker connects the master to a TCP worker.
 func DialWorker(addr string) (*RemoteWorker, error) { return cluster.Dial(addr) }

@@ -1,0 +1,76 @@
+package spaceproc
+
+import (
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/telemetry"
+)
+
+// Pipeline observability (internal/telemetry): a dependency-free metrics
+// registry the cluster master, TCP workers, preprocessing algorithms, and
+// the mission runner all report into — counters, gauges, latency
+// histograms with quantile summaries, and a per-stage span trace. The
+// registry is passive until wired in; uninstrumented pipelines pay
+// nothing.
+type (
+	// TelemetryRegistry collects counters, gauges, histograms and spans.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a consistent point-in-time copy of a registry.
+	TelemetrySnapshot = telemetry.Snapshot
+	// HistogramSummary reports count/min/mean/p50/p95/p99/max for one
+	// latency histogram.
+	HistogramSummary = telemetry.HistogramSummary
+	// TraceSpan is one recorded stage execution.
+	TraceSpan = telemetry.Span
+	// TelemetryServer serves /metrics, /healthz and /debug/pprof/ for a
+	// registry.
+	TelemetryServer = telemetry.Server
+	// WorkerServerOption configures a WorkerServer.
+	WorkerServerOption = cluster.ServerOption
+	// AdaptiveConfig parameterizes an AdaptiveWorker.
+	AdaptiveConfig = cluster.AdaptiveConfig
+)
+
+// Pipeline stage names used in span records (see TelemetrySnapshot.SpanCounts).
+const (
+	StageFragment = cluster.StageFragment
+	StageDispatch = cluster.StageDispatch
+	StageProcess  = cluster.StageProcess
+	StageRetry    = cluster.StageRetry
+	StageBlit     = cluster.StageBlit
+	StageCompress = cluster.StageCompress
+	StageRun      = cluster.StageRun
+)
+
+// NewTelemetryRegistry returns an empty registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// WithTelemetry instruments a Master: per-tile dispatch/process/retry/blit
+// spans, per-worker latency histograms, and pipeline_* counters land in
+// reg.
+func WithTelemetry(reg *TelemetryRegistry) MasterOption { return cluster.WithTelemetry(reg) }
+
+// WithWorkerServerTelemetry instruments a WorkerServer's request counters
+// and serve latency.
+func WithWorkerServerTelemetry(reg *TelemetryRegistry) WorkerServerOption {
+	return cluster.WithServerTelemetry(reg)
+}
+
+// WithWorkerServerSidecar serves the observability HTTP surface
+// (/metrics, /healthz, /debug/pprof/) on addr while the worker listener is
+// up.
+func WithWorkerServerSidecar(addr string) WorkerServerOption { return cluster.WithSidecar(addr) }
+
+// NewTelemetryServer serves reg's observability surface on addr
+// ("127.0.0.1:0" picks a free port; see TelemetryServer.Addr).
+func NewTelemetryServer(reg *TelemetryRegistry, addr string) (*TelemetryServer, error) {
+	return telemetry.NewServer(reg, addr)
+}
+
+// DefaultAdaptiveConfig returns an adaptive-worker config over the model
+// with the paper's Upsilon = 4 and default rejection parameters.
+func DefaultAdaptiveConfig(model CostModel) AdaptiveConfig {
+	return cluster.DefaultAdaptiveConfig(model)
+}
+
+// NewAdaptive validates cfg and builds a budgeted worker.
+func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveWorker, error) { return cluster.NewAdaptive(cfg) }
