@@ -20,5 +20,8 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark and records the results as a dated JSON
+# artifact (see cmd/benchjson) so perf regressions are diffable across
+# sessions.
 bench:
-	$(GO) test -run XXX -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array of benchmark records, one object per benchmark
+// line with the name, iteration count, ns/op, and — when -benchmem was on —
+// B/op and allocs/op. `make bench` pipes through it to produce the dated
+// BENCH_<date>.json artifacts tracked alongside EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+
+	"spaceproc/internal/telemetry"
+)
+
+// record is one parsed benchmark result line.
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		telemetry.NewLogger(os.Stderr, slog.LevelInfo).
+			Error("run failed", "cmd", "benchjson", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the JSON array to this file instead of stdout")
+	echo := fs.Bool("echo", true, "echo the raw benchmark text to stdout while parsing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var recs []record
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if *echo {
+			fmt.Fprintln(stdout, line)
+		}
+		if r, ok := parseLine(line); ok {
+			recs = append(recs, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	if recs == nil {
+		recs = []record{}
+	}
+	return enc.Encode(recs)
+}
+
+// parseLine recognizes benchmark result lines such as
+//
+//	BenchmarkVote/lambda=80-8   1201   987654 ns/op   120 B/op   3 allocs/op
+//
+// and ignores everything else (PASS, ok, goos headers, test logs).
+func parseLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: fields[0], Iterations: iters}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err == nil {
+				ok = true
+			}
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return r, ok
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: spaceproc
+BenchmarkVote/lambda=80-8         1201    987654 ns/op    120 B/op    3 allocs/op
+BenchmarkPipeline-8                 10   1.5e+08 ns/op
+PASS
+ok      spaceproc       2.1s
+`
+
+func TestParseSample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-echo=false"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var recs []record
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Name != "BenchmarkVote/lambda=80-8" || r.Iterations != 1201 ||
+		r.NsPerOp != 987654 || r.BytesPerOp != 120 || r.AllocsPerOp != 3 {
+		t.Fatalf("bad record: %+v", r)
+	}
+	if recs[1].NsPerOp != 1.5e8 || recs[1].BytesPerOp != 0 {
+		t.Fatalf("bad record: %+v", recs[1])
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	var out bytes.Buffer
+	if err := run([]string{"-out", path}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkVote") {
+		t.Fatal("echo suppressed unexpectedly")
+	}
+	var recs []record
+	data := readFile(t, path)
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("file is not JSON: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-echo=false"}, strings.NewReader("PASS\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("want empty array, got %q", got)
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"spaceproc/internal/sweep"
@@ -27,9 +28,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "reduced trial counts for a fast smoke run")
 	renderDir := fs.String("render-dir", "figures", "output directory for the fig8 PGM gallery")
 	showMetrics := fs.Bool("metrics", false, "print aggregated preprocessing telemetry after the run")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON artifact to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger := telemetry.NewLogger(stderr, slog.LevelInfo)
 	targets := fs.Args()
 	if len(targets) == 0 {
 		targets = []string{"all"}
@@ -54,19 +57,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hdrCfg.Trials = *trials
 	}
 	var reg *telemetry.Registry
-	if *showMetrics {
+	if *showMetrics || *traceOut != "" {
 		reg = telemetry.NewRegistry()
 		ngstCfg.Telemetry = reg
 		otisCfg.Telemetry = reg
+		hdrCfg.Telemetry = reg
 	}
 
 	emit := func(res *sweep.Result, err error) bool {
 		if err != nil {
-			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			logger.Error("experiment failed", "err", err)
 			return false
 		}
 		if err := res.Render(stdout); err != nil {
-			fmt.Fprintf(stderr, "experiments: render: %v\n", err)
+			logger.Error("render failed", "experiment", res.ID, "err", err)
 			return false
 		}
 		fmt.Fprintln(stdout)
@@ -74,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	emitAll := func(results []*sweep.Result, err error) bool {
 		if err != nil {
-			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			logger.Error("experiment failed", "err", err)
 			return false
 		}
 		for _, r := range results {
@@ -123,12 +127,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if want["fig8"] {
 		if err := renderGallery(*renderDir, *seed, stdout); err != nil {
-			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			logger.Error("gallery render failed", "err", err)
 			ok = false
 		}
 	}
-	if reg != nil {
+	if *showMetrics && reg != nil {
 		fmt.Fprint(stdout, reg.Snapshot().Render())
+	}
+	if *traceOut != "" {
+		if err := reg.Tracer().WriteTraceFile(*traceOut); err != nil {
+			logger.Error("writing trace failed", "path", *traceOut, "err", err)
+			ok = false
+		}
 	}
 	if !ok {
 		return 1

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"spaceproc/internal/core"
@@ -18,7 +19,8 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "missionsim: %v\n", err)
+		telemetry.NewLogger(os.Stderr, slog.LevelInfo).
+			Error("run failed", "cmd", "missionsim", "err", err)
 		os.Exit(1)
 	}
 }
@@ -33,6 +35,8 @@ func run(args []string, out io.Writer) error {
 	passBudget := fs.Int("pass-budget", 0, "bytes per ground-station pass (0 disables downlink scheduling)")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	showMetrics := fs.Bool("metrics", false, "print the telemetry snapshot after the campaign")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON artifact to this file")
+	forensics := fs.Bool("forensics", false, "log WARN fault-correction forensics per baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,9 +66,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var reg *telemetry.Registry
-	if *showMetrics {
+	if *showMetrics || *traceOut != "" {
 		reg = telemetry.NewRegistry()
 		cfg.Telemetry = reg
+	}
+	if *forensics {
+		cfg.Logger = telemetry.NewLogger(os.Stderr, slog.LevelWarn)
 	}
 
 	fmt.Fprintf(out, "campaign: %d baselines, memory Gamma0=%.4f, header Gamma0=%.5f\n",
@@ -78,9 +85,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "pass %d: %d product(s), %d bytes (%.0f%% of budget), %d deferred\n",
 			i, len(pass.Sent), pass.SentBytes, pass.Utilization*100, pass.Deferred)
 	}
-	if reg != nil {
+	if *showMetrics && reg != nil {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, reg.Snapshot().Render())
+	}
+	if *traceOut != "" {
+		if err := reg.Tracer().WriteTraceFile(*traceOut); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s\n", len(reg.Tracer().Events()), *traceOut)
 	}
 	return nil
 }

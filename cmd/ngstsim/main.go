@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"spaceproc"
@@ -20,7 +21,8 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "ngstsim: %v\n", err)
+		spaceproc.NewStructuredLogger(os.Stderr, slog.LevelInfo).
+			Error("run failed", "cmd", "ngstsim", "err", err)
 		os.Exit(1)
 	}
 }
@@ -39,12 +41,16 @@ func run(args []string, out io.Writer) error {
 	tcp := fs.Bool("tcp", false, "serve workers over loopback TCP")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	showMetrics := fs.Bool("metrics", false, "print the pipeline telemetry snapshot after the run")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON artifact to this file")
+	forensics := fs.Bool("forensics", false, "log a WARN record per corrected series (chatty at high fault rates)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	logger := spaceproc.NewStructuredLogger(os.Stderr, slog.LevelWarn)
+
 	var reg *spaceproc.TelemetryRegistry
-	if *showMetrics {
+	if *showMetrics || *traceOut != "" {
 		reg = spaceproc.NewTelemetryRegistry()
 	}
 
@@ -64,6 +70,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		a.Instrument(reg)
+		if *forensics {
+			a.Forensics(logger)
+		}
 		pre = a
 		fmt.Fprintf(out, "preprocessing: %s\n", a.Name())
 	} else {
@@ -82,7 +91,7 @@ func run(args []string, out io.Writer) error {
 				ws[i] = lw
 				continue
 			}
-			var srvOpts []spaceproc.WorkerServerOption
+			srvOpts := []spaceproc.WorkerServerOption{spaceproc.WithWorkerServerLogger(logger)}
 			if reg != nil {
 				srvOpts = append(srvOpts, spaceproc.WithWorkerServerTelemetry(reg))
 			}
@@ -131,7 +140,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer cleanupMain()
-	masterOpts := []spaceproc.MasterOption{spaceproc.WithTileSize(*tile)}
+	masterOpts := []spaceproc.MasterOption{
+		spaceproc.WithTileSize(*tile),
+		spaceproc.WithMasterLogger(logger),
+	}
 	if reg != nil {
 		masterOpts = append(masterOpts, spaceproc.WithTelemetry(reg))
 	}
@@ -152,9 +164,15 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "downlink: %d bytes (ratio %.2f:1)\n", len(res.Compressed), res.CompressionRatio())
 	fmt.Fprintf(out, "relative error vs fault-free pipeline: %.6f\n", psi)
-	if reg != nil {
+	if *showMetrics && reg != nil {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, reg.Snapshot().Render())
+	}
+	if *traceOut != "" {
+		if err := reg.Tracer().WriteTraceFile(*traceOut); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s\n", len(reg.Tracer().Events()), *traceOut)
 	}
 	return nil
 }

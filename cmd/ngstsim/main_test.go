@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -35,6 +37,65 @@ func TestRunTCP(t *testing.T) {
 	args := []string{"-width", "32", "-height", "32", "-readouts", "8", "-tile", "32", "-workers", "2", "-tcp"}
 	if err := run(args, &sb); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTraceArtifact exercises -trace over the TCP topology and
+// validates the artifact is a Chrome trace-event JSON array whose events
+// all carry the seven canonical keys and a single shared trace ID spanning
+// the master and the workers.
+func TestRunTraceArtifact(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	var sb strings.Builder
+	args := []string{"-width", "64", "-height", "64", "-readouts", "8", "-tile", "32",
+		"-workers", "2", "-tcp", "-trace", path}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "events written to") {
+		t.Fatalf("missing trace confirmation:\n%s", sb.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("artifact is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace artifact is empty")
+	}
+	traceIDs := map[any]bool{}
+	procs := map[any]bool{}
+	stages := map[string]bool{}
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid", "args"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		args := ev["args"].(map[string]any)
+		traceIDs[args["trace_id"]] = true
+		procs[args["proc"]] = true
+		stages[ev["name"].(string)] = true
+	}
+	if len(traceIDs) != 1 {
+		t.Fatalf("run produced %d trace IDs, want 1", len(traceIDs))
+	}
+	// master + 2 TCP workers, and the remote serve stage made it back.
+	if len(procs) != 3 {
+		t.Fatalf("artifact covers %d procs, want 3: %v", len(procs), procs)
+	}
+	hasServe := false
+	for name := range stages {
+		if strings.HasPrefix(name, "serve") {
+			hasServe = true
+		}
+	}
+	if !hasServe {
+		t.Fatalf("no worker-side serve spans in artifact: %v", stages)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -23,7 +24,8 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "preflight: %v\n", err)
+		spaceproc.NewStructuredLogger(os.Stderr, slog.LevelInfo).
+			Error("run failed", "cmd", "preflight", "err", err)
 		os.Exit(1)
 	}
 }

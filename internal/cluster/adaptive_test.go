@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"log/slog"
+	"strings"
 	"testing"
 
 	"spaceproc/internal/crreject"
@@ -64,7 +66,9 @@ func TestAdaptiveWorkerHonorsBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rich, err := NewAdaptiveWorker(testModel(), 4, 1e12, crreject.DefaultConfig())
+	richCfg := DefaultAdaptiveConfig(testModel())
+	richCfg.Budget = 1e12
+	rich, err := NewAdaptive(richCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +79,9 @@ func TestAdaptiveWorkerHonorsBudget(t *testing.T) {
 		t.Fatalf("rich budget used Lambda %d, want 100", rich.LastLambda())
 	}
 
-	poor, err := NewAdaptiveWorker(testModel(), 4, 1, crreject.DefaultConfig())
+	poorCfg := DefaultAdaptiveConfig(testModel())
+	poorCfg.Budget = 1
+	poor, err := NewAdaptive(poorCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +95,9 @@ func TestAdaptiveWorkerHonorsBudget(t *testing.T) {
 
 func TestAdaptiveWorkerInPipeline(t *testing.T) {
 	sc := testScene(t, 11)
-	w, err := NewAdaptiveWorker(testModel(), 4, 1e12, crreject.DefaultConfig())
+	cfg := DefaultAdaptiveConfig(testModel())
+	cfg.Budget = 1e12
+	w, err := NewAdaptive(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,17 +115,43 @@ func TestAdaptiveWorkerInPipeline(t *testing.T) {
 }
 
 func TestAdaptiveWorkerErrors(t *testing.T) {
-	if _, err := NewAdaptiveWorker(CostModel{}, 4, 1, crreject.DefaultConfig()); err == nil {
+	if _, err := NewAdaptive(AdaptiveConfig{Upsilon: 4, Budget: 1, Rejection: crreject.DefaultConfig()}); err == nil {
 		t.Error("empty model should error")
 	}
-	if _, err := NewAdaptiveWorker(testModel(), 4, -1, crreject.DefaultConfig()); err == nil {
+	badCfg := DefaultAdaptiveConfig(testModel())
+	badCfg.Budget = -1
+	if _, err := NewAdaptive(badCfg); err == nil {
 		t.Error("negative budget should error")
 	}
-	w, err := NewAdaptiveWorker(testModel(), 4, 1, crreject.DefaultConfig())
+	okCfg := DefaultAdaptiveConfig(testModel())
+	okCfg.Budget = 1
+	w, err := NewAdaptive(okCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := w.ProcessTile(context.Background(), dataset.Tile{}); err == nil {
 		t.Error("empty tile should error")
+	}
+}
+
+// TestNewAdaptiveWorkerDeprecationWarns pins the compatibility shim: it
+// still builds a working worker and logs exactly one WARN per process,
+// however many times it is called.
+func TestNewAdaptiveWorkerDeprecationWarns(t *testing.T) {
+	var buf strings.Builder
+	prev := slog.Default()
+	slog.SetDefault(slog.New(slog.NewTextHandler(&buf, nil)))
+	defer slog.SetDefault(prev)
+
+	for i := 0; i < 3; i++ {
+		if _, err := NewAdaptiveWorker(testModel(), 4, 1, crreject.DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := strings.Count(buf.String(), "NewAdaptiveWorker is deprecated"); n != 1 {
+		t.Fatalf("want exactly one deprecation WARN, got %d:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "AdaptiveConfig") {
+		t.Fatalf("warning should point at AdaptiveConfig:\n%s", buf.String())
 	}
 }

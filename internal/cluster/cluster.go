@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -165,6 +166,8 @@ type Master struct {
 	retries  int
 	tel      *telemetry.Registry
 	met      *masterMetrics
+	tracer   *telemetry.Tracer
+	log      *slog.Logger
 }
 
 // masterMetrics holds the master's registry handles, resolved once at
@@ -209,9 +212,19 @@ func WithRetries(n int) MasterOption {
 
 // WithTelemetry wires the master's instrumentation into reg: per-tile
 // dispatch/process/retry/blit spans, per-worker process-latency histograms
-// (pipeline_worker_NN_process), and pipeline_* counters.
+// (pipeline_worker_NN_process), pipeline_* counters, and distributed trace
+// events into the registry's Tracer (every dispatch, process, retry and
+// deadline expiry becomes a TraceEvent parented under the run's trace).
 func WithTelemetry(reg *telemetry.Registry) MasterOption {
 	return func(m *Master) { m.tel = reg }
+}
+
+// WithLogger routes the master's fault forensics — WARN on every tile
+// retry, ERROR on permanent tile failure — into l, trace-stamped when l's
+// handler is telemetry-aware (see telemetry.NewLogHandler). Without it the
+// master stays silent, as before.
+func WithLogger(l *slog.Logger) MasterOption {
+	return func(m *Master) { m.log = l }
 }
 
 // NewMaster builds a master over the given workers.
@@ -244,6 +257,8 @@ func NewMaster(workers []Worker, opts ...MasterOption) (*Master, error) {
 		}
 		m.tel.Gauge("pipeline_workers").Set(float64(len(workers)))
 		m.met = met
+		m.tracer = m.tel.Tracer()
+		m.tracer.SetProc("master")
 	}
 	return m, nil
 }
@@ -253,6 +268,11 @@ type job struct {
 	tile     dataset.Tile
 	retries  int
 	enqueued time.Time // zero unless telemetry is enabled
+	// origin is the trace context of the tile's first dispatch, so every
+	// requeue, retry and deadline expiry parents under the dispatch that
+	// started the tile's story. Invalid until the first dispatch (and
+	// always, when tracing is off).
+	origin telemetry.TraceContext
 }
 
 // Run executes the pipeline on one baseline stack.
@@ -265,12 +285,28 @@ func (m *Master) Run(s *dataset.Stack) (*Result, error) {
 // returned.
 func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, error) {
 	runSpan := m.tel.StartSpan(StageRun, "baseline")
+	// Continue the caller's trace (the mission layer mints one per
+	// baseline) or open a fresh root when this run is the outermost traced
+	// unit. runTrace parents every tile's first dispatch.
+	var runTrace telemetry.TraceContext
+	var runTSpan *telemetry.TraceSpan
+	if m.tracer != nil {
+		if parent, ok := telemetry.TraceFromContext(ctx); ok {
+			runTSpan = m.tracer.StartSpan(parent, StageRun, "baseline")
+		} else {
+			runTSpan = m.tracer.StartTrace(StageRun, "baseline")
+		}
+		runTrace = runTSpan.Context()
+		ctx = telemetry.ContextWithTrace(ctx, m.tracer, runTrace)
+	}
 	fragSpan := m.tel.StartSpan(StageFragment, "baseline")
+	fragTSpan := m.tracer.StartSpan(runTrace, StageFragment, "baseline")
 	tiles, err := dataset.Fragment(s, m.tileSize)
 	if err != nil {
 		return nil, err
 	}
 	fragSpan.End()
+	fragTSpan.End()
 
 	jobs := make(chan job, len(tiles))
 	now := time.Time{}
@@ -306,7 +342,7 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 				case <-ctx.Done():
 					return
 				case j := <-jobs:
-					m.processJob(ctx, wi, w, j, jobs, results, failures, retried, &pending)
+					m.processJob(ctx, wi, w, j, runTrace, jobs, results, failures, retried, &pending)
 				}
 			}
 		}(wi, w)
@@ -361,12 +397,15 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 		return nil, fmt.Errorf("cluster: reassembled %d of %d tiles", count, len(tiles))
 	}
 	compSpan := m.tel.StartSpan(StageCompress, "baseline")
+	compTSpan := m.tracer.StartSpan(runTrace, StageCompress, "baseline")
 	out.Compressed = rice.Encode(out.Image.Pix)
 	compSpan.End()
+	compTSpan.End()
 	if m.met != nil {
 		m.met.bytesOut.Add(int64(len(out.Compressed)))
 		runSpan.EndTo(m.met.run)
 	}
+	runTSpan.End()
 	return out, nil
 }
 
@@ -374,14 +413,43 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 // the outcome to the results, retry or failure channels. pending.Done
 // accounting stays with the master loop: a job leaves the pending set only
 // when it succeeds or fails permanently.
+//
+// Trace shape per attempt: a dispatch span (queue wait) parented under the
+// tile's originating dispatch (or the run root on the first attempt), a
+// process span under the dispatch, and — on the error paths — retry or
+// deadline events under the same dispatch. The process span's context
+// rides the worker ctx, so a remote slave's serve span continues the trace
+// across the wire.
 func (m *Master) processJob(ctx context.Context, wi int, w Worker, j job,
+	runTrace telemetry.TraceContext,
 	jobs chan job, results chan TileResult, failures chan error, retried chan struct{},
 	pending *sync.WaitGroup) {
 
 	var label string
 	var start time.Time
+	var dispatchTC telemetry.TraceContext
 	if m.met != nil {
 		label = fmt.Sprintf("tile_%d", j.tile.Index)
+		if m.tracer != nil {
+			parent := j.origin
+			if !parent.Valid() {
+				parent = runTrace
+			}
+			dispatchTC = telemetry.TraceContext{TraceID: parent.TraceID, SpanID: telemetry.NewSpanID()}
+			if !j.enqueued.IsZero() {
+				m.tracer.Record(telemetry.TraceEvent{
+					TraceID: dispatchTC.TraceID, SpanID: dispatchTC.SpanID, ParentID: parent.SpanID,
+					Stage: StageDispatch, Label: label, TID: int64(wi + 1),
+					Start: j.enqueued, Dur: time.Since(j.enqueued),
+					Args:  map[string]string{"attempt": fmt.Sprint(j.retries)},
+				})
+			}
+			if !j.origin.Valid() {
+				j.origin = dispatchTC
+			}
+			procTC := telemetry.TraceContext{TraceID: dispatchTC.TraceID, SpanID: telemetry.NewSpanID()}
+			ctx = telemetry.ContextWithTrace(ctx, m.tracer, procTC)
+		}
 		if !j.enqueued.IsZero() {
 			wait := time.Since(j.enqueued)
 			m.tel.RecordSpan(StageDispatch, label, j.enqueued, wait)
@@ -395,11 +463,32 @@ func (m *Master) processJob(ctx context.Context, wi int, w Worker, j job,
 		m.tel.RecordSpan(StageProcess, label, start, d)
 		m.met.tileProcess.Observe(d)
 		m.met.perWorker[wi].Observe(d)
+		if m.tracer != nil {
+			ev := telemetry.TraceEvent{
+				TraceID: dispatchTC.TraceID, ParentID: dispatchTC.SpanID,
+				Stage: StageProcess, Label: label, TID: int64(wi + 1),
+				Start: start, Dur: d,
+			}
+			if tc, ok := telemetry.TraceFromContext(ctx); ok {
+				ev.SpanID = tc.SpanID
+			}
+			if err != nil {
+				ev.Args = map[string]string{"error": err.Error()}
+			}
+			m.tracer.Record(ev)
+		}
 	}
 	if err != nil {
 		// A cancelled run is not a worker fault; leave the job queued and
 		// let the master's ctx branch drain (and account for) it.
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			if m.tracer != nil && errors.Is(err, context.DeadlineExceeded) {
+				m.tracer.Record(telemetry.TraceEvent{
+					TraceID: dispatchTC.TraceID, SpanID: telemetry.NewSpanID(), ParentID: dispatchTC.SpanID,
+					Stage: "deadline", Label: label, TID: int64(wi + 1),
+					Start: start, Dur: time.Since(start),
+				})
+			}
 			jobs <- j
 			return
 		}
@@ -408,12 +497,34 @@ func (m *Master) processJob(ctx context.Context, wi int, w Worker, j job,
 				m.met.retried.Inc()
 				m.tel.RecordSpan(StageRetry, label, start, time.Since(start))
 			}
+			if m.tracer != nil {
+				m.tracer.Record(telemetry.TraceEvent{
+					TraceID: dispatchTC.TraceID, SpanID: telemetry.NewSpanID(), ParentID: dispatchTC.SpanID,
+					Stage: StageRetry, Label: label, TID: int64(wi + 1),
+					Start: start, Dur: time.Since(start),
+					Args:  map[string]string{"attempt": fmt.Sprint(j.retries), "error": err.Error()},
+				})
+			}
+			if m.log != nil {
+				m.log.LogAttrs(ctx, slog.LevelWarn, "tile retry",
+					slog.Int("tile", j.tile.Index),
+					slog.Int("attempt", j.retries+1),
+					slog.Int("worker", wi),
+					slog.String("error", err.Error()))
+			}
 			retried <- struct{}{}
-			jobs <- job{tile: j.tile, retries: j.retries + 1, enqueued: enqueueTime(m.met)}
+			jobs <- job{tile: j.tile, retries: j.retries + 1, enqueued: enqueueTime(m.met), origin: j.origin}
 			return
 		}
 		if m.met != nil {
 			m.met.failed.Inc()
+		}
+		if m.log != nil {
+			m.log.LogAttrs(ctx, slog.LevelError, "tile failed permanently",
+				slog.Int("tile", j.tile.Index),
+				slog.Int("attempts", j.retries+1),
+				slog.Int("worker", wi),
+				slog.String("error", err.Error()))
 		}
 		failures <- fmt.Errorf("cluster: tile %d failed permanently: %w", j.tile.Index, err)
 		pending.Done()

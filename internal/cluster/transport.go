@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -28,12 +29,21 @@ type request struct {
 	// context carries none); the serving node derives its own context from
 	// it, so deadlines survive the wire.
 	Deadline time.Time
+	// Trace is the dispatching master's trace position (zero when the
+	// master is not tracing). The serving node parents its serve span
+	// under it, so the tile's story stays one causal chain across the
+	// socket.
+	Trace telemetry.TraceContext
 }
 
 // response is the wire format of one result.
 type response struct {
 	Result TileResult
 	Err    string
+	// Spans carries the serving node's completed trace events back to the
+	// master, which folds them into its tracer — the single artifact a
+	// ground operator loads in chrome://tracing.
+	Spans []telemetry.TraceEvent
 }
 
 // Server exposes a Worker over TCP. With WithServerTelemetry it records
@@ -43,6 +53,7 @@ type response struct {
 type Server struct {
 	worker      Worker
 	tel         *telemetry.Registry
+	log         *slog.Logger
 	sidecarAddr string
 
 	mu       sync.Mutex
@@ -51,6 +62,7 @@ type Server struct {
 	closed   bool
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
+	proc     string
 
 	requests *telemetry.Counter
 	errored  *telemetry.Counter
@@ -72,6 +84,12 @@ func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
 // own.
 func WithSidecar(addr string) ServerOption {
 	return func(s *Server) { s.sidecarAddr = addr }
+}
+
+// WithServerLogger routes the server's WARN-level request forensics
+// (failed tiles, expired deadlines) into l.
+func WithServerLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = l }
 }
 
 // NewServer returns a server around the worker.
@@ -111,6 +129,7 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", errors.New("cluster: server already closed")
 	}
 	s.listener = ln
+	s.proc = "worker " + ln.Addr().String()
 	if s.sidecarAddr != "" && s.sidecar == nil {
 		sc, err := telemetry.NewServer(s.tel, s.sidecarAddr)
 		if err != nil {
@@ -175,7 +194,8 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 		var resp response
-		res, err := s.process(req)
+		res, spans, err := s.process(req)
+		resp.Spans = spans
 		if err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -188,29 +208,57 @@ func (s *Server) serve(conn net.Conn) {
 }
 
 // process runs one request under the deadline it carried, recording server
-// telemetry when configured.
-func (s *Server) process(req request) (TileResult, error) {
+// telemetry when configured. When the request carries a trace, the serve
+// span continues it — same trace ID, parented under the master's dispatch
+// — and rides back in the response for the master's artifact.
+func (s *Server) process(req request) (TileResult, []telemetry.TraceEvent, error) {
 	ctx := context.Background()
 	if !req.Deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
 		defer cancel()
 	}
-	var start time.Time
+	var serveTC telemetry.TraceContext
+	if req.Trace.Valid() {
+		serveTC = telemetry.TraceContext{TraceID: req.Trace.TraceID, SpanID: telemetry.NewSpanID()}
+		ctx = telemetry.ContextWithTrace(ctx, s.tel.Tracer(), serveTC)
+	}
+	start := time.Now()
 	if s.tel != nil {
 		s.requests.Inc()
-		start = time.Now()
 	}
 	res, err := s.worker.ProcessTile(ctx, req.Tile)
+	d := time.Since(start)
+	label := fmt.Sprintf("tile_%d", req.Tile.Index)
 	if s.tel != nil {
-		d := time.Since(start)
 		s.serveLat.Observe(d)
-		s.tel.RecordSpan("serve", fmt.Sprintf("tile_%d", req.Tile.Index), start, d)
+		s.tel.RecordSpan("serve", label, start, d)
 		if err != nil {
 			s.errored.Inc()
 		}
 	}
-	return res, err
+	var spans []telemetry.TraceEvent
+	if req.Trace.Valid() {
+		s.mu.Lock()
+		proc := s.proc
+		s.mu.Unlock()
+		ev := telemetry.TraceEvent{
+			TraceID: serveTC.TraceID, SpanID: serveTC.SpanID, ParentID: req.Trace.SpanID,
+			Stage: "serve", Label: label, Proc: proc,
+			Start: start, Dur: d,
+		}
+		if err != nil {
+			ev.Args = map[string]string{"error": err.Error()}
+		}
+		s.tel.Tracer().Record(ev)
+		spans = append(spans, ev)
+	}
+	if err != nil && s.log != nil {
+		s.log.LogAttrs(ctx, slog.LevelWarn, "serve failed",
+			slog.Int("tile", req.Tile.Index),
+			slog.String("error", err.Error()))
+	}
+	return res, spans, err
 }
 
 // Close stops the server (worker listener and sidecar) and waits for
@@ -299,6 +347,9 @@ func (w *RemoteWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileRes
 	if hasDeadline {
 		req.Deadline = deadline
 	}
+	if tc, ok := telemetry.TraceFromContext(ctx); ok {
+		req.Trace = tc
+	}
 	if err := w.enc.Encode(&req); err != nil {
 		w.teardown()
 		return TileResult{}, transportErr(ctx, "send", t.Index, err)
@@ -307,6 +358,13 @@ func (w *RemoteWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileRes
 	if err := w.dec.Decode(&resp); err != nil {
 		w.teardown()
 		return TileResult{}, transportErr(ctx, "receive", t.Index, err)
+	}
+	// Fold the slave's spans into the dispatching side's tracer before
+	// surfacing any remote error: a failed serve still leaves its span.
+	if tr := telemetry.TracerFromContext(ctx); tr != nil {
+		for _, ev := range resp.Spans {
+			tr.Record(ev)
+		}
 	}
 	if resp.Err != "" {
 		return TileResult{}, fmt.Errorf("cluster: remote: %s", resp.Err)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 
 	"spaceproc/internal/dataset"
 	"spaceproc/internal/telemetry"
@@ -74,6 +76,7 @@ func (c NGSTConfig) Validate() error {
 type AlgoNGST struct {
 	cfg NGSTConfig
 	tel *voteCounters
+	log *slog.Logger
 }
 
 // voteCounters is the registry view of VoteStats: resolved once by
@@ -137,6 +140,15 @@ func (a *AlgoNGST) Instrument(reg *telemetry.Registry) {
 	a.tel = newVoteCounters(reg)
 }
 
+// Forensics routes per-series correction events into l at WARN: one record
+// per repaired series with the corrected bits broken down by window (A:
+// MSBs repaired by unanimous/quorum vote, B: mid bits, C boundary). Meant
+// for harnesses that hold ground truth (a fault-free reference run) and
+// can therefore audit each event; it is chatty at high fault rates, so
+// leave it nil in production sweeps. A nil logger detaches it. Call before
+// sharing the value across workers.
+func (a *AlgoNGST) Forensics(l *slog.Logger) { a.log = l }
+
 // ProcessSeries implements SeriesPreprocessor: it identifies temporally
 // non-conforming bits by Upsilon-way XOR voting with dynamic per-way
 // thresholds and repairs them in place.
@@ -161,7 +173,7 @@ func (a *AlgoNGST) ProcessSeriesStats(s dataset.Series, stats *VoteStats) {
 	// the caller's pointer is used directly (zero extra cost).
 	collect := stats
 	var local VoteStats
-	if a.tel != nil {
+	if a.tel != nil || a.log != nil {
 		collect = &local
 	}
 	opt := voteOptions{
@@ -177,8 +189,20 @@ func (a *AlgoNGST) ProcessSeriesStats(s dataset.Series, stats *VoteStats) {
 	for i := range s {
 		s[i] ^= uint16(corr[i])
 	}
-	if a.tel != nil {
-		a.tel.add(local)
+	if collect == &local {
+		if a.tel != nil {
+			a.tel.add(local)
+		}
+		if a.log != nil && local.Corrected > 0 {
+			a.log.LogAttrs(context.Background(), slog.LevelWarn, "series corrected",
+				slog.String("stage", "preprocess"),
+				slog.String("algo", a.Name()),
+				slog.Int("corrected_pixels", local.Corrected),
+				slog.Int("window_a_bits", local.BitsWindowA),
+				slog.Int("window_b_bits", local.BitsWindowB),
+				slog.Int("window_c_bit", local.WindowCBit),
+				slog.Int("guard_rejected", local.GuardRejected))
+		}
 		if stats != nil {
 			stats.Add(local)
 		}

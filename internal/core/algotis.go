@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 
@@ -97,6 +99,7 @@ func (c OTISConfig) Validate() error {
 type AlgoOTIS struct {
 	cfg OTISConfig
 	tel *cubeCounters
+	log *slog.Logger
 }
 
 // cubeCounters is the registry view of CubeStats, resolved once by
@@ -130,6 +133,12 @@ func (a *AlgoOTIS) Instrument(reg *telemetry.Registry) {
 	}
 	a.tel = newCubeCounters(reg)
 }
+
+// Forensics routes per-cube correction events into l at WARN: one record
+// per processed cube that needed repair, with bounds repairs, voter
+// corrections and trend preservations broken out (see AlgoNGST.Forensics
+// for the ground-truth framing). A nil logger detaches it.
+func (a *AlgoOTIS) Forensics(l *slog.Logger) { a.log = l }
 
 var _ CubePreprocessor = (*AlgoOTIS)(nil)
 
@@ -175,12 +184,22 @@ func (a *AlgoOTIS) ProcessCube(c *dataset.Cube) {
 func (a *AlgoOTIS) ProcessCubeStats(c *dataset.Cube, stats *CubeStats) {
 	collect := stats
 	var local CubeStats
-	if a.tel != nil {
+	if a.tel != nil || a.log != nil {
 		collect = &local
 	}
 	a.processCubeStats(c, collect)
-	if a.tel != nil {
-		a.tel.add(local)
+	if collect == &local {
+		if a.tel != nil {
+			a.tel.add(local)
+		}
+		if a.log != nil && local.BoundsRepairs+local.Voted > 0 {
+			a.log.LogAttrs(context.Background(), slog.LevelWarn, "cube corrected",
+				slog.String("stage", "preprocess"),
+				slog.String("algo", a.Name()),
+				slog.Int("bounds_repairs", local.BoundsRepairs),
+				slog.Int("voted", local.Voted),
+				slog.Int("trend_preserved", local.TrendPreserved))
+		}
 		if stats != nil {
 			stats.Add(local)
 		}

@@ -2,6 +2,12 @@
 // average relative error Psi of equations 3 and 4, the gain of a
 // preprocessing algorithm relative to no preprocessing, and small summary
 // statistics used by the experiment harness.
+//
+// It answers "how well did the algorithm do" against ground truth, and is
+// consumed by the sweep harness and EXPERIMENTS.md. It is distinct from
+// internal/telemetry, which is operational observability — counters,
+// histograms, distributed traces and structured logs describing how a
+// running pipeline behaved, with no ground truth in sight.
 package metrics
 
 import (

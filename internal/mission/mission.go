@@ -7,7 +7,9 @@
 package mission
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -55,8 +57,17 @@ type Config struct {
 	// Telemetry, when non-nil, receives per-baseline stage spans and
 	// latency histograms (mission_synth, mission_store, mission_pipeline,
 	// ...), the pipeline master's per-tile instrumentation, and the
-	// preprocessor's correction counters.
+	// preprocessor's correction counters. It also activates distributed
+	// tracing: Run mints one trace per baseline, and every mission stage,
+	// tile dispatch and (remote) worker serve parents under it; export the
+	// assembled timeline with Telemetry.Tracer().WriteChrome.
 	Telemetry *telemetry.Registry
+	// Logger, when non-nil, receives fault forensics: a WARN per baseline
+	// summarizing what preprocessing corrected (window A/B bit counts,
+	// guard rejections) next to the ground-truth relative error, plus the
+	// pipeline master's retry/failure records. Records logged under a
+	// traced context carry the baseline's trace_id.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns a small campaign suitable for tests and demos.
@@ -142,13 +153,13 @@ func Run(cfg Config) (*Report, error) {
 		a.Instrument(cfg.Telemetry)
 		pre = a
 	}
-	master, err := newMaster(pre, cfg.Workers, cfg.TileSize, cfg.Telemetry)
+	master, err := newMaster(pre, cfg.Workers, cfg.TileSize, cfg.Telemetry, cfg.Logger)
 	if err != nil {
 		return nil, err
 	}
 	// The reference master is the fault-free comparator; it stays
 	// uninstrumented so pipeline_* metrics count only the flight path.
-	refMaster, err := newMaster(nil, cfg.Workers, cfg.TileSize, nil)
+	refMaster, err := newMaster(nil, cfg.Workers, cfg.TileSize, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +207,7 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func newMaster(pre core.SeriesPreprocessor, workers, tile int, reg *telemetry.Registry) (*cluster.Master, error) {
+func newMaster(pre core.SeriesPreprocessor, workers, tile int, reg *telemetry.Registry, log *slog.Logger) (*cluster.Master, error) {
 	ws := make([]cluster.Worker, workers)
 	for i := range ws {
 		w, err := cluster.NewLocalWorker(pre, crreject.DefaultConfig())
@@ -209,29 +220,52 @@ func newMaster(pre core.SeriesPreprocessor, workers, tile int, reg *telemetry.Re
 	if reg != nil {
 		opts = append(opts, cluster.WithTelemetry(reg))
 	}
+	if log != nil {
+		opts = append(opts, cluster.WithLogger(log))
+	}
 	return cluster.NewMaster(ws, opts...)
 }
 
 // stageSpan opens a per-baseline stage span whose duration also feeds the
-// mission_<stage> histogram; the returned func records both. With no
-// registry it is a no-op.
-func (c Config) stageSpan(stage string, baseline int) func() {
+// mission_<stage> histogram; the returned func records both. When ctx
+// carries the baseline's trace, the stage additionally lands in the
+// tracer as a child of the baseline root. With no registry it is a no-op.
+func (c Config) stageSpan(ctx context.Context, stage string, baseline int) func() {
 	if c.Telemetry == nil {
 		return func() {}
 	}
-	span := c.Telemetry.StartSpan(stage, fmt.Sprintf("baseline_%03d", baseline))
+	label := fmt.Sprintf("baseline_%03d", baseline)
+	span := c.Telemetry.StartSpan(stage, label)
 	hist := c.Telemetry.Histogram("mission_" + stage)
-	return func() { span.EndTo(hist) }
+	var tspan *telemetry.TraceSpan
+	if tc, ok := telemetry.TraceFromContext(ctx); ok {
+		tspan = telemetry.TracerFromContext(ctx).StartSpan(tc, stage, label)
+	}
+	return func() {
+		span.EndTo(hist)
+		tspan.End()
+	}
 }
 
 func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*BaselineResult, error) {
-	endSynth := cfg.stageSpan("synth", b)
+	// Mint the baseline's trace: every stage span, tile dispatch and
+	// worker serve below parents under this root, and every log record
+	// emitted under ctx carries its trace_id.
+	ctx := context.Background()
+	var root *telemetry.TraceSpan
+	if tracer := cfg.Telemetry.Tracer(); tracer != nil {
+		root = tracer.StartTrace("baseline", fmt.Sprintf("baseline_%03d", b))
+		ctx = telemetry.ContextWithTrace(ctx, tracer, root.Context())
+		defer root.End()
+	}
+
+	endSynth := cfg.stageSpan(ctx, "synth", b)
 	scene, err := synth.NewScene(cfg.Scene, rng.NewStream(cfg.Seed, uint64(b)*4))
 	endSynth()
 	if err != nil {
 		return nil, err
 	}
-	endRef := cfg.stageSpan("reference", b)
+	endRef := cfg.stageSpan(ctx, "reference", b)
 	reference, err := refMaster.Run(scene.Observed)
 	endRef()
 	if err != nil {
@@ -239,7 +273,7 @@ func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*Baselin
 	}
 
 	// Damage the raw readouts in data memory.
-	endInject := cfg.stageSpan("inject", b)
+	endInject := cfg.stageSpan(ctx, "inject", b)
 	damaged := scene.Observed.Clone()
 	fault.Uncorrelated{Gamma0: cfg.MemoryRate}.InjectStack(damaged, rng.NewStream(cfg.Seed, uint64(b)*4+1))
 	endInject()
@@ -249,7 +283,7 @@ func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*Baselin
 	// Through the storage layer, with header damage and sanity repair.
 	working := damaged
 	if cfg.Dir != "" {
-		endStore := cfg.stageSpan("store", b)
+		endStore := cfg.stageSpan(ctx, "store", b)
 		dir := filepath.Join(cfg.Dir, fmt.Sprintf("baseline_%03d", b))
 		if err := store.SaveBaseline(dir, damaged); err != nil {
 			return nil, err
@@ -270,17 +304,33 @@ func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*Baselin
 		result.HeaderLost = len(loadRep.Unrecoverable)
 	}
 
-	endPipe := cfg.stageSpan("pipeline", b)
-	out, err := master.Run(working)
+	endPipe := cfg.stageSpan(ctx, "pipeline", b)
+	out, err := master.RunContext(ctx, working)
 	endPipe()
 	if err != nil {
 		return nil, err
 	}
-	endScore := cfg.stageSpan("score", b)
+	endScore := cfg.stageSpan(ctx, "score", b)
 	result.Psi = metrics.RelativeError16(out.Image.Pix, reference.Image.Pix)
 	endScore()
 	result.CRHits, result.CRSteps = out.Stats.Hits, out.Stats.Steps
 	result.DownlinkBytes = len(out.Compressed)
+
+	// Fault forensics: with the fault-free reference in hand (ground
+	// truth), a WARN records what preprocessing had to correct and how
+	// close the product came back to truth.
+	if cfg.Logger != nil && out.PreStats.Corrected > 0 {
+		cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "preprocessing corrected input faults",
+			slog.String("stage", "pipeline"),
+			slog.Int("baseline", b),
+			slog.Int("corrected_pixels", out.PreStats.Corrected),
+			slog.Int("window_a_bits", out.PreStats.BitsWindowA),
+			slog.Int("window_b_bits", out.PreStats.BitsWindowB),
+			slog.Int("window_c_bit", out.PreStats.WindowCBit),
+			slog.Int("guard_rejected", out.PreStats.GuardRejected),
+			slog.Int("retries", out.Retries),
+			slog.Float64("psi", result.Psi))
+	}
 	return result, nil
 }
 

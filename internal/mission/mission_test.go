@@ -1,10 +1,13 @@
 package mission
 
 import (
+	"fmt"
+	"log/slog"
 	"strings"
 	"testing"
 
 	"spaceproc/internal/core"
+	"spaceproc/internal/telemetry"
 )
 
 func TestCampaignWithPreprocessingBeatsWithout(t *testing.T) {
@@ -151,5 +154,63 @@ func TestReportRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCampaignTracePerBaseline asserts the mission layer mints one trace
+// root per baseline and that the pipeline's spans chain under it, with the
+// forensics WARN records stamped with the baseline's trace ID.
+func TestCampaignTracePerBaseline(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var logBuf strings.Builder
+
+	cfg := DefaultConfig(t.TempDir())
+	cfg.Baselines = 2
+	cfg.Telemetry = reg
+	cfg.Logger = telemetry.NewLogger(&logBuf, slog.LevelWarn)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := map[uint64]string{} // trace ID -> baseline label
+	children := map[uint64]int{}
+	for _, ev := range reg.Tracer().Events() {
+		if ev.Stage == "baseline" {
+			if ev.ParentID != 0 {
+				t.Fatalf("baseline root %s has a parent", ev.Label)
+			}
+			roots[ev.TraceID] = ev.Label
+		} else {
+			children[ev.TraceID]++
+		}
+	}
+	if len(roots) != 2 {
+		t.Fatalf("want 2 baseline trace roots, got %v", roots)
+	}
+	for id, label := range roots {
+		if children[id] == 0 {
+			t.Fatalf("baseline %s has no child spans", label)
+		}
+	}
+	for id := range children {
+		if _, ok := roots[id]; !ok {
+			t.Fatalf("orphan trace %016x not rooted at a baseline", id)
+		}
+	}
+
+	// Forensics: the default campaign injects memory faults, so the WARN
+	// record fires and carries one of the baseline trace IDs.
+	logged := logBuf.String()
+	if !strings.Contains(logged, "preprocessing corrected input faults") {
+		t.Fatalf("no forensics WARN emitted:\n%s", logged)
+	}
+	found := false
+	for id := range roots {
+		if strings.Contains(logged, fmt.Sprintf("trace_id=%016x", id)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("forensics records not stamped with a baseline trace ID:\n%s", logged)
 	}
 }

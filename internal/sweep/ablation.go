@@ -24,6 +24,7 @@ func AblationVoting(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "ablation_voting")()
 	res := &Result{
 		ID:     "ablation-voting",
 		Title:  "voting mechanism ablation (Psi vs Gamma0)",
@@ -45,6 +46,7 @@ func AblationThresholds(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "ablation_thresholds")()
 	res := &Result{
 		ID:     "ablation-thresholds",
 		Title:  "threshold ablation on mixed-sigma data: dynamic vs static windows vs literal Phi",
@@ -152,6 +154,7 @@ func AblationLayout(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "ablation_layout")()
 	res := &Result{
 		ID:     "ablation-layout",
 		Title:  "Section 8 memory layout under burst faults (Psi after preprocessing)",
@@ -236,6 +239,7 @@ func AblationLocality(cfg OTISSweepConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "ablation_locality")()
 	res := &Result{
 		ID:     "ablation-locality",
 		Title:  "Algo_OTIS spatial vs spectral voting (Psi vs Gamma0)",

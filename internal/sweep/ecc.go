@@ -21,6 +21,7 @@ func AblationECC(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "ablation_ecc")()
 	res := &Result{
 		ID:     "ablation-ecc",
 		Title:  "SEC-DED memory ECC vs input preprocessing (Psi vs Gamma0)",

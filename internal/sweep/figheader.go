@@ -7,6 +7,7 @@ import (
 	"spaceproc/internal/fault"
 	"spaceproc/internal/fits"
 	"spaceproc/internal/rng"
+	"spaceproc/internal/telemetry"
 )
 
 // HeaderConfig parameterizes the FITS-header extension experiment
@@ -18,6 +19,9 @@ type HeaderConfig struct {
 	Trials int
 	// Width and Height are the image geometry behind the header.
 	Width, Height int
+	// Telemetry, when non-nil, records the experiment run as a trace
+	// root in the registry's tracer.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultHeaderConfig returns the defaults for the header experiment.
@@ -40,6 +44,7 @@ func FigHeader(cfg HeaderConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "figheader")()
 	res := &Result{
 		ID:     "figheader",
 		Title:  "FITS decodability vs header bit-flip probability",

@@ -83,6 +83,7 @@ func Fig2(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "fig2")()
 	res := &Result{
 		ID:     "fig2",
 		Title:  "Psi vs Gamma0, uncorrelated faults (NGST series)",
@@ -128,6 +129,7 @@ func Fig3(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "fig3")()
 	res := &Result{
 		ID:     "fig3",
 		Title:  "preprocessing overhead vs sensitivity Lambda",
@@ -196,6 +198,7 @@ func Fig4(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "fig4")()
 	res := &Result{
 		ID:     "fig4",
 		Title:  "Psi vs GammaIni, correlated faults (NGST series)",
@@ -259,6 +262,7 @@ func Fig5(cfg NGSTConfig, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "fig5")()
 	res := &Result{
 		ID:     "fig5",
 		Title:  "Psi vs mean dataset intensity (Gamma0 = 2.5%)",
@@ -296,6 +300,7 @@ func Fig6(cfg NGSTConfig, seed uint64) ([]*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "fig6")()
 	var out []*Result
 	for _, sigma := range Fig6Sigmas {
 		pc := cfg

@@ -100,6 +100,7 @@ func Fig7(cfg OTISSweepConfig, seed uint64) ([]*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "fig7")()
 	var out []*Result
 	for _, kind := range OTISKinds {
 		res := &Result{
@@ -131,6 +132,7 @@ func Fig9(cfg OTISSweepConfig, seed uint64) ([]*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	defer traceExperiment(cfg.Telemetry, "fig9")()
 	var out []*Result
 	for _, kind := range OTISKinds {
 		res := &Result{

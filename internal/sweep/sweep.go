@@ -11,7 +11,21 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"spaceproc/internal/telemetry"
 )
+
+// traceExperiment opens one trace per figure run in reg's tracer (nil-safe
+// on both), so a -trace artifact from cmd/experiments shows each
+// experiment as its own timeline row. The returned func ends the root.
+func traceExperiment(reg *telemetry.Registry, id string) func() {
+	tracer := reg.Tracer()
+	if tracer == nil {
+		return func() {}
+	}
+	span := tracer.StartTrace("experiment", id)
+	return span.End
+}
 
 // Point is one measurement of a series.
 type Point struct {

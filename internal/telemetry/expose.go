@@ -73,16 +73,22 @@ func (s Snapshot) Render() string {
 }
 
 // Handler returns an http.Handler serving the registry's metrics, a
-// liveness probe, and the net/http/pprof profiling surface:
+// liveness probe, the trace buffer, and the net/http/pprof profiling
+// surface:
 //
 //	/metrics       text exposition of a fresh Snapshot
 //	/healthz       {"status":"ok","uptime":"..."}
+//	/debug/trace   Chrome trace-event JSON of the tracer's buffer
 //	/debug/pprof/  index, cmdline, profile, symbol, trace, heap, ...
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Tracer().WriteChrome(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Structured logging. LogHandler is a slog.Handler middleware that stamps
+// every record produced under a traced context with the trace_id and
+// span_id of the work in flight, so a grep for one baseline's trace ID
+// returns its log lines AND its spans land in the same artifact. Wrap any
+// base handler with NewLogHandler, or use NewLogger for the stderr text
+// form the cmd binaries share.
+
+// LogHandler decorates an inner slog.Handler with trace stamping.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+var _ slog.Handler = (*LogHandler)(nil)
+
+// NewLogHandler wraps inner. Records logged through a context carrying a
+// TraceContext (see ContextWithTrace) gain trace_id and span_id attrs.
+func NewLogHandler(inner slog.Handler) *LogHandler {
+	return &LogHandler{inner: inner}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler, appending the trace position when the
+// context carries one.
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if tc, ok := TraceFromContext(ctx); ok {
+		rec = rec.Clone()
+		rec.AddAttrs(
+			slog.String("trace_id", fmt16x(tc.TraceID)),
+			slog.String("span_id", fmt16x(tc.SpanID)),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}
+
+// fmt16x renders an ID the way TraceContext.String does, without pulling
+// fmt into every Handle call's fast path when no trace is present.
+func fmt16x(id uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// NewLogger returns the repo's standard structured logger: slog text
+// output to w at the given level, trace-stamped. This is what the cmd
+// binaries install as the default logger.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewLogHandler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// StageLogger returns l with a pinned pipeline stage attribute, the third
+// coordinate (trace_id, span_id, stage) every record carries.
+func StageLogger(l *slog.Logger, stage string) *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.With(slog.String("stage", stage))
+}

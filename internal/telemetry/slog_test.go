@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLogHandlerStampsTraceFromContext(t *testing.T) {
+	var buf strings.Builder
+	logger := NewLogger(&buf, slog.LevelInfo)
+
+	tc := TraceContext{TraceID: 0xabc, SpanID: 0xdef}
+	ctx := ContextWithTrace(context.Background(), nil, tc)
+	logger.InfoContext(ctx, "tile retry", "tile", 3)
+
+	line := buf.String()
+	if !strings.Contains(line, "trace_id=0000000000000abc") {
+		t.Fatalf("trace_id not stamped: %s", line)
+	}
+	if !strings.Contains(line, "span_id=0000000000000def") {
+		t.Fatalf("span_id not stamped: %s", line)
+	}
+	if !strings.Contains(line, "tile=3") {
+		t.Fatalf("caller attrs lost: %s", line)
+	}
+}
+
+func TestLogHandlerPlainContext(t *testing.T) {
+	var buf strings.Builder
+	logger := NewLogger(&buf, slog.LevelInfo)
+	logger.Info("no trace here")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("untraced record gained a trace_id: %s", buf.String())
+	}
+}
+
+func TestLogHandlerLevelGate(t *testing.T) {
+	var buf strings.Builder
+	logger := NewLogger(&buf, slog.LevelWarn)
+	logger.Info("filtered")
+	if buf.Len() != 0 {
+		t.Fatalf("INFO leaked through WARN gate: %s", buf.String())
+	}
+	logger.Warn("kept")
+	if !strings.Contains(buf.String(), "kept") {
+		t.Fatal("WARN dropped")
+	}
+}
+
+func TestLogHandlerWithAttrsAndGroupKeepStamping(t *testing.T) {
+	var buf strings.Builder
+	logger := NewLogger(&buf, slog.LevelInfo).With("stage", "dispatch").WithGroup("tile")
+
+	ctx := ContextWithTrace(context.Background(), nil, TraceContext{TraceID: 5, SpanID: 6})
+	logger.InfoContext(ctx, "queued", "index", 1)
+
+	line := buf.String()
+	for _, want := range []string{"stage=dispatch", "tile.index=1", "trace_id="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("missing %q in %s", want, line)
+		}
+	}
+}
+
+func TestStageLogger(t *testing.T) {
+	if StageLogger(nil, "process") != nil {
+		t.Fatal("nil logger should stay nil")
+	}
+	var buf strings.Builder
+	StageLogger(NewLogger(&buf, slog.LevelInfo), "process").Info("x")
+	if !strings.Contains(buf.String(), "stage=process") {
+		t.Fatalf("stage not pinned: %s", buf.String())
+	}
+}

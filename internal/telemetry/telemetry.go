@@ -8,6 +8,11 @@
 // hot-path cost: every write is one or two atomic operations, registry
 // lookups are done once at wiring time, and nothing here allocates per
 // observation. All types are safe for concurrent use.
+//
+// This package is operational: it describes how a running pipeline behaved
+// (throughput, latency, retries, trace timelines, log records). The
+// science-quality numbers — Psi, gain, the paper's equations 3 and 4
+// against ground truth — live in internal/metrics.
 package telemetry
 
 import (
@@ -179,6 +184,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    spanRing
+	tracer   *Tracer
 	start    time.Time
 }
 

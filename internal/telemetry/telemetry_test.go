@@ -190,4 +190,18 @@ func TestServerEndpoints(t *testing.T) {
 	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d %q", code, body)
 	}
+
+	span := reg.Tracer().StartTrace("run", "baseline_000")
+	span.End()
+	code, body = get("/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/debug/trace body is not a JSON array: %v", err)
+	}
+	if len(events) != 1 || events[0]["name"] != "run baseline_000" {
+		t.Fatalf("/debug/trace events = %v", events)
+	}
 }

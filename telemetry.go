@@ -1,6 +1,10 @@
 package spaceproc
 
 import (
+	"context"
+	"io"
+	"log/slog"
+
 	"spaceproc/internal/cluster"
 	"spaceproc/internal/telemetry"
 )
@@ -19,8 +23,19 @@ type (
 	// HistogramSummary reports count/min/mean/p50/p95/p99/max for one
 	// latency histogram.
 	HistogramSummary = telemetry.HistogramSummary
-	// TraceSpan is one recorded stage execution.
-	TraceSpan = telemetry.Span
+	// StageSpan is one recorded stage execution in a snapshot's span log
+	// (distinct from TraceSpan, which belongs to the distributed tracer).
+	StageSpan = telemetry.Span
+	// TraceContext is the wire-propagated position of an operation inside
+	// a distributed trace: the trace ID plus the current span ID.
+	TraceContext = telemetry.TraceContext
+	// TraceEvent is one completed span held by a Tracer.
+	TraceEvent = telemetry.TraceEvent
+	// Tracer is a bounded in-memory collector of TraceEvents, exported as
+	// Chrome trace-event JSON via WriteChrome or /debug/trace.
+	Tracer = telemetry.Tracer
+	// TraceSpan is an open span handle minted by a Tracer; End records it.
+	TraceSpan = telemetry.TraceSpan
 	// TelemetryServer serves /metrics, /healthz and /debug/pprof/ for a
 	// registry.
 	TelemetryServer = telemetry.Server
@@ -74,3 +89,37 @@ func DefaultAdaptiveConfig(model CostModel) AdaptiveConfig {
 
 // NewAdaptive validates cfg and builds a budgeted worker.
 func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveWorker, error) { return cluster.NewAdaptive(cfg) }
+
+// ContextWithTrace returns ctx carrying tracer and the trace position tc;
+// instrumented components (Master, RemoteWorker, mission stages) continue
+// the trace from it.
+func ContextWithTrace(ctx context.Context, tracer *Tracer, tc TraceContext) context.Context {
+	return telemetry.ContextWithTrace(ctx, tracer, tc)
+}
+
+// TraceFromContext returns the trace position carried by ctx, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	return telemetry.TraceFromContext(ctx)
+}
+
+// TracerFromContext returns the tracer carried by ctx, or nil.
+func TracerFromContext(ctx context.Context) *Tracer { return telemetry.TracerFromContext(ctx) }
+
+// SeedTraceIDs reseeds the process-wide trace/span ID generator; tests use
+// it for reproducible IDs.
+func SeedTraceIDs(seed, stream uint64) { telemetry.SeedTraceIDs(seed, stream) }
+
+// NewStructuredLogger returns a slog.Logger writing key=value text to w at
+// the given level, stamping trace_id/span_id from any trace carried by the
+// log call's context.
+func NewStructuredLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return telemetry.NewLogger(w, level)
+}
+
+// WithMasterLogger routes the master's retry/failure diagnostics into l.
+func WithMasterLogger(l *slog.Logger) MasterOption { return cluster.WithLogger(l) }
+
+// WithWorkerServerLogger routes a WorkerServer's serve failures into l.
+func WithWorkerServerLogger(l *slog.Logger) WorkerServerOption {
+	return cluster.WithServerLogger(l)
+}
