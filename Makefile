@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-smoke
 
 check: vet build race
 
@@ -25,3 +25,10 @@ race:
 # sessions.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+
+# bench-smoke is the CI variant: one pass per benchmark, enough to catch
+# allocation regressions and broken benchmarks without CI-grade noise being
+# mistaken for timing data. The JSON lands in bench-smoke.json for artifact
+# upload.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out bench-smoke.json

@@ -1,0 +1,106 @@
+package spaceproc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spaceproc"
+)
+
+// The tentpole benchmarks: the allocation-free preprocessing hot path
+// against the classic allocating entry points, from a single series up to
+// the full Figure 1 pipeline. All report allocations; BENCH_<date>.json
+// (make bench) tracks them across revisions.
+
+// BenchmarkProcessSeries compares one AlgoNGST series pass through the
+// allocating entry point and through a warm scratch.
+func BenchmarkProcessSeries(b *testing.B) {
+	damaged, _ := benchSeries(b, 0.025)
+	a, err := spaceproc.NewAlgoNGST(spaceproc.DefaultNGSTConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ser := damaged.Clone()
+	b.Run("Alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(ser, damaged)
+			a.ProcessSeries(ser)
+		}
+	})
+	b.Run("Scratch", func(b *testing.B) {
+		sc := spaceproc.NewVoteScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(ser, damaged)
+			a.ProcessSeriesScratch(ser, sc, nil)
+		}
+	})
+}
+
+// BenchmarkProcessStack measures a whole-stack preprocessing pass (the
+// per-tile work of a worker) through the scratch-reusing ProcessStackWith.
+func BenchmarkProcessStack(b *testing.B) {
+	cfg := spaceproc.DefaultSceneConfig()
+	cfg.Width, cfg.Height = 32, 32
+	cfg.Readouts = 16
+	scene, err := spaceproc.NewScene(cfg, spaceproc.NewRNG(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := spaceproc.NewAlgoNGST(spaceproc.DefaultNGSTConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack := scene.Observed.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spaceproc.ProcessStackWith(a, stack)
+	}
+}
+
+// BenchmarkPipelineRun measures the full master/worker pipeline at worker
+// shard counts of 1 (classic) and 0 (auto = GOMAXPROCS); the allocated
+// B/op against the pre-scratch baseline is the tentpole's acceptance
+// number.
+func BenchmarkPipelineRun(b *testing.B) {
+	cfg := spaceproc.DefaultSceneConfig()
+	cfg.Width, cfg.Height = 128, 128
+	cfg.Readouts = 16
+	scene, err := spaceproc.NewScene(cfg, spaceproc.NewRNG(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre, err := spaceproc.NewAlgoNGST(spaceproc.DefaultNGSTConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 0} {
+		name := fmt.Sprintf("Shards%d", shards)
+		if shards == 0 {
+			name = "ShardsAuto"
+		}
+		b.Run(name, func(b *testing.B) {
+			workers := make([]spaceproc.Worker, 4)
+			for i := range workers {
+				w, err := spaceproc.NewLocalWorker(pre, spaceproc.DefaultCRConfig(), spaceproc.WithShards(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				workers[i] = w
+			}
+			master, err := spaceproc.NewMaster(workers, spaceproc.WithTileSize(32))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := master.Run(scene.Observed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -133,19 +133,16 @@ func LeaveOneOutAND(vals []uint32) uint32 {
 	if n < 2 {
 		return 0
 	}
-	// prefix[i] = AND of vals[0:i]; suffix computed on the fly.
-	prefix := make([]uint32, n+1)
-	prefix[0] = ^uint32(0)
-	for i, v := range vals {
-		prefix[i+1] = prefix[i] & v
+	// A bit is set in some leave-one-out AND iff it is clear in at most one
+	// value: zero1 accumulates bits clear somewhere, zero2 bits clear in two
+	// or more values. Running accumulators keep the GRT vote allocation-free
+	// (the per-pixel hot path of every voter pass goes through here).
+	var zero1, zero2 uint32
+	for _, v := range vals {
+		zero2 |= zero1 &^ v
+		zero1 |= ^v
 	}
-	var out uint32
-	suffix := ^uint32(0)
-	for k := n - 1; k >= 0; k-- {
-		out |= prefix[k] & suffix
-		suffix &= vals[k]
-	}
-	return out
+	return ^zero2
 }
 
 // ANDAll returns the bitwise AND of all values; for an empty slice it

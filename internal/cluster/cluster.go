@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sync"
 	"time"
 
@@ -67,22 +68,57 @@ type Worker interface {
 // LocalWorker runs the slave-node computation in process: input
 // preprocessing over every coordinate's temporal series, then cosmic-ray
 // rejection and integration.
+//
+// Preprocessors that implement core.ScratchPreprocessor (AlgoNGST and the
+// generic baselines all do) run through pooled per-shard scratch buffers,
+// so the steady-state per-series path performs zero heap allocations; see
+// WithShards for the intra-worker row parallelism the pooling enables.
 type LocalWorker struct {
-	pre core.SeriesPreprocessor // nil disables preprocessing
-	rej *crreject.Rejector
+	pre    core.SeriesPreprocessor // nil disables preprocessing
+	rej    *crreject.Rejector
+	shards int
+	// scratch pools *core.VoteScratch values: one is checked out per tile
+	// (per shard, when sharded), so a worker reuses warm buffers across
+	// every tile it processes while staying safe for concurrent callers.
+	scratch sync.Pool
 }
 
 var _ Worker = (*LocalWorker)(nil)
 
+// LocalWorkerOption configures a LocalWorker.
+type LocalWorkerOption func(*LocalWorker)
+
+// WithShards sets the worker's intra-tile row parallelism: the tile's rows
+// are split across n goroutines, each with its own scratch and stats
+// collector. n is clamped to [1, GOMAXPROCS]; passing 0 selects GOMAXPROCS
+// (auto). The default of 1 preserves the classic one-goroutine-per-tile
+// behavior, which is right when the master already runs one goroutine per
+// worker across many workers; shards help when a deployment runs few
+// workers on many cores and single-tile latency matters.
+func WithShards(n int) LocalWorkerOption {
+	return func(w *LocalWorker) { w.shards = n }
+}
+
 // NewLocalWorker builds a worker. pre may be nil to skip preprocessing (the
 // no-preprocessing baseline).
-func NewLocalWorker(pre core.SeriesPreprocessor, rejCfg crreject.Config) (*LocalWorker, error) {
+func NewLocalWorker(pre core.SeriesPreprocessor, rejCfg crreject.Config, opts ...LocalWorkerOption) (*LocalWorker, error) {
 	rej, err := crreject.New(rejCfg)
 	if err != nil {
 		return nil, err
 	}
-	return &LocalWorker{pre: pre, rej: rej}, nil
+	w := &LocalWorker{pre: pre, rej: rej, shards: 1}
+	w.scratch.New = func() any { return core.NewVoteScratch() }
+	for _, o := range opts {
+		o(w)
+	}
+	if max := runtime.GOMAXPROCS(0); w.shards <= 0 || w.shards > max {
+		w.shards = max
+	}
+	return w, nil
 }
+
+// Shards reports the worker's resolved intra-tile parallelism.
+func (w *LocalWorker) Shards() int { return w.shards }
 
 // ProcessTile implements Worker. Cancellation is polled between row
 // passes, so an abandoned tile stops within one row's work.
@@ -96,14 +132,19 @@ func (w *LocalWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResu
 	res := TileResult{Index: t.Index, X0: t.X0, Y0: t.Y0}
 	switch pre := w.pre.(type) {
 	case nil:
+	case core.ScratchPreprocessor:
+		if err := w.processSharded(ctx, pre, t.Stack, &res.PreStats); err != nil {
+			return TileResult{}, err
+		}
 	case statsPreprocessor:
 		width, height := t.Stack.Width(), t.Stack.Height()
+		var ser dataset.Series
 		for y := 0; y < height; y++ {
 			if err := ctx.Err(); err != nil {
 				return TileResult{}, err
 			}
 			for x := 0; x < width; x++ {
-				ser := t.Stack.SeriesAt(x, y)
+				ser = t.Stack.SeriesAtBuf(x, y, ser)
 				pre.ProcessSeriesStats(ser, &res.PreStats)
 				t.Stack.SetSeriesAt(x, y, ser)
 			}
@@ -120,16 +161,94 @@ func (w *LocalWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResu
 	return res, nil
 }
 
-// processStackCtx is core.ProcessStackWith with per-row cancellation.
+// processSharded runs the allocation-free preprocessing path over the
+// stack, splitting the rows across the worker's shards. Each shard checks
+// a warm scratch out of the pool and accumulates into its own VoteStats;
+// the shard stats merge into agg when every shard is done. Series at
+// distinct coordinates are independent and shards own disjoint row
+// ranges, so no synchronization beyond the final join is needed.
+func (w *LocalWorker) processSharded(ctx context.Context, pre core.ScratchPreprocessor, s *dataset.Stack, agg *core.VoteStats) error {
+	width, height := s.Width(), s.Height()
+	shards := w.shards
+	if shards > height {
+		shards = height
+	}
+	if shards <= 1 {
+		sc := w.scratch.Get().(*core.VoteScratch)
+		defer w.scratch.Put(sc)
+		var ser dataset.Series
+		for y := 0; y < height; y++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for x := 0; x < width; x++ {
+				ser = s.SeriesAtBuf(x, y, ser)
+				pre.ProcessSeriesScratch(ser, sc, agg)
+				s.SetSeriesAt(x, y, ser)
+			}
+		}
+		return nil
+	}
+	rowsPer := (height + shards - 1) / shards
+	errs := make([]error, shards)
+	stats := make([]core.VoteStats, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		y0 := i * rowsPer
+		y1 := y0 + rowsPer
+		if y1 > height {
+			y1 = height
+		}
+		if y0 >= y1 {
+			continue
+		}
+		wg.Add(1)
+		go func(i, y0, y1 int) {
+			defer wg.Done()
+			sc := w.scratch.Get().(*core.VoteScratch)
+			defer w.scratch.Put(sc)
+			var ser dataset.Series
+			for y := y0; y < y1; y++ {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				for x := 0; x < width; x++ {
+					ser = s.SeriesAtBuf(x, y, ser)
+					pre.ProcessSeriesScratch(ser, sc, &stats[i])
+					s.SetSeriesAt(x, y, ser)
+				}
+			}
+		}(i, y0, y1)
+	}
+	wg.Wait()
+	for i := range stats {
+		agg.Add(stats[i])
+	}
+	return errors.Join(errs...)
+}
+
+// processStackCtx is core.ProcessStackWith with per-row cancellation,
+// preferring the scratch path when the preprocessor supports it.
 func processStackCtx(ctx context.Context, p core.SeriesPreprocessor, s *dataset.Stack) error {
 	w, h := s.Width(), s.Height()
+	sp, _ := p.(core.ScratchPreprocessor)
+	var sc *core.VoteScratch
+	if sp != nil {
+		sc = core.NewVoteScratch()
+	}
+	var ser dataset.Series
 	for y := 0; y < h; y++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		for x := 0; x < w; x++ {
-			ser := s.SeriesAt(x, y)
-			p.ProcessSeries(ser)
+			ser = s.SeriesAtBuf(x, y, ser)
+			if sp != nil {
+				sp.ProcessSeriesScratch(ser, sc, nil)
+			} else {
+				p.ProcessSeries(ser)
+			}
 			s.SetSeriesAt(x, y, ser)
 		}
 	}
@@ -299,14 +418,31 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 		runTrace = runTSpan.Context()
 		ctx = telemetry.ContextWithTrace(ctx, m.tracer, runTrace)
 	}
+	// The run spans must end on EVERY exit path — the Fragment error and
+	// ctx-cancellation returns included. An unterminated TraceSpan is
+	// never recorded, which corrupts the Chrome trace export (children
+	// reference a parent that does not exist) and silently under-counts
+	// the run stage, while an unterminated metrics span pins its ring
+	// slot. The deferred end is idempotent-by-construction: it is the
+	// only place the run spans are ended.
+	defer func() {
+		if m.met != nil {
+			runSpan.EndTo(m.met.run)
+		} else {
+			runSpan.End()
+		}
+		runTSpan.End()
+	}()
 	fragSpan := m.tel.StartSpan(StageFragment, "baseline")
 	fragTSpan := m.tracer.StartSpan(runTrace, StageFragment, "baseline")
 	tiles, err := dataset.Fragment(s, m.tileSize)
+	// End the fragment spans before the error check so the failed
+	// fragmentation itself is visible in the trace.
+	fragSpan.End()
+	fragTSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	fragSpan.End()
-	fragTSpan.End()
 
 	jobs := make(chan job, len(tiles))
 	now := time.Time{}
@@ -403,9 +539,7 @@ func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, err
 	compTSpan.End()
 	if m.met != nil {
 		m.met.bytesOut.Add(int64(len(out.Compressed)))
-		runSpan.EndTo(m.met.run)
 	}
-	runTSpan.End()
 	return out, nil
 }
 
@@ -441,7 +575,7 @@ func (m *Master) processJob(ctx context.Context, wi int, w Worker, j job,
 					TraceID: dispatchTC.TraceID, SpanID: dispatchTC.SpanID, ParentID: parent.SpanID,
 					Stage: StageDispatch, Label: label, TID: int64(wi + 1),
 					Start: j.enqueued, Dur: time.Since(j.enqueued),
-					Args:  map[string]string{"attempt": fmt.Sprint(j.retries)},
+					Args: map[string]string{"attempt": fmt.Sprint(j.retries)},
 				})
 			}
 			if !j.origin.Valid() {
@@ -502,7 +636,7 @@ func (m *Master) processJob(ctx context.Context, wi int, w Worker, j job,
 					TraceID: dispatchTC.TraceID, SpanID: telemetry.NewSpanID(), ParentID: dispatchTC.SpanID,
 					Stage: StageRetry, Label: label, TID: int64(wi + 1),
 					Start: start, Dur: time.Since(start),
-					Args:  map[string]string{"attempt": fmt.Sprint(j.retries), "error": err.Error()},
+					Args: map[string]string{"attempt": fmt.Sprint(j.retries), "error": err.Error()},
 				})
 			}
 			if m.log != nil {

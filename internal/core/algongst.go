@@ -110,7 +110,7 @@ func (c *voteCounters) add(s VoteStats) {
 	c.windowCBit.Set(float64(s.WindowCBit))
 }
 
-var _ SeriesPreprocessor = (*AlgoNGST)(nil)
+var _ ScratchPreprocessor = (*AlgoNGST)(nil)
 
 // NewAlgoNGST validates cfg and returns the algorithm.
 func NewAlgoNGST(cfg NGSTConfig) (*AlgoNGST, error) {
@@ -159,22 +159,38 @@ func (a *AlgoNGST) ProcessSeries(s dataset.Series) {
 // ProcessSeriesStats is ProcessSeries with observability: when stats is
 // non-nil, the pass accumulates correction counters into it. The caller
 // owns stats, so a single AlgoNGST value stays safe for concurrent use by
-// workers that each pass their own collector.
+// workers that each pass their own collector. It allocates a fresh
+// scratch per call; hot loops should hold a VoteScratch and call
+// ProcessSeriesScratch instead.
 func (a *AlgoNGST) ProcessSeriesStats(s dataset.Series, stats *VoteStats) {
+	a.ProcessSeriesScratch(s, nil, stats)
+}
+
+// ProcessSeriesScratch implements ScratchPreprocessor: the voter pass
+// against caller-owned scratch. With a warm scratch the steady-state pass
+// performs zero heap allocations (enforced by TestProcessSeriesScratchZeroAlloc);
+// the forensics logger is the one exception, allocating its WARN record
+// for each repaired series. sc may be nil (a fresh scratch is used);
+// stats, when non-nil, accumulates the pass's counters.
+func (a *AlgoNGST) ProcessSeriesScratch(s dataset.Series, sc *VoteScratch, stats *VoteStats) {
 	if a.cfg.Sensitivity == 0 {
 		return
 	}
-	vals := make([]uint32, len(s))
+	if sc == nil {
+		sc = new(VoteScratch)
+	}
+	sc.vals = growU32(sc.vals, len(s))
+	vals := sc.vals
 	for i, v := range s {
 		vals[i] = uint32(v)
 	}
-	// When instrumented, collect into a local VoteStats and fan out to
-	// both the caller's collector and the registry counters; otherwise
-	// the caller's pointer is used directly (zero extra cost).
+	// When instrumented, collect into the scratch's staging VoteStats and
+	// fan out to both the caller's collector and the registry counters;
+	// otherwise the caller's pointer is used directly (zero extra cost).
 	collect := stats
-	var local VoteStats
 	if a.tel != nil || a.log != nil {
-		collect = &local
+		sc.stats = VoteStats{}
+		collect = &sc.stats
 	}
 	opt := voteOptions{
 		disableQuorum:     a.cfg.DisableQuorum,
@@ -185,11 +201,12 @@ func (a *AlgoNGST) ProcessSeriesStats(s dataset.Series, stats *VoteStats) {
 		staticMSB:         a.cfg.StaticMSB,
 		stats:             collect,
 	}
-	corr := correctTemporalOpt(vals, a.cfg.Upsilon, a.cfg.Sensitivity, 16, opt)
+	corr := correctTemporalScratch(sc, vals, a.cfg.Upsilon, a.cfg.Sensitivity, 16, opt)
 	for i := range s {
 		s[i] ^= uint16(corr[i])
 	}
-	if collect == &local {
+	if collect == &sc.stats {
+		local := sc.stats
 		if a.tel != nil {
 			a.tel.add(local)
 		}
@@ -216,13 +233,25 @@ func (a *AlgoNGST) ProcessStack(s *dataset.Stack) {
 }
 
 // ProcessStackWith runs any series preprocessor over every coordinate of a
-// stack in place.
+// stack in place. When p implements ScratchPreprocessor, the whole stack
+// is processed through one reused scratch and series buffer, so the pass
+// allocates O(1) instead of O(width*height).
 func ProcessStackWith(p SeriesPreprocessor, s *dataset.Stack) {
 	w, h := s.Width(), s.Height()
+	sp, _ := p.(ScratchPreprocessor)
+	var sc *VoteScratch
+	if sp != nil {
+		sc = new(VoteScratch)
+	}
+	var ser dataset.Series
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			ser := s.SeriesAt(x, y)
-			p.ProcessSeries(ser)
+			ser = s.SeriesAtBuf(x, y, ser)
+			if sp != nil {
+				sp.ProcessSeriesScratch(ser, sc, nil)
+			} else {
+				p.ProcessSeries(ser)
+			}
 			s.SetSeriesAt(x, y, ser)
 		}
 	}

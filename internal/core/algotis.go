@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
-	"sort"
+	"slices"
 
 	"spaceproc/internal/bitutil"
 	"spaceproc/internal/dataset"
@@ -173,6 +173,31 @@ func (s *CubeStats) Add(other CubeStats) {
 	s.TrendPreserved += other.TrendPreserved
 }
 
+// CubeScratch holds the buffers of one cube preprocessing pass, reused
+// across every band plane (and across cubes, when the caller keeps it
+// warm): the bit-pattern views, XOR way sets, deviation map and the
+// temporal voter scratch of the spectral path. Not safe for concurrent
+// use; the zero value is ready.
+type CubeScratch struct {
+	// bits and out are the plane's IEEE-754 bit patterns (input and
+	// voted output).
+	bits, out []uint32
+	// hx and vx are the horizontal and vertical XOR way sets.
+	hx, vx []uint32
+	// blockBuf collects one vote tile's XOR values for thresholding.
+	blockBuf []uint32
+	// devs is the per-pixel neighbor-deviation map of the trend guard;
+	// absBuf is the workspace of its median-absolute-deviation scale.
+	devs, absBuf []float64
+	// vote is the temporal voter scratch of the spectral-locality path
+	// (also supplies the threshold sort buffer for the spatial path).
+	vote VoteScratch
+}
+
+// NewCubeScratch returns an empty scratch, for callers outside the
+// package.
+func NewCubeScratch() *CubeScratch { return new(CubeScratch) }
+
 // ProcessCube implements CubePreprocessor.
 func (a *AlgoOTIS) ProcessCube(c *dataset.Cube) {
 	a.ProcessCubeStats(c, nil)
@@ -180,14 +205,25 @@ func (a *AlgoOTIS) ProcessCube(c *dataset.Cube) {
 
 // ProcessCubeStats is ProcessCube with observability; stats may be nil.
 // The caller owns stats, keeping the algorithm value safe for concurrent
-// use.
+// use. It allocates a fresh scratch per cube (reused across the cube's
+// bands); repeated passes should hold a CubeScratch and call
+// ProcessCubeScratch.
 func (a *AlgoOTIS) ProcessCubeStats(c *dataset.Cube, stats *CubeStats) {
+	a.ProcessCubeScratch(c, nil, stats)
+}
+
+// ProcessCubeScratch is ProcessCubeStats against caller-owned scratch.
+// sc may be nil (a fresh scratch is used).
+func (a *AlgoOTIS) ProcessCubeScratch(c *dataset.Cube, sc *CubeScratch, stats *CubeStats) {
+	if sc == nil {
+		sc = new(CubeScratch)
+	}
 	collect := stats
 	var local CubeStats
 	if a.tel != nil || a.log != nil {
 		collect = &local
 	}
-	a.processCubeStats(c, collect)
+	a.processCubeStats(c, sc, collect)
 	if collect == &local {
 		if a.tel != nil {
 			a.tel.add(local)
@@ -206,7 +242,7 @@ func (a *AlgoOTIS) ProcessCubeStats(c *dataset.Cube, stats *CubeStats) {
 	}
 }
 
-func (a *AlgoOTIS) processCubeStats(c *dataset.Cube, stats *CubeStats) {
+func (a *AlgoOTIS) processCubeStats(c *dataset.Cube, sc *CubeScratch, stats *CubeStats) {
 	for b := 0; b < c.Bands; b++ {
 		lo, hi := a.bandBounds(b)
 		plane := c.Band(b)
@@ -215,11 +251,11 @@ func (a *AlgoOTIS) processCubeStats(c *dataset.Cube, stats *CubeStats) {
 			stats.BoundsRepairs += n
 		}
 		if a.cfg.Sensitivity > 0 && a.cfg.Locality == SpatialLocality {
-			a.votePlane(plane, c.Width, c.Height, lo, hi, stats)
+			a.votePlane(plane, c.Width, c.Height, lo, hi, sc, stats)
 		}
 	}
 	if a.cfg.Sensitivity > 0 && a.cfg.Locality == SpectralLocality {
-		a.voteSpectral(c)
+		a.voteSpectral(c, sc)
 	}
 }
 
@@ -227,17 +263,18 @@ func (a *AlgoOTIS) processCubeStats(c *dataset.Cube, stats *CubeStats) {
 // across-band series (the Section 7.1 spectral locality model). Samples
 // the vote drives outside the band's physical range fall back to the
 // spectral neighbor median.
-func (a *AlgoOTIS) voteSpectral(c *dataset.Cube) {
+func (a *AlgoOTIS) voteSpectral(c *dataset.Cube, sc *CubeScratch) {
 	if c.Bands < 3 {
 		return
 	}
 	plane := c.Width * c.Height
-	vals := make([]uint32, c.Bands)
+	sc.vote.vals = growU32(sc.vote.vals, c.Bands)
+	vals := sc.vote.vals
 	for i := 0; i < plane; i++ {
 		for b := 0; b < c.Bands; b++ {
 			vals[b] = math.Float32bits(c.Band(b)[i])
 		}
-		corr := correctTemporal(vals, 4, a.cfg.Sensitivity, 32)
+		corr := correctTemporalScratch(&sc.vote, vals, 4, a.cfg.Sensitivity, 32, voteOptions{})
 		for b := 0; b < c.Bands; b++ {
 			if corr[b] == 0 {
 				continue
@@ -256,8 +293,9 @@ func (a *AlgoOTIS) voteSpectral(c *dataset.Cube) {
 // spectralNeighborMedian returns the median of the adjacent bands' values
 // at the same coordinate.
 func spectralNeighborMedian(c *dataset.Cube, i, b int) float32 {
-	var vals []float32
-	for _, nb := range []int{b - 2, b - 1, b + 1, b + 2} {
+	var buf [4]float32
+	vals := buf[:0]
+	for _, nb := range [4]int{b - 2, b - 1, b + 1, b + 2} {
 		if nb < 0 || nb >= c.Bands {
 			continue
 		}
@@ -293,7 +331,8 @@ func repairOutOfBounds(plane []float32, w, h int, lo, hi float64) int {
 				continue
 			}
 			repairs++
-			var good []float32
+			var goodBuf [4]float32
+			good := goodBuf[:0]
 			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
 				nx, ny := x+d[0], y+d[1]
 				if nx < 0 || nx >= w || ny < 0 || ny >= h {
@@ -320,25 +359,30 @@ func repairOutOfBounds(plane []float32, w, h int, lo, hi float64) int {
 // while still giving each way ~56 XOR samples for its order statistic.
 const voteTile = 8
 
-// votePlane runs the spatial voter pass over one band plane.
-func (a *AlgoOTIS) votePlane(plane []float32, w, h int, lo, hi float64, stats *CubeStats) {
+// votePlane runs the spatial voter pass over one band plane. Every buffer
+// comes from sc, so the per-band (and per-cube, with a warm scratch)
+// allocation cost is amortized away.
+func (a *AlgoOTIS) votePlane(plane []float32, w, h int, lo, hi float64, sc *CubeScratch, stats *CubeStats) {
 	if w < 3 || h < 3 {
 		return
 	}
-	bits := make([]uint32, len(plane))
+	sc.bits = growU32(sc.bits, len(plane))
+	bits := sc.bits
 	for i, v := range plane {
 		bits[i] = math.Float32bits(v)
 	}
 
 	// Two ways: horizontal pairs and vertical pairs, thresholded
 	// separately (turbulence is often anisotropic).
-	hx := make([]uint32, (w-1)*h)
+	sc.hx = growU32(sc.hx, (w-1)*h)
+	hx := sc.hx
 	for y := 0; y < h; y++ {
 		for x := 0; x < w-1; x++ {
 			hx[y*(w-1)+x] = bits[y*w+x] ^ bits[y*w+x+1]
 		}
 	}
-	vx := make([]uint32, w*(h-1))
+	sc.vx = growU32(sc.vx, w*(h-1))
+	vx := sc.vx
 	for y := 0; y < h-1; y++ {
 		for x := 0; x < w; x++ {
 			vx[y*w+x] = bits[y*w+x] ^ bits[(y+1)*w+x]
@@ -348,14 +392,18 @@ func (a *AlgoOTIS) votePlane(plane []float32, w, h int, lo, hi float64, stats *C
 	var devs []float64
 	var tau float64
 	if a.cfg.TrendGuard {
-		devs = neighborDeviations(plane, w, h)
-		tau = 3 * medianAbs(devs)
+		sc.devs = growF64(sc.devs, len(plane))
+		devs = sc.devs
+		neighborDeviations(devs, plane, w, h)
+		tau = 3 * medianAbs(devs, sc)
 	}
 
-	out := make([]uint32, len(bits))
+	sc.out = growU32(sc.out, len(bits))
+	out := sc.out
 	copy(out, bits)
-	var scratch []uint32
-	phis := make([]uint32, 0, 4)
+	scratch := sc.blockBuf[:0]
+	var phisBuf [4]uint32
+	phis := phisBuf[:0]
 	for ty := 0; ty < h; ty += voteTile {
 		for tx := 0; tx < w; tx += voteTile {
 			x1, y1 := tx+voteTile, ty+voteTile
@@ -372,15 +420,16 @@ func (a *AlgoOTIS) votePlane(plane []float32, w, h int, lo, hi float64, stats *C
 					scratch = append(scratch, hx[y*(w-1)+x])
 				}
 			}
-			vvalH := wayThreshold(scratch, a.cfg.Sensitivity)
+			vvalH := wayThresholdBuf(scratch, a.cfg.Sensitivity, PruneIndex, &sc.vote)
 			scratch = scratch[:0]
 			for y := ty; y < y1-1; y++ {
 				for x := tx; x < x1; x++ {
 					scratch = append(scratch, vx[y*w+x])
 				}
 			}
-			vvalV := wayThreshold(scratch, a.cfg.Sensitivity)
-			lsbMask, msbMask := windowMasks([]uint32{vvalH, vvalV}, 32)
+			vvalV := wayThresholdBuf(scratch, a.cfg.Sensitivity, PruneIndex, &sc.vote)
+			vvalsBuf := [2]uint32{vvalH, vvalV}
+			lsbMask, msbMask := windowMasks(vvalsBuf[:], 32)
 
 			for y := ty; y < y1; y++ {
 				for x := tx; x < x1; x++ {
@@ -438,21 +487,20 @@ func (a *AlgoOTIS) votePlane(plane []float32, w, h int, lo, hi float64, stats *C
 			}
 		}
 	}
+	sc.blockBuf = scratch[:0]
 	for i := range plane {
 		plane[i] = math.Float32frombits(out[i])
 	}
 }
 
-// neighborDeviations returns, for every pixel, its value minus the median
-// of its in-plane 4-neighbors.
-func neighborDeviations(plane []float32, w, h int) []float64 {
-	devs := make([]float64, len(plane))
+// neighborDeviations fills devs with, for every pixel, its value minus
+// the median of its in-plane 4-neighbors. devs must be len(plane) long.
+func neighborDeviations(devs []float64, plane []float32, w, h int) {
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			devs[y*w+x] = float64(plane[y*w+x] - neighborMedian(plane, w, h, x, y))
 		}
 	}
-	return devs
 }
 
 // isNaturalTrend implements Section 7.2 rule (1): the deviation at (x,y) is
@@ -487,8 +535,12 @@ func isNaturalTrend(devs []float64, w, h, x, y int, tau float64) bool {
 }
 
 // neighborMedian returns the median of the in-plane 4-neighbors of (x,y).
+// The candidate buffer is a fixed-size array, so the per-pixel call (it
+// runs for every pixel of every band in the trend-guard pre-pass) stays
+// off the heap.
 func neighborMedian(plane []float32, w, h, x, y int) float32 {
-	var vals []float32
+	var buf [4]float32
+	vals := buf[:0]
 	for _, off := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
 		nx, ny := x+off[0], y+off[1]
 		if nx < 0 || nx >= w || ny < 0 || ny >= h {
@@ -499,26 +551,37 @@ func neighborMedian(plane []float32, w, h, x, y int) float32 {
 	return medianF32(vals, plane[y*w+x])
 }
 
-// medianF32 returns the median of vals, or fallback when vals is empty.
-// Non-finite entries are ranked by their bit patterns, which keeps sort
-// deterministic.
+// medianF32 returns the lower median of vals (reordered in place), or
+// fallback when vals is empty. Insertion sort: callers pass at most a
+// handful of neighbor values, and the closure-free sort keeps the
+// per-pixel paths allocation-free. Values are NaN-free by construction
+// (callers run after the bounds repair).
 func medianF32(vals []float32, fallback float32) float32 {
 	if len(vals) == 0 {
 		return fallback
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i := 1; i < len(vals); i++ {
+		v := vals[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1] = vals[j]
+			j--
+		}
+		vals[j+1] = v
+	}
 	return vals[(len(vals)-1)/2]
 }
 
-// medianAbs returns the median of |vals|.
-func medianAbs(vals []float64) float64 {
+// medianAbs returns the median of |vals|, using sc's workspace.
+func medianAbs(vals []float64, sc *CubeScratch) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
-	abs := make([]float64, len(vals))
+	sc.absBuf = growF64(sc.absBuf, len(vals))
+	abs := sc.absBuf
 	for i, v := range vals {
 		abs[i] = math.Abs(v)
 	}
-	sort.Float64s(abs)
+	slices.Sort(abs)
 	return abs[(len(abs)-1)/2]
 }

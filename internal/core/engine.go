@@ -19,7 +19,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"spaceproc/internal/bitutil"
 )
@@ -86,12 +87,21 @@ func wayThreshold(xors []uint32, lambda int) uint32 {
 // wayThresholdFunc is wayThreshold with a pluggable Phi (for the
 // literal-formula ablation).
 func wayThresholdFunc(xors []uint32, lambda int, phiOf func(lambda, count int) int) uint32 {
+	var sc VoteScratch
+	return wayThresholdBuf(xors, lambda, phiOf, &sc)
+}
+
+// wayThresholdBuf is wayThresholdFunc against caller-owned scratch: the
+// descending sort runs in sc.sortBuf, so a warm scratch makes the
+// threshold computation allocation-free.
+func wayThresholdBuf(xors []uint32, lambda int, phiOf func(lambda, count int) int, sc *VoteScratch) uint32 {
 	if len(xors) == 0 {
 		return 1
 	}
-	sorted := make([]uint32, len(xors))
+	sc.sortBuf = growU32(sc.sortBuf, len(xors))
+	sorted := sc.sortBuf
 	copy(sorted, xors)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	slices.SortFunc(sorted, func(a, b uint32) int { return cmp.Compare(b, a) })
 	phi := phiOf(lambda, len(sorted))
 	v := sorted[phi-1]
 	return bitutil.CeilPow2(v)
@@ -165,14 +175,19 @@ type VoteStats struct {
 	WindowCBit int
 }
 
-// Add merges other into s.
+// Add merges other into s. WindowCBit is a most-recent-value gauge, not a
+// sum, so it is taken from other only when other actually processed a
+// series: merging a zero-value VoteStats (a tile that ran without
+// preprocessing) must not clobber the aggregate's boundary with 0.
 func (s *VoteStats) Add(other VoteStats) {
 	s.Series += other.Series
 	s.Corrected += other.Corrected
 	s.BitsWindowA += other.BitsWindowA
 	s.BitsWindowB += other.BitsWindowB
 	s.GuardRejected += other.GuardRejected
-	s.WindowCBit = other.WindowCBit
+	if other.Series > 0 {
+		s.WindowCBit = other.WindowCBit
+	}
 }
 
 // correctTemporal runs the Algorithm 1 voter pass over a temporal series of
@@ -187,10 +202,27 @@ func correctTemporal(vals []uint32, upsilon, lambda, width int) []uint32 {
 	return correctTemporalOpt(vals, upsilon, lambda, width, voteOptions{})
 }
 
-// correctTemporalOpt is correctTemporal with ablation switches.
+// correctTemporalOpt is correctTemporal with ablation switches. It
+// allocates a fresh correction vector; the hot paths go through
+// correctTemporalScratch instead.
 func correctTemporalOpt(vals []uint32, upsilon, lambda, width int, opt voteOptions) []uint32 {
+	var sc VoteScratch
+	out := make([]uint32, len(vals))
+	copy(out, correctTemporalScratch(&sc, vals, upsilon, lambda, width, opt))
+	return out
+}
+
+// correctTemporalScratch is the voter pass against caller-owned scratch.
+// The returned correction vector is sc.corr — owned by the scratch and
+// overwritten by the next pass — so with a warm scratch the whole pass
+// performs zero heap allocations.
+func correctTemporalScratch(sc *VoteScratch, vals []uint32, upsilon, lambda, width int, opt voteOptions) []uint32 {
 	n := len(vals)
-	corr := make([]uint32, n)
+	sc.corr = growU32(sc.corr, n)
+	corr := sc.corr
+	for i := range corr {
+		corr[i] = 0
+	}
 	if lambda <= 0 || n < 3 || upsilon < 2 {
 		return corr
 	}
@@ -205,16 +237,27 @@ func correctTemporalOpt(vals []uint32, upsilon, lambda, width int, opt voteOptio
 
 	// xors[d-1][i] = vals[i] XOR vals[i+d]: the forward-d and backward-d
 	// ways share this value set (XOR is symmetric), as in the paper's
-	// V_(2a-1)/V_(2a) pairing.
-	xors := make([][]uint32, half)
-	vvals := make([]uint32, half)
+	// V_(2a-1)/V_(2a) pairing. All ways live in one backing buffer.
+	total := 0
 	for d := 1; d <= half; d++ {
-		w := make([]uint32, n-d)
+		total += n - d
+	}
+	sc.wayBuf = growU32(sc.wayBuf, total)
+	if cap(sc.ways) < half {
+		sc.ways = make([][]uint32, half)
+	}
+	xors := sc.ways[:half]
+	sc.vvals = growU32(sc.vvals, half)
+	vvals := sc.vvals
+	off := 0
+	for d := 1; d <= half; d++ {
+		w := sc.wayBuf[off : off+n-d : off+n-d]
+		off += n - d
 		for i := 0; i < n-d; i++ {
 			w[i] = vals[i] ^ vals[i+d]
 		}
 		xors[d-1] = w
-		vvals[d-1] = wayThresholdFunc(w, lambda, phiOf)
+		vvals[d-1] = wayThresholdBuf(w, lambda, phiOf, sc)
 	}
 	lsbMask, msbMask := windowMasks(vvals, width)
 	if opt.staticWindows {
@@ -229,8 +272,14 @@ func correctTemporalOpt(vals []uint32, upsilon, lambda, width int, opt voteOptio
 		opt.stats.WindowCBit = width - bitutil.OnesCount32(lsbMask)
 	}
 
-	phis := make([]uint32, 0, upsilon)
-	neigh := make([]uint32, 0, upsilon)
+	if cap(sc.phis) < upsilon {
+		sc.phis = make([]uint32, 0, upsilon)
+	}
+	if cap(sc.neigh) < upsilon {
+		sc.neigh = make([]uint32, 0, upsilon)
+	}
+	phis := sc.phis[:0]
+	neigh := sc.neigh[:0]
 	for i := 0; i < n; i++ {
 		phis = phis[:0]
 		neigh = neigh[:0]
@@ -284,9 +333,18 @@ func correctTemporalOpt(vals []uint32, upsilon, lambda, width int, opt voteOptio
 }
 
 // medianU32 returns the lower median of vals (vals is scratch and may be
-// reordered).
+// reordered). Insertion sort keeps the hot path allocation-free; vals is
+// at most Upsilon long.
 func medianU32(vals []uint32) uint32 {
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i := 1; i < len(vals); i++ {
+		v := vals[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1] = vals[j]
+			j--
+		}
+		vals[j+1] = v
+	}
 	return vals[(len(vals)-1)/2]
 }
 

@@ -18,18 +18,35 @@ import (
 // the pseudocode does not do).
 type MajorityBit3 struct{}
 
-var _ SeriesPreprocessor = MajorityBit3{}
+var _ ScratchPreprocessor = MajorityBit3{}
 
 // Name implements SeriesPreprocessor.
 func (MajorityBit3) Name() string { return "MajorityBitVote3" }
 
-// ProcessSeries implements SeriesPreprocessor.
-func (MajorityBit3) ProcessSeries(s dataset.Series) {
+// ProcessSeries implements SeriesPreprocessor. It snapshots the series
+// into a fresh buffer; hot loops should hold a VoteScratch and call
+// ProcessSeriesScratch, which reuses the snapshot buffer across series.
+func (m MajorityBit3) ProcessSeries(s dataset.Series) {
+	m.ProcessSeriesScratch(s, nil, nil)
+}
+
+// ProcessSeriesScratch implements ScratchPreprocessor: the vote-against-
+// original snapshot lives in the scratch, so a warm scratch makes the
+// pass allocation-free. stats is ignored (the generic baselines do not
+// collect correction telemetry).
+func (MajorityBit3) ProcessSeriesScratch(s dataset.Series, sc *VoteScratch, _ *VoteStats) {
 	n := len(s)
 	if n < 3 {
 		return
 	}
-	orig := s.Clone()
+	if sc == nil {
+		sc = new(VoteScratch)
+	}
+	if cap(sc.ser16) < n {
+		sc.ser16 = make(dataset.Series, n)
+	}
+	orig := sc.ser16[:n]
+	copy(orig, s)
 	at := func(i int) uint16 {
 		switch {
 		case i < 0:

@@ -13,10 +13,18 @@ import (
 // already-smoothed P(i-1), the current P(i), and the raw P(i+1).
 type Median3 struct{}
 
-var _ SeriesPreprocessor = Median3{}
+var _ ScratchPreprocessor = Median3{}
 
 // Name implements SeriesPreprocessor.
 func (Median3) Name() string { return "MedianSmooth3" }
+
+// ProcessSeriesScratch implements ScratchPreprocessor. The in-place
+// sliding window needs no buffers, so the scratch and stats are unused;
+// the method exists so the cluster workers can treat all three series
+// algorithms uniformly through the allocation-free path.
+func (m Median3) ProcessSeriesScratch(s dataset.Series, _ *VoteScratch, _ *VoteStats) {
+	m.ProcessSeries(s)
+}
 
 // ProcessSeries implements SeriesPreprocessor.
 func (Median3) ProcessSeries(s dataset.Series) {

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"spaceproc/internal/dataset"
+)
+
+// VoteScratch holds every buffer the temporal voter pass needs, so a warm
+// scratch lets ProcessSeriesScratch run with zero steady-state heap
+// allocations. One scratch serves any series length and any Upsilon: the
+// buffers grow to the largest series seen and are reused thereafter.
+//
+// A VoteScratch is NOT safe for concurrent use; give each goroutine its
+// own (cluster.LocalWorker keeps a pool and hands one to each row shard).
+// The zero value is ready to use.
+type VoteScratch struct {
+	// vals is the series widened to the voter's uint32 payload.
+	vals []uint32
+	// corr is the correction vector returned by correctTemporalScratch;
+	// it is owned by the scratch and overwritten by the next pass.
+	corr []uint32
+	// ways and wayBuf hold the per-way XOR value sets: ways[d-1] is a
+	// window into wayBuf, so the whole voter matrix is one allocation.
+	ways   [][]uint32
+	wayBuf []uint32
+	// vvals holds the per-way pruning cut-offs.
+	vvals []uint32
+	// sortBuf is the descending-sort workspace of wayThresholdBuf.
+	sortBuf []uint32
+	// phis and neigh collect one pixel's surviving voters and consulted
+	// neighbor values.
+	phis, neigh []uint32
+	// ser16 is a uint16 workspace (MajorityBit3's vote-against-original
+	// snapshot).
+	ser16 dataset.Series
+	// stats stages the per-series counters when an algorithm fans them
+	// out to both a caller collector and registry counters.
+	stats VoteStats
+}
+
+// NewVoteScratch returns an empty scratch. Equivalent to new(VoteScratch);
+// it exists so the facade can mint one without exposing the fields.
+func NewVoteScratch() *VoteScratch { return new(VoteScratch) }
+
+// Corrections returns the scratch's current correction vector (the result
+// of the most recent pass), for tests that compare scratch and allocating
+// paths.
+func (sc *VoteScratch) Corrections() []uint32 { return sc.corr }
+
+// growU32 returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growU32(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	return buf[:n]
+}
+
+// growF64 is growU32 for float64 buffers.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// ScratchPreprocessor is implemented by series preprocessors whose pass
+// can run against caller-owned scratch, allocation-free once the scratch
+// is warm. AlgoNGST, Median3 and MajorityBit3 all implement it; the
+// cluster workers prefer this path and fall back to ProcessSeries for
+// preprocessors that do not.
+type ScratchPreprocessor interface {
+	SeriesPreprocessor
+	// ProcessSeriesScratch repairs s in place using sc's buffers. sc may
+	// be nil (a fresh scratch is used, reintroducing the allocations);
+	// stats, when non-nil, accumulates the pass's counters.
+	ProcessSeriesScratch(s dataset.Series, sc *VoteScratch, stats *VoteStats)
+}

@@ -67,17 +67,36 @@ func New(cfg Config) (*Rejector, error) {
 	return &Rejector{cfg: cfg}, nil
 }
 
+// integrateScratch carries the per-series buffers of one integration pass,
+// allocated once per Integrate call and reused across every coordinate.
+type integrateScratch struct {
+	ser         dataset.Series
+	vals, diffs []float64
+	abs         []float64
+}
+
+func (sc *integrateScratch) grow(n int) {
+	if cap(sc.vals) < n {
+		sc.vals = make([]float64, n)
+		sc.diffs = make([]float64, 0, n)
+		sc.abs = make([]float64, n)
+	}
+}
+
 // Integrate collapses a baseline stack into one image, removing cosmic-ray
 // steps per coordinate, and returns the image with rejection statistics.
+// All per-series working memory is reused across coordinates, so the pass
+// allocates O(1) beyond the output image.
 func (r *Rejector) Integrate(s *dataset.Stack) (*dataset.Image, Stats) {
 	w, h := s.Width(), s.Height()
 	out := dataset.NewImage(w, h)
 	var stats Stats
-	diffs := make([]float64, 0, s.Len())
+	var sc integrateScratch
+	sc.grow(s.Len())
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			ser := s.SeriesAt(x, y)
-			v, steps := r.integrateSeries(ser, diffs[:0])
+			sc.ser = s.SeriesAtBuf(x, y, sc.ser)
+			v, steps := r.integrateSeries(sc.ser, &sc)
 			out.Set(x, y, v)
 			if steps > 0 {
 				stats.Hits++
@@ -90,7 +109,7 @@ func (r *Rejector) Integrate(s *dataset.Stack) (*dataset.Image, Stats) {
 
 // integrateSeries removes detected steps from one temporal series and
 // returns the integrated (mean) value plus the number of steps removed.
-func (r *Rejector) integrateSeries(ser dataset.Series, diffs []float64) (uint16, int) {
+func (r *Rejector) integrateSeries(ser dataset.Series, sc *integrateScratch) (uint16, int) {
 	n := len(ser)
 	if n == 0 {
 		return 0, 0
@@ -98,14 +117,16 @@ func (r *Rejector) integrateSeries(ser dataset.Series, diffs []float64) (uint16,
 	if n == 1 {
 		return ser[0], 0
 	}
-	vals := make([]float64, n)
+	sc.grow(n)
+	vals := sc.vals[:n]
 	for i, v := range ser {
 		vals[i] = float64(v)
 	}
+	diffs := sc.diffs[:0]
 	for i := 1; i < n; i++ {
 		diffs = append(diffs, vals[i]-vals[i-1])
 	}
-	sigma := madSigma(diffs)
+	sigma := madSigma(diffs, sc.abs[:0])
 	if sigma < r.cfg.SigmaFloor {
 		sigma = r.cfg.SigmaFloor
 	}
@@ -148,10 +169,12 @@ func (r *Rejector) IntegrateRamp(s *dataset.Stack) (*dataset.Image, Stats) {
 	w, h := s.Width(), s.Height()
 	out := dataset.NewImage(w, h)
 	var stats Stats
+	var sc integrateScratch
+	sc.grow(s.Len())
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			ser := s.SeriesAt(x, y)
-			v, steps := r.integrateRampSeries(ser)
+			sc.ser = s.SeriesAtBuf(x, y, sc.ser)
+			v, steps := r.integrateRampSeries(sc.ser, &sc)
 			out.Set(x, y, v)
 			if steps > 0 {
 				stats.Hits++
@@ -163,7 +186,7 @@ func (r *Rejector) IntegrateRamp(s *dataset.Stack) (*dataset.Image, Stats) {
 }
 
 // integrateRampSeries estimates total accumulated charge for one ramp.
-func (r *Rejector) integrateRampSeries(ser dataset.Series) (uint16, int) {
+func (r *Rejector) integrateRampSeries(ser dataset.Series, sc *integrateScratch) (uint16, int) {
 	n := len(ser)
 	if n == 0 {
 		return 0, 0
@@ -171,12 +194,17 @@ func (r *Rejector) integrateRampSeries(ser dataset.Series) (uint16, int) {
 	if n == 1 {
 		return ser[0], 0
 	}
-	diffs := make([]float64, 0, n-1)
+	sc.grow(n)
+	diffs := sc.diffs[:0]
 	for i := 1; i < n; i++ {
 		diffs = append(diffs, float64(ser[i])-float64(ser[i-1]))
 	}
-	med := medianInPlace(append([]float64(nil), diffs...))
-	sigma := madSigma(diffs)
+	// The median reorders its input, so rank a copy (sc.vals doubles as
+	// the copy buffer) and keep diffs in readout order for the pass below.
+	medBuf := sc.vals[:len(diffs)]
+	copy(medBuf, diffs)
+	med := medianInPlace(medBuf)
+	sigma := madSigma(diffs, sc.abs[:0])
 	if sigma < r.cfg.SigmaFloor {
 		sigma = r.cfg.SigmaFloor
 	}
@@ -213,13 +241,13 @@ func clampCharge(v float64) uint16 {
 }
 
 // madSigma estimates the standard deviation of diffs as 1.4826 * MAD,
-// robust to the steps themselves.
-func madSigma(diffs []float64) float64 {
+// robust to the steps themselves. buf is workspace (grown as needed);
+// diffs is left untouched.
+func madSigma(diffs, buf []float64) float64 {
 	if len(diffs) == 0 {
 		return 0
 	}
-	abs := make([]float64, len(diffs))
-	copy(abs, diffs)
+	abs := append(buf[:0], diffs...)
 	med := medianInPlace(abs)
 	for i, v := range diffs {
 		abs[i] = math.Abs(v - med)

@@ -98,13 +98,27 @@ func (s *Stack) Height() int {
 }
 
 // SeriesAt extracts the temporal series of coordinate (x, y) across all
-// readouts. The result is freshly allocated.
+// readouts. It is the allocating convenience: each call returns a fresh
+// Series the caller owns outright. Hot loops that walk many coordinates
+// should use SeriesAtBuf and reuse one buffer instead.
 func (s *Stack) SeriesAt(x, y int) Series {
-	out := make(Series, len(s.Frames))
-	for i, f := range s.Frames {
-		out[i] = f.At(x, y)
+	return s.SeriesAtBuf(x, y, nil)
+}
+
+// SeriesAtBuf is SeriesAt without the per-call allocation: it extracts the
+// series into buf, growing it only when its capacity is insufficient, and
+// returns the (possibly reallocated) slice. Passing the returned slice
+// back in on the next call amortizes the allocation to one per stack
+// depth change. A nil buf behaves like SeriesAt.
+func (s *Stack) SeriesAtBuf(x, y int, buf Series) Series {
+	if cap(buf) < len(s.Frames) {
+		buf = make(Series, len(s.Frames))
 	}
-	return out
+	buf = buf[:len(s.Frames)]
+	for i, f := range s.Frames {
+		buf[i] = f.At(x, y)
+	}
+	return buf
 }
 
 // SetSeriesAt writes ser back into coordinate (x, y) of every readout.

@@ -245,3 +245,49 @@ func TestFragmentPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSeriesAtBufReuse(t *testing.T) {
+	s := NewStack(4, 3, 3)
+	for i, f := range s.Frames {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				f.Set(x, y, uint16(100*i+10*y+x))
+			}
+		}
+	}
+	// nil buf allocates; a large-enough buf is reused in place.
+	first := s.SeriesAtBuf(1, 2, nil)
+	second := s.SeriesAtBuf(2, 0, first)
+	if &second[0] != &first[0] {
+		t.Fatal("SeriesAtBuf did not reuse the supplied buffer")
+	}
+	for i := range second {
+		if want := uint16(100*i + 2); second[i] != want {
+			t.Fatalf("reused-buffer series[%d] = %d, want %d", i, second[i], want)
+		}
+	}
+	// An undersized buf is replaced by a fresh slice of the right length.
+	small := make(Series, 1)
+	grown := s.SeriesAtBuf(0, 1, small)
+	if len(grown) != s.Len() {
+		t.Fatalf("grown series has length %d, want %d", len(grown), s.Len())
+	}
+	for i := range grown {
+		if want := uint16(100*i + 10); grown[i] != want {
+			t.Fatalf("grown series[%d] = %d, want %d", i, grown[i], want)
+		}
+	}
+	// SeriesAt keeps its fresh-copy convenience contract.
+	a, b := s.SeriesAt(1, 1), s.SeriesAt(1, 1)
+	if &a[0] == &b[0] {
+		t.Fatal("SeriesAt returned a shared buffer")
+	}
+	// Steady-state SeriesAtBuf must not allocate.
+	buf := s.SeriesAtBuf(0, 0, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.SeriesAtBuf(1, 1, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("SeriesAtBuf allocates %.1f per call with a sufficient buffer, want 0", allocs)
+	}
+}

@@ -19,6 +19,8 @@ type (
 	Master = cluster.Master
 	// MasterOption configures a Master.
 	MasterOption = cluster.MasterOption
+	// LocalWorkerOption configures a LocalWorker (see WithShards).
+	LocalWorkerOption = cluster.LocalWorkerOption
 	// PipelineResult is the master's output for one baseline.
 	PipelineResult = cluster.Result
 	// TileResult is a worker's output for one tile.
@@ -39,9 +41,13 @@ const DefaultWorkers = cluster.DefaultWorkers
 
 // NewLocalWorker builds an in-process worker; pre may be nil to skip
 // preprocessing.
-func NewLocalWorker(pre SeriesPreprocessor, rejCfg CRConfig) (*LocalWorker, error) {
-	return cluster.NewLocalWorker(pre, rejCfg)
+func NewLocalWorker(pre SeriesPreprocessor, rejCfg CRConfig, opts ...LocalWorkerOption) (*LocalWorker, error) {
+	return cluster.NewLocalWorker(pre, rejCfg, opts...)
 }
+
+// WithShards sets a LocalWorker's intra-tile row parallelism (clamped to
+// GOMAXPROCS; 0 selects GOMAXPROCS).
+func WithShards(n int) LocalWorkerOption { return cluster.WithShards(n) }
 
 // NewMaster builds a pipeline master over the workers.
 func NewMaster(workers []Worker, opts ...MasterOption) (*Master, error) {

@@ -36,6 +36,15 @@ type (
 	// VoteStats carries preprocessing telemetry (corrections by window,
 	// guard rejections).
 	VoteStats = core.VoteStats
+	// VoteScratch holds the reusable buffers of the allocation-free
+	// per-series preprocessing path (see ScratchPreprocessor).
+	VoteScratch = core.VoteScratch
+	// CubeScratch holds the reusable buffers of a cube preprocessing pass.
+	CubeScratch = core.CubeScratch
+	// ScratchPreprocessor is a SeriesPreprocessor whose pass can run
+	// allocation-free against caller-owned scratch (AlgoNGST, Median3 and
+	// MajorityBit3 all qualify).
+	ScratchPreprocessor = core.ScratchPreprocessor
 )
 
 // Locality models for AlgoOTIS (Section 7.1: spatial is recommended).
@@ -57,6 +66,15 @@ func DefaultOTISConfig(wavelengths []float64) OTISConfig { return core.DefaultOT
 
 // NewAlgoOTIS validates cfg and returns the Section 7.2 algorithm.
 func NewAlgoOTIS(cfg OTISConfig) (*AlgoOTIS, error) { return core.NewAlgoOTIS(cfg) }
+
+// NewVoteScratch returns an empty scratch for the allocation-free series
+// preprocessing path (ProcessSeriesScratch). Not safe for concurrent use;
+// hold one per goroutine.
+func NewVoteScratch() *VoteScratch { return core.NewVoteScratch() }
+
+// NewCubeScratch returns an empty scratch for repeated AlgoOTIS cube
+// passes (ProcessCubeScratch).
+func NewCubeScratch() *CubeScratch { return core.NewCubeScratch() }
 
 // ProcessStackWith runs a series preprocessor over every coordinate of a
 // baseline stack in place.
