@@ -1,15 +1,27 @@
 # Developer entry points. `make check` is the tier-1 verification gate
-# (referenced from ROADMAP.md): vet, build everything, and run the full
-# test suite under the race detector.
+# (referenced from ROADMAP.md): vet, staticcheck (when installed), build
+# everything, and run the full test suite under the race detector.
 
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet staticcheck build test race bench bench-smoke
 
-check: vet build race
+check: vet staticcheck build race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools when the binary is on PATH and is a
+# no-op otherwise, so `make check` works in hermetic containers while CI
+# (which installs it) still gets the full lint.
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		echo "$(STATICCHECK) ./..."; \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-trials N] [-quick] [fig2 fig3 fig4 fig5 fig6 fig7 fig9 figheader ablation | all]
+//	experiments [-seed N] [-trials N] [-quick] [fig2 fig3 fig4 fig5 fig6 fig7 fig9 figheader ablation pool | all]
 package main
 
 import (
@@ -46,15 +46,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ngstCfg := sweep.DefaultNGSTConfig()
 	otisCfg := sweep.DefaultOTISSweepConfig()
 	hdrCfg := sweep.DefaultHeaderConfig()
+	poolCfg := sweep.DefaultPoolSweepConfig()
 	if *quick {
 		ngstCfg.Trials = 10
 		otisCfg.Trials = 1
 		hdrCfg.Trials = 50
+		poolCfg.Trials = 2
 	}
 	if *trials > 0 {
 		ngstCfg.Trials = *trials
 		otisCfg.Trials = *trials
 		hdrCfg.Trials = *trials
+		poolCfg.Trials = *trials
 	}
 	var reg *telemetry.Registry
 	if *showMetrics || *traceOut != "" {
@@ -62,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ngstCfg.Telemetry = reg
 		otisCfg.Telemetry = reg
 		hdrCfg.Telemetry = reg
+		poolCfg.Telemetry = reg
 	}
 
 	emit := func(res *sweep.Result, err error) bool {
@@ -117,6 +121,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if all || want["figheader"] {
 		ok = emit(sweep.FigHeader(hdrCfg, *seed)) && ok
+	}
+	if all || want["pool"] {
+		ok = emit(sweep.FigPool(poolCfg, *seed)) && ok
 	}
 	if all || want["ablation"] {
 		ok = emit(sweep.AblationVoting(ngstCfg, *seed)) && ok

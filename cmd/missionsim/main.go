@@ -28,6 +28,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("missionsim", flag.ContinueOnError)
 	baselines := fs.Int("baselines", 3, "number of observation baselines")
+	concurrency := fs.Int("concurrency", 0, "baselines in flight at once through the shared pool (0 = auto)")
 	memRate := fs.Float64("memory-rate", 0.005, "per-bit flip probability in data memory")
 	hdrRate := fs.Float64("header-rate", 0.0002, "per-bit flip probability in FITS headers")
 	lambda := fs.Int("sensitivity", 80, "preprocessing sensitivity (negative disables preprocessing)")
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 
 	cfg := mission.DefaultConfig(workDir)
 	cfg.Baselines = *baselines
+	cfg.Concurrency = *concurrency
 	cfg.MemoryRate = *memRate
 	cfg.HeaderRate = *hdrRate
 	cfg.Seed = *seed

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -79,16 +80,36 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "preprocessing: disabled")
 	}
 
-	buildWorkers := func(p spaceproc.SeriesPreprocessor) ([]spaceproc.Worker, func(), error) {
-		ws := make([]spaceproc.Worker, *workers)
-		var cleanups []func()
-		for i := range ws {
+	// buildPool assembles a worker pool; instrument wires the flight
+	// pool's logging and telemetry (the reference pool stays dark so
+	// pipeline_* metrics count only the measured path). The returned
+	// cleanup closes the pool before its TCP endpoints.
+	buildPool := func(p spaceproc.SeriesPreprocessor, instrument bool) (*spaceproc.WorkerPool, func(), error) {
+		popts := []spaceproc.WorkerPoolOption{spaceproc.WithPoolTileSize(*tile)}
+		if instrument {
+			popts = append(popts, spaceproc.WithPoolLogger(logger))
+			if reg != nil {
+				popts = append(popts, spaceproc.WithPoolTelemetry(reg))
+			}
+		}
+		pool, err := spaceproc.NewWorkerPool(popts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanups := []func(){pool.Close}
+		cleanup := func() {
+			for _, c := range cleanups {
+				c()
+			}
+		}
+		for i := 0; i < *workers; i++ {
 			lw, err := spaceproc.NewLocalWorker(p, spaceproc.DefaultCRConfig())
 			if err != nil {
+				cleanup()
 				return nil, nil, err
 			}
 			if !*tcp {
-				ws[i] = lw
+				pool.AddWorker(lw)
 				continue
 			}
 			srvOpts := []spaceproc.WorkerServerOption{spaceproc.WithWorkerServerLogger(logger)}
@@ -98,62 +119,48 @@ func run(args []string, out io.Writer) error {
 			srv := spaceproc.NewWorkerServer(lw, srvOpts...)
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
+				cleanup()
 				return nil, nil, err
 			}
 			rw, err := spaceproc.DialWorker(addr)
 			if err != nil {
 				srv.Close()
+				cleanup()
 				return nil, nil, err
 			}
-			ws[i] = rw
+			pool.AddWorker(rw)
 			cleanups = append(cleanups, func() { rw.Close(); srv.Close() })
 		}
-		return ws, func() {
-			for _, c := range cleanups {
-				c()
-			}
-		}, nil
+		return pool, cleanup, nil
 	}
 
-	// Reference: fault-free raw data through the plain pipeline.
-	refWorkers, cleanupRef, err := buildWorkers(nil)
+	// Reference: fault-free raw data through the plain pipeline. The
+	// submission runs in the background while the faulty run is prepared
+	// and submitted — the two baselines are in flight concurrently.
+	refPool, cleanupRef, err := buildPool(nil, false)
 	if err != nil {
 		return err
 	}
 	defer cleanupRef()
-	refMaster, err := spaceproc.NewMaster(refWorkers, spaceproc.WithTileSize(*tile))
-	if err != nil {
-		return err
-	}
-	ideal, err := refMaster.Run(scene.Observed)
-	if err != nil {
-		return err
-	}
+	refCh := refPool.Submit(context.Background(), scene.Observed)
 
 	// Faulty run: bit flips in the raw readouts while in memory.
 	faulty := scene.Observed.Clone()
 	flips := spaceproc.Uncorrelated{Gamma0: *gamma0}.InjectStack(faulty, spaceproc.NewRNGStream(*seed, 99))
 	fmt.Fprintf(out, "injected %d bit flips at Gamma0 = %.4f\n", flips, *gamma0)
 
-	mainWorkers, cleanupMain, err := buildWorkers(pre)
+	mainPool, cleanupMain, err := buildPool(pre, true)
 	if err != nil {
 		return err
 	}
 	defer cleanupMain()
-	masterOpts := []spaceproc.MasterOption{
-		spaceproc.WithTileSize(*tile),
-		spaceproc.WithMasterLogger(logger),
+	res := <-mainPool.Submit(context.Background(), faulty)
+	if res.Err != nil {
+		return res.Err
 	}
-	if reg != nil {
-		masterOpts = append(masterOpts, spaceproc.WithTelemetry(reg))
-	}
-	master, err := spaceproc.NewMaster(mainWorkers, masterOpts...)
-	if err != nil {
-		return err
-	}
-	res, err := master.Run(faulty)
-	if err != nil {
-		return err
+	ideal := <-refCh
+	if ideal.Err != nil {
+		return ideal.Err
 	}
 
 	psi := relErr(res.Image.Pix, ideal.Image.Pix)

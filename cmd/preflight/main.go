@@ -8,9 +8,11 @@
 //	preflight inject -in a.fits -out b.fits [-gamma0 P] [-header-only]
 //	preflight check -in file.fits [-expect WxH] [-repair -out fixed.fits]
 //	preflight clean -in a.fits -out b.fits [-sensitivity L]
+//	preflight pipeline -in baselinedir -out image.fits [-workers N -tile N -sensitivity L]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +45,8 @@ func run(args []string, out io.Writer) error {
 		return checkCmd(args[1:], out)
 	case "clean":
 		return cleanCmd(args[1:], out)
+	case "pipeline":
+		return pipelineCmd(args[1:], out)
 	case "sum":
 		return sumCmd(args[1:], out)
 	case "verify":
@@ -220,6 +224,64 @@ func checkCmd(args []string, w io.Writer) error {
 	if rep.Fatal {
 		return errors.New("header is not repairable")
 	}
+	return nil
+}
+
+// pipelineCmd runs a stored baseline through the worker pool: load the
+// FITS stack under the sanity layer, preprocess + CR-reject + compress it
+// over N pooled workers, and write the integrated image.
+func pipelineCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
+	in := fs.String("in", "", "input baseline directory (one FITS frame per readout)")
+	out := fs.String("out", "", "output FITS path for the integrated image")
+	workers := fs.Int("workers", 4, "worker count")
+	tile := fs.Int("tile", spaceproc.TileSize, "fragment edge length")
+	lambda := fs.Int("sensitivity", 80, "preprocessing sensitivity Lambda (negative disables preprocessing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return errors.New("pipeline: -in and -out are required")
+	}
+	stack, loadRep, err := spaceproc.LoadBaseline(*in)
+	if err != nil {
+		return err
+	}
+	spaceproc.InterpolateLostFrames(stack, loadRep.Unrecoverable)
+	fmt.Fprintf(w, "loaded %s: %d frames, %d header issue(s), %d repaired, %d frame(s) interpolated\n",
+		*in, stack.Len(), loadRep.HeaderIssues, loadRep.HeaderRepairs, len(loadRep.Unrecoverable))
+
+	var pre spaceproc.SeriesPreprocessor
+	if *lambda >= 0 {
+		a, err := spaceproc.NewAlgoNGST(spaceproc.NGSTConfig{Upsilon: 4, Sensitivity: *lambda})
+		if err != nil {
+			return err
+		}
+		pre = a
+	}
+	pool, err := spaceproc.NewWorkerPool(spaceproc.WithPoolTileSize(*tile))
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	for i := 0; i < *workers; i++ {
+		lw, err := spaceproc.NewLocalWorker(pre, spaceproc.DefaultCRConfig())
+		if err != nil {
+			return err
+		}
+		pool.AddWorker(lw)
+	}
+	res := <-pool.Submit(context.Background(), stack)
+	if res.Err != nil {
+		return res.Err
+	}
+	if err := os.WriteFile(*out, spaceproc.EncodeFITSImage(res.Image), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pipeline: %d cosmic-ray pixels hit, %d steps removed, %d pixels corrected\n",
+		res.Stats.Hits, res.Stats.Steps, res.PreStats.Corrected)
+	fmt.Fprintf(w, "wrote %s (%d bytes; downlink %d bytes, ratio %.2f:1)\n",
+		*out, len(spaceproc.EncodeFITSImage(res.Image)), len(res.Compressed), res.CompressionRatio())
 	return nil
 }
 

@@ -3,9 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"log/slog"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"spaceproc/internal/core"
@@ -134,23 +132,6 @@ func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveWorker, error) {
 		w.tilesSeen = cfg.Telemetry.Counter("adaptive_tiles_total")
 	}
 	return w, nil
-}
-
-// adaptiveDeprecationOnce gates the NewAdaptiveWorker warning to one line
-// per process, however many workers a caller constructs.
-var adaptiveDeprecationOnce sync.Once
-
-// NewAdaptiveWorker builds a worker with the given per-tile budget, in the
-// cost model's units. The first call logs a WARN pointing at the
-// replacement.
-//
-// Deprecated: use NewAdaptive with an AdaptiveConfig; the positional
-// arguments predate the config-struct convention of the core algorithms.
-func NewAdaptiveWorker(model CostModel, upsilon int, budget float64, rejCfg crreject.Config) (*AdaptiveWorker, error) {
-	adaptiveDeprecationOnce.Do(func() {
-		slog.Warn("cluster.NewAdaptiveWorker is deprecated: use cluster.NewAdaptive with an AdaptiveConfig")
-	})
-	return NewAdaptive(AdaptiveConfig{Model: model, Upsilon: upsilon, Budget: budget, Rejection: rejCfg})
 }
 
 // LastLambda returns the sensitivity used for the most recent tile.

@@ -2,8 +2,6 @@ package cluster
 
 import (
 	"context"
-	"log/slog"
-	"strings"
 	"testing"
 
 	"spaceproc/internal/crreject"
@@ -134,24 +132,31 @@ func TestAdaptiveWorkerErrors(t *testing.T) {
 	}
 }
 
-// TestNewAdaptiveWorkerDeprecationWarns pins the compatibility shim: it
-// still builds a working worker and logs exactly one WARN per process,
-// however many times it is called.
-func TestNewAdaptiveWorkerDeprecationWarns(t *testing.T) {
-	var buf strings.Builder
-	prev := slog.Default()
-	slog.SetDefault(slog.New(slog.NewTextHandler(&buf, nil)))
-	defer slog.SetDefault(prev)
-
-	for i := 0; i < 3; i++ {
-		if _, err := NewAdaptiveWorker(testModel(), 4, 1, crreject.DefaultConfig()); err != nil {
-			t.Fatal(err)
-		}
+// TestAdaptiveConfigConstruction pins the AdaptiveConfig path that replaced
+// the removed positional NewAdaptiveWorker shim: a config assembled field by
+// field builds a working worker equivalent to the old positional call.
+func TestAdaptiveConfigConstruction(t *testing.T) {
+	w, err := NewAdaptive(AdaptiveConfig{
+		Model:     testModel(),
+		Upsilon:   4,
+		Budget:    1,
+		Rejection: crreject.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if n := strings.Count(buf.String(), "NewAdaptiveWorker is deprecated"); n != 1 {
-		t.Fatalf("want exactly one deprecation WARN, got %d:\n%s", n, buf.String())
+	st, err := synth.GaussianStack(synth.SeriesConfig{N: 16, Initial: 20000, Sigma: 100}, 8, 8, 2000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "AdaptiveConfig") {
-		t.Fatalf("warning should point at AdaptiveConfig:\n%s", buf.String())
+	tiles, err := dataset.Fragment(st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ProcessTile(context.Background(), cloneTile(tiles[0])); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastLambda() != 0 {
+		t.Fatalf("budget 1 used Lambda %d, want 0", w.LastLambda())
 	}
 }

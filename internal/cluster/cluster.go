@@ -7,29 +7,30 @@
 //
 // Two transports are provided: an in-process pool (goroutines) and a
 // TCP/gob transport (see transport.go) standing in for the Myrinet
-// interconnect. The master tolerates worker failures by re-queueing a
-// failed tile onto another worker, bounded by a retry budget.
+// interconnect. Scheduling lives in the long-lived Pool (see pool.go):
+// workers join and leave at runtime, a circuit breaker quarantines nodes
+// that keep failing, and a bounded shared queue pipelines many baselines
+// concurrently. Master remains as a thin per-baseline client of a Pool
+// for the classic one-baseline-at-a-time call sites.
 //
-// The pipeline is observable: pass WithTelemetry to NewMaster and the
-// master records per-tile dispatch/process/retry/blit spans, per-worker
-// latency histograms and stage counters into the registry (see
-// internal/telemetry). Without a registry the instrumentation compiles
-// down to nil checks on the hot path.
+// The pipeline is observable: pass WithTelemetry to NewMaster (or
+// WithPoolTelemetry to NewPool) and it records per-tile
+// dispatch/process/retry/blit spans, per-worker latency histograms keyed
+// by stable worker ID, scheduler health gauges and stage counters into
+// the registry (see internal/telemetry). Without a registry the
+// instrumentation compiles down to nil checks on the hot path.
 package cluster
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"log/slog"
 	"runtime"
 	"sync"
-	"time"
 
 	"spaceproc/internal/core"
 	"spaceproc/internal/crreject"
 	"spaceproc/internal/dataset"
-	"spaceproc/internal/rice"
 	"spaceproc/internal/telemetry"
 )
 
@@ -266,8 +267,14 @@ type Result struct {
 	// PreStats aggregates preprocessing telemetry over all tiles.
 	PreStats core.VoteStats
 	// Retries counts tiles that had to be reassigned after a worker
-	// failure.
+	// failure (only charged failures; tiles drained off a quarantined
+	// worker while healthy peers remained are not counted).
 	Retries int
+	// Err is set when the baseline failed (fragmentation error, joined
+	// permanent tile failures, cancellation, or pool shutdown); the other
+	// fields are zero. Pool.Submit delivers failed runs this way so one
+	// channel carries both outcomes; Master.RunContext unwraps it.
+	Err error
 }
 
 // CompressionRatio returns input bytes over downlink bytes.
@@ -278,33 +285,16 @@ func (r *Result) CompressionRatio() float64 {
 	return float64(2*len(r.Image.Pix)) / float64(len(r.Compressed))
 }
 
-// Master coordinates the pipeline.
+// Master is the classic per-baseline front end, kept as a thin client of
+// a Pool it owns: NewMaster admits the workers into a private pool and
+// Run/RunContext submit one baseline and wait. New code that wants
+// concurrent baselines, membership churn or health-gated scheduling
+// should construct a Pool directly.
 type Master struct {
-	workers  []Worker
-	tileSize int
-	retries  int
-	tel      *telemetry.Registry
-	met      *masterMetrics
-	tracer   *telemetry.Tracer
-	log      *slog.Logger
+	pool *Pool
 }
 
-// masterMetrics holds the master's registry handles, resolved once at
-// construction so the per-tile path never touches the registry maps.
-type masterMetrics struct {
-	runs         *telemetry.Counter
-	tiles        *telemetry.Counter
-	completed    *telemetry.Counter
-	retried      *telemetry.Counter
-	failed       *telemetry.Counter
-	bytesOut     *telemetry.Counter
-	dispatchWait *telemetry.Histogram
-	tileProcess  *telemetry.Histogram
-	run          *telemetry.Histogram
-	perWorker    []*telemetry.Histogram
-}
-
-// Span stages recorded by the master; tests and dashboards key on these.
+// Span stages recorded by the pipeline; tests and dashboards key on these.
 const (
 	StageFragment = "fragment"
 	StageDispatch = "dispatch"
@@ -315,84 +305,83 @@ const (
 	StageRun      = "run"
 )
 
+// masterConfig collects the MasterOption knobs before they translate into
+// PoolOptions.
+type masterConfig struct {
+	tileSize int
+	retries  int
+	tel      *telemetry.Registry
+	log      *slog.Logger
+}
+
 // MasterOption configures a Master.
-type MasterOption func(*Master)
+type MasterOption func(*masterConfig)
 
 // WithTileSize overrides the 128x128 fragment size.
 func WithTileSize(n int) MasterOption {
-	return func(m *Master) { m.tileSize = n }
+	return func(c *masterConfig) { c.tileSize = n }
 }
 
 // WithRetries sets how many times a tile may be reassigned after worker
 // failures before the baseline is abandoned.
 func WithRetries(n int) MasterOption {
-	return func(m *Master) { m.retries = n }
+	return func(c *masterConfig) { c.retries = n }
 }
 
-// WithTelemetry wires the master's instrumentation into reg: per-tile
+// WithTelemetry wires the pipeline's instrumentation into reg: per-tile
 // dispatch/process/retry/blit spans, per-worker process-latency histograms
-// (pipeline_worker_NN_process), pipeline_* counters, and distributed trace
-// events into the registry's Tracer (every dispatch, process, retry and
-// deadline expiry becomes a TraceEvent parented under the run's trace).
+// keyed by stable worker ID (pipeline_worker_<id>_process), pipeline_*
+// counters, pool health gauges, and distributed trace events into the
+// registry's Tracer (every dispatch, process, retry and deadline expiry
+// becomes a TraceEvent parented under the run's trace).
 func WithTelemetry(reg *telemetry.Registry) MasterOption {
-	return func(m *Master) { m.tel = reg }
+	return func(c *masterConfig) { c.tel = reg }
 }
 
-// WithLogger routes the master's fault forensics — WARN on every tile
+// WithLogger routes the pipeline's fault forensics — WARN on every tile
 // retry, ERROR on permanent tile failure — into l, trace-stamped when l's
 // handler is telemetry-aware (see telemetry.NewLogHandler). Without it the
 // master stays silent, as before.
 func WithLogger(l *slog.Logger) MasterOption {
-	return func(m *Master) { m.log = l }
+	return func(c *masterConfig) { c.log = l }
 }
 
-// NewMaster builds a master over the given workers.
+// NewMaster builds a master over the given workers: a compatibility
+// constructor that admits the slice into a private Pool.
 func NewMaster(workers []Worker, opts ...MasterOption) (*Master, error) {
 	if len(workers) == 0 {
 		return nil, errors.New("cluster: no workers")
 	}
-	m := &Master{workers: workers, tileSize: dataset.TileSize, retries: 2}
+	cfg := masterConfig{tileSize: dataset.TileSize, retries: 2}
 	for _, o := range opts {
-		o(m)
+		o(&cfg)
 	}
-	if m.tileSize <= 0 {
-		return nil, fmt.Errorf("cluster: tile size %d must be positive", m.tileSize)
+	popts := []PoolOption{WithPoolTileSize(cfg.tileSize), WithPoolRetries(cfg.retries)}
+	if cfg.tel != nil {
+		popts = append(popts, WithPoolTelemetry(cfg.tel))
 	}
-	if m.tel != nil {
-		met := &masterMetrics{
-			runs:         m.tel.Counter("pipeline_runs_total"),
-			tiles:        m.tel.Counter("pipeline_tiles_total"),
-			completed:    m.tel.Counter("pipeline_tiles_completed_total"),
-			retried:      m.tel.Counter("pipeline_tile_retries_total"),
-			failed:       m.tel.Counter("pipeline_tile_failures_total"),
-			bytesOut:     m.tel.Counter("pipeline_bytes_compressed_total"),
-			dispatchWait: m.tel.Histogram("pipeline_dispatch_wait"),
-			tileProcess:  m.tel.Histogram("pipeline_tile_process"),
-			run:          m.tel.Histogram("pipeline_run"),
-			perWorker:    make([]*telemetry.Histogram, len(workers)),
-		}
-		for i := range workers {
-			met.perWorker[i] = m.tel.Histogram(fmt.Sprintf("pipeline_worker_%02d_process", i))
-		}
-		m.tel.Gauge("pipeline_workers").Set(float64(len(workers)))
-		m.met = met
-		m.tracer = m.tel.Tracer()
-		m.tracer.SetProc("master")
+	if cfg.log != nil {
+		popts = append(popts, WithPoolLogger(cfg.log))
 	}
-	return m, nil
+	pool, err := NewPool(popts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workers {
+		pool.AddWorker(w)
+	}
+	return &Master{pool: pool}, nil
 }
 
-// job is one unit of work with its retry budget.
-type job struct {
-	tile     dataset.Tile
-	retries  int
-	enqueued time.Time // zero unless telemetry is enabled
-	// origin is the trace context of the tile's first dispatch, so every
-	// requeue, retry and deadline expiry parents under the dispatch that
-	// started the tile's story. Invalid until the first dispatch (and
-	// always, when tracing is off).
-	origin telemetry.TraceContext
-}
+// Pool exposes the master's underlying pool, for callers that start from
+// the compatibility constructor and then want dynamic membership or
+// concurrent submissions.
+func (m *Master) Pool() *Pool { return m.pool }
+
+// Close shuts down the master's pool and its worker runners. Masters used
+// for a whole process lifetime (the common test and cmd pattern) may skip
+// it; the runners park idle.
+func (m *Master) Close() { m.pool.Close() }
 
 // Run executes the pipeline on one baseline stack.
 func (m *Master) Run(s *dataset.Stack) (*Result, error) {
@@ -403,272 +392,11 @@ func (m *Master) Run(s *dataset.Stack) (*Result, error) {
 // tiles finish but no new tiles are dispatched, and the context's error is
 // returned.
 func (m *Master) RunContext(ctx context.Context, s *dataset.Stack) (*Result, error) {
-	runSpan := m.tel.StartSpan(StageRun, "baseline")
-	// Continue the caller's trace (the mission layer mints one per
-	// baseline) or open a fresh root when this run is the outermost traced
-	// unit. runTrace parents every tile's first dispatch.
-	var runTrace telemetry.TraceContext
-	var runTSpan *telemetry.TraceSpan
-	if m.tracer != nil {
-		if parent, ok := telemetry.TraceFromContext(ctx); ok {
-			runTSpan = m.tracer.StartSpan(parent, StageRun, "baseline")
-		} else {
-			runTSpan = m.tracer.StartTrace(StageRun, "baseline")
-		}
-		runTrace = runTSpan.Context()
-		ctx = telemetry.ContextWithTrace(ctx, m.tracer, runTrace)
+	res := <-m.pool.Submit(ctx, s)
+	if res.Err != nil {
+		return nil, res.Err
 	}
-	// The run spans must end on EVERY exit path — the Fragment error and
-	// ctx-cancellation returns included. An unterminated TraceSpan is
-	// never recorded, which corrupts the Chrome trace export (children
-	// reference a parent that does not exist) and silently under-counts
-	// the run stage, while an unterminated metrics span pins its ring
-	// slot. The deferred end is idempotent-by-construction: it is the
-	// only place the run spans are ended.
-	defer func() {
-		if m.met != nil {
-			runSpan.EndTo(m.met.run)
-		} else {
-			runSpan.End()
-		}
-		runTSpan.End()
-	}()
-	fragSpan := m.tel.StartSpan(StageFragment, "baseline")
-	fragTSpan := m.tracer.StartSpan(runTrace, StageFragment, "baseline")
-	tiles, err := dataset.Fragment(s, m.tileSize)
-	// End the fragment spans before the error check so the failed
-	// fragmentation itself is visible in the trace.
-	fragSpan.End()
-	fragTSpan.End()
-	if err != nil {
-		return nil, err
-	}
-
-	jobs := make(chan job, len(tiles))
-	now := time.Time{}
-	if m.met != nil {
-		now = time.Now()
-		m.met.runs.Inc()
-		m.met.tiles.Add(int64(len(tiles)))
-	}
-	for _, t := range tiles {
-		jobs <- job{tile: t, enqueued: now}
-	}
-	results := make(chan TileResult, len(tiles))
-	failures := make(chan error, len(tiles))
-	retried := make(chan struct{}, len(tiles)*(m.retries+1))
-
-	var pending sync.WaitGroup
-	pending.Add(len(tiles))
-	done := make(chan struct{})
-	go func() {
-		pending.Wait()
-		close(done)
-	}()
-
-	var wg sync.WaitGroup
-	for wi, w := range m.workers {
-		wg.Add(1)
-		go func(wi int, w Worker) {
-			defer wg.Done()
-			for {
-				select {
-				case <-done:
-					return
-				case <-ctx.Done():
-					return
-				case j := <-jobs:
-					m.processJob(ctx, wi, w, j, runTrace, jobs, results, failures, retried, &pending)
-				}
-			}
-		}(wi, w)
-	}
-
-	select {
-	case <-done:
-	case <-ctx.Done():
-		// Let in-flight tiles finish, then account for the queued jobs so
-		// the pending watcher goroutine does not leak.
-		wg.Wait()
-		for {
-			select {
-			case <-jobs:
-				pending.Done()
-			default:
-				<-done
-				return nil, ctx.Err()
-			}
-		}
-	}
-	close(results)
-	close(failures)
-	close(retried)
-	wg.Wait()
-
-	// Aggregate every permanent tile failure, not just the first: a
-	// multi-tile outage reads very differently from a single bad segment.
-	var errs []error
-	for err := range failures {
-		errs = append(errs, err)
-	}
-	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
-	}
-
-	out := &Result{Image: dataset.NewImage(s.Width(), s.Height())}
-	for range retried {
-		out.Retries++
-	}
-	count := 0
-	for res := range results {
-		blitSpan := m.tel.StartSpan(StageBlit, fmt.Sprintf("tile_%d", res.Index))
-		blit(out.Image, res)
-		blitSpan.End()
-		out.Stats.Hits += res.Stats.Hits
-		out.Stats.Steps += res.Stats.Steps
-		out.PreStats.Add(res.PreStats)
-		count++
-	}
-	if count != len(tiles) {
-		return nil, fmt.Errorf("cluster: reassembled %d of %d tiles", count, len(tiles))
-	}
-	compSpan := m.tel.StartSpan(StageCompress, "baseline")
-	compTSpan := m.tracer.StartSpan(runTrace, StageCompress, "baseline")
-	out.Compressed = rice.Encode(out.Image.Pix)
-	compSpan.End()
-	compTSpan.End()
-	if m.met != nil {
-		m.met.bytesOut.Add(int64(len(out.Compressed)))
-	}
-	return out, nil
-}
-
-// processJob runs one tile on one worker, recording telemetry and routing
-// the outcome to the results, retry or failure channels. pending.Done
-// accounting stays with the master loop: a job leaves the pending set only
-// when it succeeds or fails permanently.
-//
-// Trace shape per attempt: a dispatch span (queue wait) parented under the
-// tile's originating dispatch (or the run root on the first attempt), a
-// process span under the dispatch, and — on the error paths — retry or
-// deadline events under the same dispatch. The process span's context
-// rides the worker ctx, so a remote slave's serve span continues the trace
-// across the wire.
-func (m *Master) processJob(ctx context.Context, wi int, w Worker, j job,
-	runTrace telemetry.TraceContext,
-	jobs chan job, results chan TileResult, failures chan error, retried chan struct{},
-	pending *sync.WaitGroup) {
-
-	var label string
-	var start time.Time
-	var dispatchTC telemetry.TraceContext
-	if m.met != nil {
-		label = fmt.Sprintf("tile_%d", j.tile.Index)
-		if m.tracer != nil {
-			parent := j.origin
-			if !parent.Valid() {
-				parent = runTrace
-			}
-			dispatchTC = telemetry.TraceContext{TraceID: parent.TraceID, SpanID: telemetry.NewSpanID()}
-			if !j.enqueued.IsZero() {
-				m.tracer.Record(telemetry.TraceEvent{
-					TraceID: dispatchTC.TraceID, SpanID: dispatchTC.SpanID, ParentID: parent.SpanID,
-					Stage: StageDispatch, Label: label, TID: int64(wi + 1),
-					Start: j.enqueued, Dur: time.Since(j.enqueued),
-					Args: map[string]string{"attempt": fmt.Sprint(j.retries)},
-				})
-			}
-			if !j.origin.Valid() {
-				j.origin = dispatchTC
-			}
-			procTC := telemetry.TraceContext{TraceID: dispatchTC.TraceID, SpanID: telemetry.NewSpanID()}
-			ctx = telemetry.ContextWithTrace(ctx, m.tracer, procTC)
-		}
-		if !j.enqueued.IsZero() {
-			wait := time.Since(j.enqueued)
-			m.tel.RecordSpan(StageDispatch, label, j.enqueued, wait)
-			m.met.dispatchWait.Observe(wait)
-		}
-		start = time.Now()
-	}
-	res, err := w.ProcessTile(ctx, cloneTile(j.tile))
-	if m.met != nil {
-		d := time.Since(start)
-		m.tel.RecordSpan(StageProcess, label, start, d)
-		m.met.tileProcess.Observe(d)
-		m.met.perWorker[wi].Observe(d)
-		if m.tracer != nil {
-			ev := telemetry.TraceEvent{
-				TraceID: dispatchTC.TraceID, ParentID: dispatchTC.SpanID,
-				Stage: StageProcess, Label: label, TID: int64(wi + 1),
-				Start: start, Dur: d,
-			}
-			if tc, ok := telemetry.TraceFromContext(ctx); ok {
-				ev.SpanID = tc.SpanID
-			}
-			if err != nil {
-				ev.Args = map[string]string{"error": err.Error()}
-			}
-			m.tracer.Record(ev)
-		}
-	}
-	if err != nil {
-		// A cancelled run is not a worker fault; leave the job queued and
-		// let the master's ctx branch drain (and account for) it.
-		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-			if m.tracer != nil && errors.Is(err, context.DeadlineExceeded) {
-				m.tracer.Record(telemetry.TraceEvent{
-					TraceID: dispatchTC.TraceID, SpanID: telemetry.NewSpanID(), ParentID: dispatchTC.SpanID,
-					Stage: "deadline", Label: label, TID: int64(wi + 1),
-					Start: start, Dur: time.Since(start),
-				})
-			}
-			jobs <- j
-			return
-		}
-		if j.retries < m.retries {
-			if m.met != nil {
-				m.met.retried.Inc()
-				m.tel.RecordSpan(StageRetry, label, start, time.Since(start))
-			}
-			if m.tracer != nil {
-				m.tracer.Record(telemetry.TraceEvent{
-					TraceID: dispatchTC.TraceID, SpanID: telemetry.NewSpanID(), ParentID: dispatchTC.SpanID,
-					Stage: StageRetry, Label: label, TID: int64(wi + 1),
-					Start: start, Dur: time.Since(start),
-					Args: map[string]string{"attempt": fmt.Sprint(j.retries), "error": err.Error()},
-				})
-			}
-			if m.log != nil {
-				m.log.LogAttrs(ctx, slog.LevelWarn, "tile retry",
-					slog.Int("tile", j.tile.Index),
-					slog.Int("attempt", j.retries+1),
-					slog.Int("worker", wi),
-					slog.String("error", err.Error()))
-			}
-			retried <- struct{}{}
-			jobs <- job{tile: j.tile, retries: j.retries + 1, enqueued: enqueueTime(m.met), origin: j.origin}
-			return
-		}
-		if m.met != nil {
-			m.met.failed.Inc()
-		}
-		if m.log != nil {
-			m.log.LogAttrs(ctx, slog.LevelError, "tile failed permanently",
-				slog.Int("tile", j.tile.Index),
-				slog.Int("attempts", j.retries+1),
-				slog.Int("worker", wi),
-				slog.String("error", err.Error()))
-		}
-		failures <- fmt.Errorf("cluster: tile %d failed permanently: %w", j.tile.Index, err)
-		pending.Done()
-		return
-	}
-	if m.met != nil {
-		m.met.completed.Inc()
-	}
-	results <- res
-	pending.Done()
+	return res, nil
 }
 
 // blit copies a tile image into the frame.
@@ -683,11 +411,4 @@ func blit(dst *dataset.Image, res TileResult) {
 // stack.
 func cloneTile(t dataset.Tile) dataset.Tile {
 	return dataset.Tile{Index: t.Index, X0: t.X0, Y0: t.Y0, Stack: t.Stack.Clone()}
-}
-
-func enqueueTime(met *masterMetrics) time.Time {
-	if met == nil {
-		return time.Time{}
-	}
-	return time.Now()
 }

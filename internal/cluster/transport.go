@@ -281,9 +281,22 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// RemoteWorker is the master-side proxy for a slave node.
+// Reconnect defaults for RemoteWorker; override with WithDialBackoff.
+const (
+	DefaultDialAttempts = 3
+	DefaultDialBackoff  = 20 * time.Millisecond
+)
+
+// RemoteWorker is the master-side proxy for a slave node. A lost
+// connection is re-dialed with bounded exponential backoff on the next
+// call, so a slave that restarts (same address, new process) rejoins
+// without the pool ever dropping the proxy. Mid-exchange transport errors
+// still surface immediately — the call stays at-most-once and the pool's
+// retry/breaker logic owns redelivery.
 type RemoteWorker struct {
-	addr string
+	addr         string
+	dialAttempts int
+	dialBackoff  time.Duration
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -293,24 +306,64 @@ type RemoteWorker struct {
 
 var _ Worker = (*RemoteWorker)(nil)
 
+// DialOption configures a RemoteWorker.
+type DialOption func(*RemoteWorker)
+
+// WithDialBackoff tunes the reconnect loop: attempts dials per connect,
+// sleeping base (doubling each attempt) between them.
+func WithDialBackoff(attempts int, base time.Duration) DialOption {
+	return func(w *RemoteWorker) {
+		w.dialAttempts = attempts
+		w.dialBackoff = base
+	}
+}
+
 // Dial connects to a slave served by Server.
-func Dial(addr string) (*RemoteWorker, error) {
-	w := &RemoteWorker{addr: addr}
-	if err := w.connect(); err != nil {
+func Dial(addr string, opts ...DialOption) (*RemoteWorker, error) {
+	w := &RemoteWorker{addr: addr, dialAttempts: DefaultDialAttempts, dialBackoff: DefaultDialBackoff}
+	for _, o := range opts {
+		o(w)
+	}
+	if w.dialAttempts <= 0 {
+		w.dialAttempts = 1
+	}
+	if w.dialBackoff <= 0 {
+		w.dialBackoff = DefaultDialBackoff
+	}
+	if err := w.connect(context.Background()); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
-func (w *RemoteWorker) connect() error {
-	conn, err := net.Dial("tcp", w.addr)
-	if err != nil {
-		return fmt.Errorf("cluster: dial %s: %w", w.addr, err)
+// connect dials the slave with bounded exponential backoff, so a worker
+// that is mid-restart when the proxy needs it gets a short grace window
+// instead of an instant failure. Callers hold w.mu.
+func (w *RemoteWorker) connect(ctx context.Context) error {
+	backoff := w.dialBackoff
+	var lastErr error
+	for attempt := 0; attempt < w.dialAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", w.addr)
+		if err == nil {
+			w.conn = conn
+			w.enc = gob.NewEncoder(conn)
+			w.dec = gob.NewDecoder(conn)
+			return nil
+		}
+		lastErr = err
 	}
-	w.conn = conn
-	w.enc = gob.NewEncoder(conn)
-	w.dec = gob.NewDecoder(conn)
-	return nil
+	return fmt.Errorf("cluster: dial %s (%d attempts): %w", w.addr, w.dialAttempts, lastErr)
 }
 
 // ProcessTile implements Worker by round-tripping the tile to the slave.
@@ -325,7 +378,7 @@ func (w *RemoteWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileRes
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.conn == nil {
-		if err := w.connect(); err != nil {
+		if err := w.connect(ctx); err != nil {
 			return TileResult{}, err
 		}
 	}

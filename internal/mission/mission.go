@@ -12,6 +12,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"spaceproc/internal/cluster"
 	"spaceproc/internal/core"
@@ -40,6 +41,12 @@ type Config struct {
 	HeaderRate float64
 	// Workers is the pipeline worker count.
 	Workers int
+	// Concurrency bounds how many baselines are in flight at once through
+	// the shared worker pool; 0 selects min(Baselines, 2). The report is
+	// aggregated in baseline order regardless, and every baseline's
+	// synthesis and fault injection derives from its own seed stream, so
+	// campaigns stay deterministic at any concurrency.
+	Concurrency int
 	// TileSize is the fragment edge length.
 	TileSize int
 	// Preprocess configures worker-side input preprocessing; nil
@@ -102,6 +109,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mission: workers must be positive, got %d", c.Workers)
 	case c.TileSize <= 0:
 		return fmt.Errorf("mission: tile size must be positive, got %d", c.TileSize)
+	case c.Concurrency < 0:
+		return fmt.Errorf("mission: concurrency must be non-negative, got %d", c.Concurrency)
 	}
 	if c.Preprocess != nil {
 		if err := c.Preprocess.Validate(); err != nil {
@@ -153,24 +162,51 @@ func Run(cfg Config) (*Report, error) {
 		a.Instrument(cfg.Telemetry)
 		pre = a
 	}
-	master, err := newMaster(pre, cfg.Workers, cfg.TileSize, cfg.Telemetry, cfg.Logger)
+	pool, err := newPool(pre, cfg.Workers, cfg.TileSize, cfg.Telemetry, cfg.Logger)
 	if err != nil {
 		return nil, err
 	}
-	// The reference master is the fault-free comparator; it stays
+	defer pool.Close()
+	// The reference pool is the fault-free comparator; it stays
 	// uninstrumented so pipeline_* metrics count only the flight path.
-	refMaster, err := newMaster(nil, cfg.Workers, cfg.TileSize, nil, nil)
+	// Both pools are built once and shared by every baseline, so worker
+	// scratch stays warm across the campaign.
+	refPool, err := newPool(nil, cfg.Workers, cfg.TileSize, nil, nil)
 	if err != nil {
 		return nil, err
+	}
+	defer refPool.Close()
+
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 2
+	}
+	if conc > cfg.Baselines {
+		conc = cfg.Baselines
+	}
+	results := make([]*BaselineResult, cfg.Baselines)
+	errs := make([]error, cfg.Baselines)
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for b := 0; b < cfg.Baselines; b++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[b], errs[b] = runBaseline(cfg, b, pool, refPool)
+		}(b)
+	}
+	wg.Wait()
+	for b, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mission: baseline %d: %w", b, err)
+		}
 	}
 
 	rep := &Report{}
 	var psiAcc metrics.Accumulator
-	for b := 0; b < cfg.Baselines; b++ {
-		res, err := runBaseline(cfg, b, master, refMaster)
-		if err != nil {
-			return nil, fmt.Errorf("mission: baseline %d: %w", b, err)
-		}
+	for _, res := range results {
 		rep.Baselines = append(rep.Baselines, *res)
 		rep.TotalDownlinkBytes += res.DownlinkBytes
 		psiAcc.Add(res.Psi)
@@ -207,24 +243,32 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func newMaster(pre core.SeriesPreprocessor, workers, tile int, reg *telemetry.Registry, log *slog.Logger) (*cluster.Master, error) {
-	ws := make([]cluster.Worker, workers)
-	for i := range ws {
-		w, err := cluster.NewLocalWorker(pre, crreject.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		ws[i] = w
-	}
-	opts := []cluster.MasterOption{cluster.WithTileSize(tile)}
+func newPool(pre core.SeriesPreprocessor, workers, tile int, reg *telemetry.Registry, log *slog.Logger) (*cluster.Pool, error) {
+	opts := []cluster.PoolOption{cluster.WithPoolTileSize(tile)}
 	if reg != nil {
-		opts = append(opts, cluster.WithTelemetry(reg))
+		opts = append(opts, cluster.WithPoolTelemetry(reg))
 	}
 	if log != nil {
-		opts = append(opts, cluster.WithLogger(log))
+		opts = append(opts, cluster.WithPoolLogger(log))
 	}
-	return cluster.NewMaster(ws, opts...)
+	pool, err := cluster.NewPool(opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		w, err := cluster.NewLocalWorker(pre, crreject.DefaultConfig())
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		pool.AddWorker(w)
+	}
+	return pool, nil
 }
+
+// testHookBaselineStart, when non-nil, observes each baseline's start;
+// the overlap test uses it to prove >1 baseline is in flight at once.
+var testHookBaselineStart func(baseline int)
 
 // stageSpan opens a per-baseline stage span whose duration also feeds the
 // mission_<stage> histogram; the returned func records both. When ctx
@@ -247,7 +291,10 @@ func (c Config) stageSpan(ctx context.Context, stage string, baseline int) func(
 	}
 }
 
-func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*BaselineResult, error) {
+func runBaseline(cfg Config, b int, pool, refPool *cluster.Pool) (*BaselineResult, error) {
+	if testHookBaselineStart != nil {
+		testHookBaselineStart(b)
+	}
 	// Mint the baseline's trace: every stage span, tile dispatch and
 	// worker serve below parents under this root, and every log record
 	// emitted under ctx carries its trace_id.
@@ -266,10 +313,10 @@ func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*Baselin
 		return nil, err
 	}
 	endRef := cfg.stageSpan(ctx, "reference", b)
-	reference, err := refMaster.Run(scene.Observed)
+	reference := <-refPool.Submit(context.Background(), scene.Observed)
 	endRef()
-	if err != nil {
-		return nil, err
+	if reference.Err != nil {
+		return nil, reference.Err
 	}
 
 	// Damage the raw readouts in data memory.
@@ -305,10 +352,10 @@ func runBaseline(cfg Config, b int, master, refMaster *cluster.Master) (*Baselin
 	}
 
 	endPipe := cfg.stageSpan(ctx, "pipeline", b)
-	out, err := master.RunContext(ctx, working)
+	out := <-pool.Submit(ctx, working)
 	endPipe()
-	if err != nil {
-		return nil, err
+	if out.Err != nil {
+		return nil, out.Err
 	}
 	endScore := cfg.stageSpan(ctx, "score", b)
 	result.Psi = metrics.RelativeError16(out.Image.Pix, reference.Image.Pix)

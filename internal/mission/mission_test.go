@@ -4,11 +4,47 @@ import (
 	"fmt"
 	"log/slog"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"spaceproc/internal/core"
 	"spaceproc/internal/telemetry"
 )
+
+// TestCampaignOverlapsBaselines proves mission.Run pipelines baselines
+// through the shared pool concurrently: each starting baseline blocks in
+// the start hook until a second one arrives, so a serial campaign would
+// trip the timeout flag while a concurrent one rendezvouses immediately.
+func TestCampaignOverlapsBaselines(t *testing.T) {
+	var arrived atomic.Int32
+	var timedOut atomic.Bool
+	release := make(chan struct{})
+	testHookBaselineStart = func(int) {
+		if arrived.Add(1) == 2 {
+			close(release)
+		}
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+			timedOut.Store(true)
+		}
+	}
+	defer func() { testHookBaselineStart = nil }()
+
+	cfg := DefaultConfig("")
+	cfg.Baselines = 4
+	cfg.Concurrency = 4
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if timedOut.Load() {
+		t.Fatal("baselines ran serially: no second baseline started while the first waited")
+	}
+	if n := arrived.Load(); n != 4 {
+		t.Fatalf("start hook saw %d baselines, want 4", n)
+	}
+}
 
 func TestCampaignWithPreprocessingBeatsWithout(t *testing.T) {
 	cfg := DefaultConfig(t.TempDir())

@@ -1,6 +1,8 @@
 package spaceproc
 
 import (
+	"time"
+
 	"spaceproc/internal/alft"
 	"spaceproc/internal/cluster"
 	"spaceproc/internal/crreject"
@@ -34,6 +36,25 @@ type (
 	// AdaptiveWorker preprocesses each tile at the highest sensitivity
 	// its compute budget allows (the Section 2.1 slack-CPU idea).
 	AdaptiveWorker = cluster.AdaptiveWorker
+	// WorkerPool owns worker membership, health gating, and the shared
+	// job queue; Masters are thin per-baseline clients of it.
+	WorkerPool = cluster.Pool
+	// WorkerPoolOption configures a WorkerPool.
+	WorkerPoolOption = cluster.PoolOption
+	// WorkerStatus is one worker's membership snapshot (ID, circuit
+	// state, consecutive failures, current backoff).
+	WorkerStatus = cluster.WorkerStatus
+	// WorkerState is a worker's circuit-breaker state.
+	WorkerState = cluster.WorkerState
+	// DialOption configures a RemoteWorker's reconnect behavior.
+	DialOption = cluster.DialOption
+)
+
+// Circuit-breaker states reported by WorkerPool.Workers.
+const (
+	WorkerHealthy     = cluster.WorkerHealthy
+	WorkerQuarantined = cluster.WorkerQuarantined
+	WorkerProbing     = cluster.WorkerProbing
 )
 
 // DefaultWorkers is the paper's 16-processor estimate.
@@ -60,12 +81,23 @@ func WithTileSize(n int) MasterOption { return cluster.WithTileSize(n) }
 // WithRetries bounds tile reassignment after worker failures.
 func WithRetries(n int) MasterOption { return cluster.WithRetries(n) }
 
-// NewAdaptiveWorker builds a budgeted worker over a measured cost model.
-//
-// Deprecated: use NewAdaptive with an AdaptiveConfig (see telemetry.go);
-// the positional arguments predate the config-struct convention.
-func NewAdaptiveWorker(model CostModel, upsilon int, budget float64, rejCfg CRConfig) (*AdaptiveWorker, error) {
-	return cluster.NewAdaptiveWorker(model, upsilon, budget, rejCfg)
+// NewWorkerPool builds a long-lived scheduling pool. Add workers with
+// AddWorker, pipeline baselines with Submit, and Close when done.
+func NewWorkerPool(opts ...WorkerPoolOption) (*WorkerPool, error) { return cluster.NewPool(opts...) }
+
+// WithPoolTileSize overrides the pool's 128x128 fragment size.
+func WithPoolTileSize(n int) WorkerPoolOption { return cluster.WithPoolTileSize(n) }
+
+// WithPoolRetries bounds per-tile reassignment after worker failures.
+func WithPoolRetries(n int) WorkerPoolOption { return cluster.WithPoolRetries(n) }
+
+// WithQueueDepth bounds the shared job queue (Submit blocks when full).
+func WithQueueDepth(n int) WorkerPoolOption { return cluster.WithQueueDepth(n) }
+
+// WithBreaker tunes the per-worker circuit breaker: quarantine after
+// threshold consecutive failures, backing off from base up to max.
+func WithBreaker(threshold int, base, max time.Duration) WorkerPoolOption {
+	return cluster.WithBreaker(threshold, base, max)
 }
 
 // NewWorkerServer exposes a worker over TCP, optionally with telemetry and
@@ -74,8 +106,17 @@ func NewWorkerServer(w Worker, opts ...WorkerServerOption) *WorkerServer {
 	return cluster.NewServer(w, opts...)
 }
 
-// DialWorker connects the master to a TCP worker.
-func DialWorker(addr string) (*RemoteWorker, error) { return cluster.Dial(addr) }
+// DialWorker connects the master to a TCP worker; the proxy re-dials with
+// backoff when the connection drops (see WithDialBackoff).
+func DialWorker(addr string, opts ...DialOption) (*RemoteWorker, error) {
+	return cluster.Dial(addr, opts...)
+}
+
+// WithDialBackoff tunes a RemoteWorker's reconnect loop: attempts dials
+// per connect, sleeping base (doubling each attempt) between them.
+func WithDialBackoff(attempts int, base time.Duration) DialOption {
+	return cluster.WithDialBackoff(attempts, base)
+}
 
 // Cosmic-ray rejection (the NGST application; internal/crreject).
 type (

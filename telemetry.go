@@ -64,6 +64,18 @@ func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() 
 // reg.
 func WithTelemetry(reg *TelemetryRegistry) MasterOption { return cluster.WithTelemetry(reg) }
 
+// WithPoolTelemetry instruments a WorkerPool: everything WithTelemetry
+// records, plus the pool health gauges (pipeline_pool_workers_healthy,
+// pipeline_pool_workers_quarantined, pipeline_pool_queue_depth) and the
+// circuit open/close counters.
+func WithPoolTelemetry(reg *TelemetryRegistry) WorkerPoolOption {
+	return cluster.WithPoolTelemetry(reg)
+}
+
+// WithPoolLogger routes a WorkerPool's retry/quarantine/readmission
+// diagnostics into l.
+func WithPoolLogger(l *slog.Logger) WorkerPoolOption { return cluster.WithPoolLogger(l) }
+
 // WithWorkerServerTelemetry instruments a WorkerServer's request counters
 // and serve latency.
 func WithWorkerServerTelemetry(reg *TelemetryRegistry) WorkerServerOption {
