@@ -5,7 +5,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: check vet staticcheck build test race bench bench-smoke
+.PHONY: check vet staticcheck build test race bench bench-smoke e2e-smoke
 
 check: vet staticcheck build race
 
@@ -44,3 +44,9 @@ bench:
 # upload.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out bench-smoke.json
+
+# e2e-smoke boots the real spaceprocd binary, drives it with loadgen
+# (bit-identical verification on), and SIGTERMs it expecting a clean
+# drain. See scripts/e2e_smoke.sh.
+e2e-smoke:
+	sh scripts/e2e_smoke.sh

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"spaceproc/internal/cmdutil"
 	"spaceproc/internal/telemetry"
 )
 
@@ -29,25 +31,35 @@ type record struct {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		telemetry.NewLogger(os.Stderr, slog.LevelInfo).
 			Error("run failed", "cmd", "benchjson", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, in io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("out", "", "write the JSON array to this file instead of stdout")
 	echo := fs.Bool("echo", true, "echo the raw benchmark text to stdout while parsing")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		cmdutil.PrintVersion(stdout, "benchjson")
+		return nil
 	}
 
 	var recs []record
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
 	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		line := sc.Text()
 		if *echo {
 			fmt.Fprintln(stdout, line)

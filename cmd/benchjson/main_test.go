@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"strings"
@@ -19,7 +20,7 @@ ok      spaceproc       2.1s
 
 func TestParseSample(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-echo=false"}, strings.NewReader(sample), &out); err != nil {
+	if err := run(context.Background(), []string{"-echo=false"}, strings.NewReader(sample), &out); err != nil {
 		t.Fatal(err)
 	}
 	var recs []record
@@ -42,7 +43,7 @@ func TestParseSample(t *testing.T) {
 func TestOutFile(t *testing.T) {
 	path := t.TempDir() + "/bench.json"
 	var out bytes.Buffer
-	if err := run([]string{"-out", path}, strings.NewReader(sample), &out); err != nil {
+	if err := run(context.Background(), []string{"-out", path}, strings.NewReader(sample), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "BenchmarkVote") {
@@ -60,7 +61,7 @@ func TestOutFile(t *testing.T) {
 
 func TestEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-echo=false"}, strings.NewReader("PASS\n"), &out); err != nil {
+	if err := run(context.Background(), []string{"-echo=false"}, strings.NewReader("PASS\n"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.TrimSpace(out.String()); got != "[]" {
@@ -75,4 +76,14 @@ func readFile(t *testing.T, path string) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-version"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "benchjson ") {
+		t.Fatalf("version output %q", out.String())
+	}
 }

@@ -7,21 +7,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
 
+	"spaceproc/internal/cmdutil"
 	"spaceproc/internal/sweep"
 	"spaceproc/internal/telemetry"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 20030622, "experiment seed (default: DSN 2003 conference date)")
 	trials := fs.Int("trials", 0, "override trials per point (0 = per-experiment default)")
@@ -29,8 +33,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	renderDir := fs.String("render-dir", "figures", "output directory for the fig8 PGM gallery")
 	showMetrics := fs.Bool("metrics", false, "print aggregated preprocessing telemetry after the run")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON artifact to this file")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		cmdutil.PrintVersion(stdout, "experiments")
+		return 0
 	}
 	logger := telemetry.NewLogger(stderr, slog.LevelInfo)
 	targets := fs.Args()
@@ -93,46 +102,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return true
 	}
 
+	// A signal between figures aborts the remaining ones; each want[...]
+	// gate below re-checks so the run exits at the next boundary.
+	interrupted := func() bool {
+		if ctx.Err() != nil {
+			logger.Error("interrupted", "err", ctx.Err())
+			return true
+		}
+		return false
+	}
 	ok := true
-	if all || want["fig2"] {
+	if (all || want["fig2"]) && !interrupted() {
 		ok = emit(sweep.Fig2(ngstCfg, *seed)) && ok
 	}
-	if all || want["fig3"] {
+	if (all || want["fig3"]) && !interrupted() {
 		ok = emit(sweep.Fig3(ngstCfg, *seed)) && ok
 	}
-	if all || want["fig4"] {
+	if (all || want["fig4"]) && !interrupted() {
 		ok = emit(sweep.Fig4(ngstCfg, *seed)) && ok
 	}
-	if all || want["fig5"] {
+	if (all || want["fig5"]) && !interrupted() {
 		cfg := ngstCfg
 		if *trials == 0 && !*quick {
 			cfg.Trials = 100 // the paper averages Figure 5 over 100 datasets
 		}
 		ok = emit(sweep.Fig5(cfg, *seed)) && ok
 	}
-	if all || want["fig6"] {
+	if (all || want["fig6"]) && !interrupted() {
 		ok = emitAll(sweep.Fig6(ngstCfg, *seed)) && ok
 	}
-	if all || want["fig7"] {
+	if (all || want["fig7"]) && !interrupted() {
 		ok = emitAll(sweep.Fig7(otisCfg, *seed)) && ok
 	}
-	if all || want["fig9"] {
+	if (all || want["fig9"]) && !interrupted() {
 		ok = emitAll(sweep.Fig9(otisCfg, *seed)) && ok
 	}
-	if all || want["figheader"] {
+	if (all || want["figheader"]) && !interrupted() {
 		ok = emit(sweep.FigHeader(hdrCfg, *seed)) && ok
 	}
-	if all || want["pool"] {
+	if (all || want["pool"]) && !interrupted() {
 		ok = emit(sweep.FigPool(poolCfg, *seed)) && ok
 	}
-	if all || want["ablation"] {
+	if (all || want["ablation"]) && !interrupted() {
 		ok = emit(sweep.AblationVoting(ngstCfg, *seed)) && ok
 		ok = emit(sweep.AblationThresholds(ngstCfg, *seed)) && ok
 		ok = emit(sweep.AblationLayout(ngstCfg, *seed)) && ok
 		ok = emit(sweep.AblationLocality(otisCfg, *seed)) && ok
 		ok = emit(sweep.AblationECC(ngstCfg, *seed)) && ok
 	}
-	if want["fig8"] {
+	if want["fig8"] && !interrupted() {
 		if err := renderGallery(*renderDir, *seed, stdout); err != nil {
 			logger.Error("gallery render failed", "err", err)
 			ok = false
@@ -147,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ok = false
 		}
 	}
-	if !ok {
+	if !ok || ctx.Err() != nil {
 		return 1
 	}
 	return 0

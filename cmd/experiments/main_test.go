@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunQuickFig2(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-quick", "-trials", "3", "fig2"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-quick", "-trials", "3", "fig2"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "# fig2:") {
@@ -19,7 +20,7 @@ func TestRunQuickFig2(t *testing.T) {
 
 func TestRunSelectsOnlyRequested(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-quick", "-trials", "2", "fig4", "figheader"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-quick", "-trials", "2", "fig4", "figheader"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
 	s := out.String()
@@ -34,7 +35,7 @@ func TestRunSelectsOnlyRequested(t *testing.T) {
 func TestRunFig8Gallery(t *testing.T) {
 	dir := t.TempDir()
 	var out, errOut strings.Builder
-	if code := run([]string{"-render-dir", dir, "fig8"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-render-dir", dir, "fig8"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
 	for _, name := range []string{"otis_blob.pgm", "otis_stripe.pgm", "otis_spots.pgm", "ngst_integrated.pgm"} {
@@ -50,17 +51,39 @@ func TestRunFig8Gallery(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code == 0 {
+	if code := run(context.Background(), []string{"-definitely-not-a-flag"}, &out, &errOut); code == 0 {
 		t.Fatal("bad flag should fail")
 	}
 }
 
 func TestRunUnknownTargetIsNoOp(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"nonexistent-figure"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"nonexistent-figure"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if strings.TrimSpace(out.String()) != "" {
 		t.Fatal("unknown target should produce no tables")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "experiments ") {
+		t.Fatalf("version output %q", out.String())
+	}
+}
+
+func TestInterruptedContextSkipsFigures(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	if code := run(ctx, []string{"-quick", "fig2"}, &out, &errOut); code == 0 {
+		t.Fatal("interrupted run should exit non-zero")
+	}
+	if strings.Contains(out.String(), "fig2") {
+		t.Fatalf("figure ran despite cancelled context:\n%s", out.String())
 	}
 }

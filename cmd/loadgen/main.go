@@ -1,0 +1,165 @@
+// Command loadgen drives a spaceprocd daemon: N clients each stream M
+// synthesized, fault-injected baselines and the tool reports throughput,
+// shed/retry counts, and latency quantiles. With -verify every served
+// result is checked bit-identical against an in-process run of the same
+// pipeline (assuming the daemon runs the default preprocessing flags).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spaceproc"
+	"spaceproc/internal/cmdutil"
+)
+
+func main() {
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		spaceproc.NewStructuredLogger(os.Stderr, slog.LevelInfo).
+			Error("run failed", "cmd", "loadgen", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9035", "spaceprocd address")
+	clients := fs.Int("clients", 4, "concurrent client connections")
+	requests := fs.Int("requests", 8, "requests per client")
+	width := fs.Int("width", 128, "frame width")
+	height := fs.Int("height", 128, "frame height")
+	readouts := fs.Int("readouts", 16, "readouts per baseline")
+	gamma0 := fs.Float64("gamma0", 0.01, "memory bit-flip probability")
+	lambda := fs.Int("sensitivity", 80, "daemon's preprocessing sensitivity, for -verify (0: none)")
+	upsilon := fs.Int("upsilon", 4, "daemon's neighbors per pixel, for -verify")
+	seed := fs.Uint64("seed", 1, "synthesis seed")
+	verify := fs.Bool("verify", false, "check served results bit-identical to an in-process run")
+	attempts := fs.Int("attempts", 8, "client retry attempts per request")
+	version := fs.Bool("version", false, "print the build version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		cmdutil.PrintVersion(out, "loadgen")
+		return nil
+	}
+	if *clients <= 0 || *requests <= 0 {
+		return fmt.Errorf("loadgen: clients and requests must be positive")
+	}
+
+	// One synthesized baseline, faulted differently per request, keeps the
+	// generator cheap while every request still exercises repair.
+	cfg := spaceproc.DefaultSceneConfig()
+	cfg.Width, cfg.Height, cfg.Readouts = *width, *height, *readouts
+	scene, err := spaceproc.NewScene(cfg, spaceproc.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+
+	reg := spaceproc.NewTelemetryRegistry()
+	var ok, failed, mismatched atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, *clients)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := spaceproc.DialService(*addr,
+				spaceproc.WithServeClientID(fmt.Sprintf("loadgen-%d", c)),
+				spaceproc.WithServeRetryPolicy(*attempts, 25*time.Millisecond, time.Second),
+				spaceproc.WithServeClientTelemetry(reg),
+			)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer client.Close()
+			for r := 0; r < *requests; r++ {
+				if ctx.Err() != nil {
+					return
+				}
+				faulty := scene.Observed.Clone()
+				stream := spaceproc.NewRNGStream(*seed, uint64(c*(*requests)+r))
+				spaceproc.Uncorrelated{Gamma0: *gamma0}.InjectStack(faulty, stream)
+				res, err := client.Process(ctx, faulty)
+				if err != nil {
+					failed.Add(1)
+					errs[c] = err
+					continue
+				}
+				ok.Add(1)
+				if *verify && !matchesLocal(faulty, res, *lambda, *upsilon) {
+					mismatched.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "loadgen: %d ok, %d failed in %s (%.1f req/s)\n",
+		ok.Load(), failed.Load(), elapsed.Round(time.Millisecond),
+		float64(ok.Load())/elapsed.Seconds())
+	if *verify {
+		fmt.Fprintf(out, "verify: %d mismatched\n", mismatched.Load())
+	}
+	fmt.Fprint(out, reg.Snapshot().Render())
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if mismatched.Load() > 0 {
+		return fmt.Errorf("loadgen: %d served results differ from the in-process pipeline", mismatched.Load())
+	}
+	return nil
+}
+
+// matchesLocal replays the request through the in-process pipeline (same
+// preprocessing, full-frame integration, Rice coding — bit-identical to
+// the daemon's tiled run by the pipeline's per-pixel independence) and
+// compares payloads. The faulty stack is cloned because preprocessing
+// repairs in place.
+func matchesLocal(faulty *spaceproc.Stack, res *spaceproc.ServeResult, lambda, upsilon int) bool {
+	local := faulty.Clone()
+	if lambda > 0 {
+		pre, err := spaceproc.NewAlgoNGST(spaceproc.NGSTConfig{Upsilon: upsilon, Sensitivity: lambda})
+		if err != nil {
+			return false
+		}
+		spaceproc.ProcessStackWith(pre, local)
+	}
+	rej, err := spaceproc.NewCRRejector(spaceproc.DefaultCRConfig())
+	if err != nil {
+		return false
+	}
+	img, _ := rej.Integrate(local)
+	if res.Image == nil || len(img.Pix) != len(res.Image.Pix) {
+		return false
+	}
+	for i := range img.Pix {
+		if img.Pix[i] != res.Image.Pix[i] {
+			return false
+		}
+	}
+	want := spaceproc.RiceEncode(img.Pix)
+	if len(want) != len(res.Compressed) {
+		return false
+	}
+	for i := range want {
+		if want[i] != res.Compressed[i] {
+			return false
+		}
+	}
+	return true
+}

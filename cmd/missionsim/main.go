@@ -6,26 +6,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
 
+	"spaceproc/internal/cmdutil"
 	"spaceproc/internal/core"
 	"spaceproc/internal/mission"
 	"spaceproc/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		telemetry.NewLogger(os.Stderr, slog.LevelInfo).
 			Error("run failed", "cmd", "missionsim", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("missionsim", flag.ContinueOnError)
 	baselines := fs.Int("baselines", 3, "number of observation baselines")
 	concurrency := fs.Int("concurrency", 0, "baselines in flight at once through the shared pool (0 = auto)")
@@ -38,8 +42,13 @@ func run(args []string, out io.Writer) error {
 	showMetrics := fs.Bool("metrics", false, "print the telemetry snapshot after the campaign")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON artifact to this file")
 	forensics := fs.Bool("forensics", false, "log WARN fault-correction forensics per baseline")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		cmdutil.PrintVersion(out, "missionsim")
+		return nil
 	}
 
 	workDir := *dir
@@ -78,7 +87,7 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "campaign: %d baselines, memory Gamma0=%.4f, header Gamma0=%.5f\n",
 		cfg.Baselines, cfg.MemoryRate, cfg.HeaderRate)
-	rep, err := mission.Run(cfg)
+	rep, err := mission.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

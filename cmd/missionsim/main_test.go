@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunCampaign(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-baselines", "2", "-dir", t.TempDir()}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-baselines", "2", "-dir", t.TempDir()}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,14 +21,14 @@ func TestRunCampaign(t *testing.T) {
 
 func TestRunNoPreprocess(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-baselines", "1", "-sensitivity", "-1", "-dir", t.TempDir()}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-baselines", "1", "-sensitivity", "-1", "-dir", t.TempDir()}, &sb); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithPassBudget(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-baselines", "2", "-dir", t.TempDir(), "-pass-budget", "8000"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-baselines", "2", "-dir", t.TempDir(), "-pass-budget", "8000"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "pass 0:") {
@@ -37,10 +38,20 @@ func TestRunWithPassBudget(t *testing.T) {
 
 func TestRunBadArgs(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-baselines", "0", "-dir", t.TempDir()}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-baselines", "0", "-dir", t.TempDir()}, &sb); err == nil {
 		t.Fatal("zero baselines should error")
 	}
-	if err := run([]string{"-not-a-flag"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-not-a-flag"}, &sb); err == nil {
 		t.Fatal("bad flag should error")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "missionsim ") {
+		t.Fatalf("version output %q", sb.String())
 	}
 }

@@ -18,17 +18,20 @@ import (
 	"os"
 
 	"spaceproc"
+	"spaceproc/internal/cmdutil"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		spaceproc.NewStructuredLogger(os.Stderr, slog.LevelInfo).
 			Error("run failed", "cmd", "ngstsim", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ngstsim", flag.ContinueOnError)
 	width := fs.Int("width", 256, "frame width (multiple of tile)")
 	height := fs.Int("height", 256, "frame height (multiple of tile)")
@@ -44,8 +47,13 @@ func run(args []string, out io.Writer) error {
 	showMetrics := fs.Bool("metrics", false, "print the pipeline telemetry snapshot after the run")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON artifact to this file")
 	forensics := fs.Bool("forensics", false, "log a WARN record per corrected series (chatty at high fault rates)")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		cmdutil.PrintVersion(out, "ngstsim")
+		return nil
 	}
 
 	logger := spaceproc.NewStructuredLogger(os.Stderr, slog.LevelWarn)
@@ -142,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer cleanupRef()
-	refCh := refPool.Submit(context.Background(), scene.Observed)
+	refCh := refPool.Submit(ctx, scene.Observed)
 
 	// Faulty run: bit flips in the raw readouts while in memory.
 	faulty := scene.Observed.Clone()
@@ -154,7 +162,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer cleanupMain()
-	res := <-mainPool.Submit(context.Background(), faulty)
+	res := <-mainPool.Submit(ctx, faulty)
 	if res.Err != nil {
 		return res.Err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"strings"
@@ -10,7 +11,7 @@ import (
 func TestRunSmall(t *testing.T) {
 	var sb strings.Builder
 	args := []string{"-width", "64", "-height", "64", "-readouts", "8", "-tile", "32", "-workers", "2"}
-	if err := run(args, &sb); err != nil {
+	if err := run(context.Background(), args, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -24,7 +25,7 @@ func TestRunSmall(t *testing.T) {
 func TestRunNoPreprocess(t *testing.T) {
 	var sb strings.Builder
 	args := []string{"-width", "32", "-height", "32", "-readouts", "8", "-tile", "32", "-workers", "1", "-no-preprocess"}
-	if err := run(args, &sb); err != nil {
+	if err := run(context.Background(), args, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "preprocessing: disabled") {
@@ -35,7 +36,7 @@ func TestRunNoPreprocess(t *testing.T) {
 func TestRunTCP(t *testing.T) {
 	var sb strings.Builder
 	args := []string{"-width", "32", "-height", "32", "-readouts", "8", "-tile", "32", "-workers", "2", "-tcp"}
-	if err := run(args, &sb); err != nil {
+	if err := run(context.Background(), args, &sb); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,7 +50,7 @@ func TestRunTraceArtifact(t *testing.T) {
 	var sb strings.Builder
 	args := []string{"-width", "64", "-height", "64", "-readouts", "8", "-tile", "32",
 		"-workers", "2", "-tcp", "-trace", path}
-	if err := run(args, &sb); err != nil {
+	if err := run(context.Background(), args, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "events written to") {
@@ -102,10 +103,10 @@ func TestRunTraceArtifact(t *testing.T) {
 func TestRunBadGeometry(t *testing.T) {
 	var sb strings.Builder
 	// width not a multiple of tile.
-	if err := run([]string{"-width", "33", "-height", "32", "-readouts", "4", "-tile", "32", "-workers", "1"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-width", "33", "-height", "32", "-readouts", "4", "-tile", "32", "-workers", "1"}, &sb); err == nil {
 		t.Fatal("bad geometry should error")
 	}
-	if err := run([]string{"-sensitivity", "999"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-sensitivity", "999"}, &sb); err == nil {
 		t.Fatal("bad sensitivity should error")
 	}
 }
@@ -116,5 +117,15 @@ func TestRelErr(t *testing.T) {
 	}
 	if got := relErr([]uint16{5}, []uint16{0}); got != 0 {
 		t.Fatalf("relErr with zero ideal = %v", got)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "ngstsim ") {
+		t.Fatalf("version output %q", sb.String())
 	}
 }

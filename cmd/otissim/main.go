@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,17 +16,20 @@ import (
 	"strings"
 
 	"spaceproc"
+	"spaceproc/internal/cmdutil"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		spaceproc.NewStructuredLogger(os.Stderr, slog.LevelInfo).
 			Error("run failed", "cmd", "otissim", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("otissim", flag.ContinueOnError)
 	kindName := fs.String("dataset", "blob", "dataset morphology: blob, stripe or spots")
 	gamma0 := fs.Float64("gamma0", 0.01, "memory bit-flip probability")
@@ -33,8 +37,13 @@ func run(args []string, out io.Writer) error {
 	locality := fs.String("locality", "spatial", "voting locality: spatial or spectral")
 	noPre := fs.Bool("no-preprocess", false, "disable input preprocessing")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		cmdutil.PrintVersion(out, "otissim")
+		return nil
 	}
 
 	var kind spaceproc.OTISKind
@@ -83,6 +92,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "preprocessing: disabled")
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	retr, err := spaceproc.NewOTISRetriever(spaceproc.DefaultOTISRetrievalConfig(scene.Wavelengths))
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestRunAllDatasets(t *testing.T) {
 	for _, ds := range []string{"blob", "stripe", "spots"} {
 		var sb strings.Builder
-		if err := run([]string{"-dataset", ds}, &sb); err != nil {
+		if err := run(context.Background(), []string{"-dataset", ds}, &sb); err != nil {
 			t.Fatalf("%s: %v", ds, err)
 		}
 		out := sb.String()
@@ -22,7 +23,7 @@ func TestRunAllDatasets(t *testing.T) {
 
 func TestRunNoPreprocessDegrades(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-dataset", "blob", "-no-preprocess", "-gamma0", "0.02"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-dataset", "blob", "-no-preprocess", "-gamma0", "0.02"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -37,23 +38,33 @@ func TestRunNoPreprocessDegrades(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-dataset", "nebula"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-dataset", "nebula"}, &sb); err == nil {
 		t.Fatal("unknown dataset should error")
 	}
-	if err := run([]string{"-sensitivity", "101"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-sensitivity", "101"}, &sb); err == nil {
 		t.Fatal("bad sensitivity should error")
 	}
-	if err := run([]string{"-locality", "temporal"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-locality", "temporal"}, &sb); err == nil {
 		t.Fatal("unknown locality should error")
 	}
 }
 
 func TestRunSpectralLocality(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-dataset", "blob", "-locality", "spectral"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-dataset", "blob", "-locality", "spectral"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Algo_OTIS") {
 		t.Fatal("missing preprocessing notice")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "otissim ") {
+		t.Fatalf("version output %q", sb.String())
 	}
 }

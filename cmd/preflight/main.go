@@ -22,21 +22,27 @@ import (
 	"strings"
 
 	"spaceproc"
+	"spaceproc/internal/cmdutil"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		spaceproc.NewStructuredLogger(os.Stderr, slog.LevelInfo).
 			Error("run failed", "cmd", "preflight", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return errors.New("usage: preflight <gen|inject|check|clean> [flags]")
 	}
 	switch args[0] {
+	case "-version", "version":
+		cmdutil.PrintVersion(out, "preflight")
+		return nil
 	case "gen":
 		return genCmd(args[1:], out)
 	case "inject":
@@ -46,7 +52,7 @@ func run(args []string, out io.Writer) error {
 	case "clean":
 		return cleanCmd(args[1:], out)
 	case "pipeline":
-		return pipelineCmd(args[1:], out)
+		return pipelineCmd(ctx, args[1:], out)
 	case "sum":
 		return sumCmd(args[1:], out)
 	case "verify":
@@ -230,7 +236,7 @@ func checkCmd(args []string, w io.Writer) error {
 // pipelineCmd runs a stored baseline through the worker pool: load the
 // FITS stack under the sanity layer, preprocess + CR-reject + compress it
 // over N pooled workers, and write the integrated image.
-func pipelineCmd(args []string, w io.Writer) error {
+func pipelineCmd(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
 	in := fs.String("in", "", "input baseline directory (one FITS frame per readout)")
 	out := fs.String("out", "", "output FITS path for the integrated image")
@@ -271,7 +277,7 @@ func pipelineCmd(args []string, w io.Writer) error {
 		}
 		pool.AddWorker(lw)
 	}
-	res := <-pool.Submit(context.Background(), stack)
+	res := <-pool.Submit(ctx, stack)
 	if res.Err != nil {
 		return res.Err
 	}

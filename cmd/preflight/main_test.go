@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ func TestFullFlow(t *testing.T) {
 		{"clean", "-in", fixed, "-out", cleaned},
 	}
 	for _, step := range steps {
-		if err := run(step, &sb); err != nil {
+		if err := run(context.Background(), step, &sb); err != nil {
 			t.Fatalf("%v: %v\noutput so far:\n%s", step, err, sb.String())
 		}
 	}
@@ -40,15 +41,15 @@ func TestBodyInjectionAndClean(t *testing.T) {
 	damaged := filepath.Join(dir, "damaged.fits")
 	cleaned := filepath.Join(dir, "cleaned.fits")
 	var sb strings.Builder
-	if err := run([]string{"gen", "-out", clean, "-width", "32", "-height", "32"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"gen", "-out", clean, "-width", "32", "-height", "32"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	// Whole-file injection at a rate low enough that the header usually
 	// survives; the data unit dominates the bit count.
-	if err := run([]string{"inject", "-in", clean, "-out", damaged, "-gamma0", "0.00005", "-seed", "9"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"inject", "-in", clean, "-out", damaged, "-gamma0", "0.00005", "-seed", "9"}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"clean", "-in", damaged, "-out", cleaned}, &sb); err != nil {
+	if err := run(context.Background(), []string{"clean", "-in", damaged, "-out", cleaned}, &sb); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -59,13 +60,13 @@ func TestSumVerifyFlow(t *testing.T) {
 	summed := filepath.Join(dir, "summed.fits")
 	damaged := filepath.Join(dir, "damaged.fits")
 	var sb strings.Builder
-	if err := run([]string{"gen", "-out", clean, "-width", "16", "-height", "16"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"gen", "-out", clean, "-width", "16", "-height", "16"}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"sum", "-in", clean, "-out", summed}, &sb); err != nil {
+	if err := run(context.Background(), []string{"sum", "-in", clean, "-out", summed}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"verify", "-in", summed}, &sb); err != nil {
+	if err := run(context.Background(), []string{"verify", "-in", summed}, &sb); err != nil {
 		t.Fatalf("fresh DATASUM failed verify: %v", err)
 	}
 	// Damage the data unit; verify must fail.
@@ -77,7 +78,7 @@ func TestSumVerifyFlow(t *testing.T) {
 	if err := os.WriteFile(damaged, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"verify", "-in", damaged}, &sb); err == nil {
+	if err := run(context.Background(), []string{"verify", "-in", damaged}, &sb); err == nil {
 		t.Fatal("damaged data unit passed verify")
 	}
 	if !strings.Contains(sb.String(), "MISMATCH") {
@@ -98,7 +99,7 @@ func TestUsageErrors(t *testing.T) {
 		{"inject", "-in", "/no/file", "-out", "x"},
 	}
 	for _, args := range cases {
-		if err := run(args, &sb); err == nil {
+		if err := run(context.Background(), args, &sb); err == nil {
 			t.Errorf("run(%v) should error", args)
 		}
 	}
@@ -115,5 +116,15 @@ func TestParseExpect(t *testing.T) {
 		if _, err := parseExpect(bad); err == nil {
 			t.Errorf("parseExpect(%q) should error", bad)
 		}
+	}
+}
+
+func TestVersionSubcommand(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "preflight ") {
+		t.Fatalf("version output %q", sb.String())
 	}
 }

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spaceproc"
+)
+
+// notifyWriter accumulates output and signals once per line written.
+type notifyWriter struct {
+	mu    sync.Mutex
+	sb    strings.Builder
+	lines chan string
+}
+
+func newNotifyWriter() *notifyWriter {
+	return &notifyWriter{lines: make(chan string, 64)}
+}
+
+func (w *notifyWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.sb.Write(p)
+	w.mu.Unlock()
+	for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		select {
+		case w.lines <- line:
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+func (w *notifyWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// await returns the first line containing substr, or fails the test.
+func (w *notifyWriter) await(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line := <-w.lines:
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("never saw %q in output:\n%s", substr, w.String())
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "spaceprocd ") {
+		t.Fatalf("version output %q", sb.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+// TestServeAndDrain boots the daemon on a free port, round-trips one
+// baseline through it, cancels the root context (the SIGTERM path), and
+// proves run exits through the drain.
+func TestServeAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := newNotifyWriter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "2",
+			"-tile", "32",
+			"-drain-timeout", "10s",
+		}, out)
+	}()
+
+	line := out.await(t, "serving on ")
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "serving on "))
+	client, err := spaceproc.DialService(addr, spaceproc.WithServeClientID("daemon-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	stack := spaceproc.NewStack(4, 32, 32)
+	for _, f := range stack.Frames {
+		for i := range f.Pix {
+			f.Pix[i] = uint16(500 + i%11)
+		}
+	}
+	res, err := client.Process(context.Background(), stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Image == nil || len(res.Compressed) == 0 {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run exited with %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never drained:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("missing drain confirmation:\n%s", out.String())
+	}
+}
+
+// TestMetricsSidecar proves -metrics boots the observability surface.
+func TestMetricsSidecar(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := newNotifyWriter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-metrics", "127.0.0.1:0",
+			"-workers", "1",
+		}, out)
+	}()
+	out.await(t, "metrics on http://")
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

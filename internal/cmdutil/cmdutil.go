@@ -1,0 +1,31 @@
+// Package cmdutil holds the scaffolding every cmd binary shares: the
+// signal-aware root context and the -version flag's output.
+package cmdutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"spaceproc/internal/telemetry"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, plus a
+// stop function releasing the signal watch. A second signal after the
+// first kills the process via the default handler, so a wedged drain can
+// still be interrupted from the terminal.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// PrintVersion writes the binary's version line for the -version flag:
+// program name, build version (module version or VCS revision), and the
+// toolchain.
+func PrintVersion(out io.Writer, program string) {
+	fmt.Fprintf(out, "%s %s (%s %s/%s)\n",
+		program, telemetry.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,43 @@
+package cmdutil
+
+import (
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPrintVersion(t *testing.T) {
+	var sb strings.Builder
+	PrintVersion(&sb, "testprog")
+	out := sb.String()
+	if !strings.HasPrefix(out, "testprog ") {
+		t.Fatalf("version line %q missing program name", out)
+	}
+	if !strings.Contains(out, "go") {
+		t.Fatalf("version line %q missing toolchain", out)
+	}
+}
+
+func TestSignalContextCancelsOnSIGTERM(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by SIGTERM")
+	}
+}
+
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, stop := SignalContext()
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop should cancel the context")
+	}
+}

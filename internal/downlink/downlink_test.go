@@ -130,3 +130,71 @@ func TestIDReusableAfterDownlink(t *testing.T) {
 		t.Fatalf("id not released after downlink: %v", err)
 	}
 }
+
+// TestPlanEmptyQueue proves a pass over an empty queue is a clean no-op:
+// nothing sent, nothing deferred, zero utilization, and the scheduler
+// stays usable afterwards.
+func TestPlanEmptyQueue(t *testing.T) {
+	s := NewScheduler()
+	pass := s.Plan(1000)
+	if len(pass.Sent) != 0 || pass.SentBytes != 0 || pass.Deferred != 0 || pass.Utilization != 0 {
+		t.Fatalf("empty-queue pass %+v", pass)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	mustEnqueue(t, s, Product{ID: "later", Bytes: 10})
+	if got := s.Plan(10); len(got.Sent) != 1 {
+		t.Fatalf("scheduler unusable after empty pass: %+v", got)
+	}
+}
+
+// TestZeroBandwidthPassDefersAndAges proves a zero-bandwidth pass sends
+// nothing but still ages the queue, so a later contested pass prefers the
+// product that sat through the outage.
+func TestZeroBandwidthPassDefersAndAges(t *testing.T) {
+	s := NewScheduler()
+	mustEnqueue(t, s, Product{ID: "waited", Bytes: 10, Priority: 1})
+	for i := 0; i < 3; i++ {
+		pass := s.Plan(0)
+		if len(pass.Sent) != 0 || pass.Deferred != 1 || pass.Utilization != 0 {
+			t.Fatalf("zero-bandwidth pass %d: %+v", i, pass)
+		}
+	}
+	// A fresh same-priority product competes; the aged one must win the
+	// only slot.
+	mustEnqueue(t, s, Product{ID: "fresh", Bytes: 10, Priority: 1})
+	pass := s.Plan(10)
+	if len(pass.Sent) != 1 || pass.Sent[0].ID != "waited" {
+		t.Fatalf("aging ignored after zero-bandwidth passes: %+v", pass)
+	}
+}
+
+// TestProductLargerThanPassBudget proves an oversized product is deferred
+// pass after pass without blocking smaller products, and flies as soon as
+// a pass can fit it.
+func TestProductLargerThanPassBudget(t *testing.T) {
+	s := NewScheduler()
+	mustEnqueue(t, s,
+		Product{ID: "huge", Bytes: 500, Priority: 9},
+		Product{ID: "small", Bytes: 40, Priority: 1})
+	pass := s.Plan(100)
+	if len(pass.Sent) != 1 || pass.Sent[0].ID != "small" {
+		t.Fatalf("oversized product blocked the pass: %+v", pass)
+	}
+	if pass.Deferred != 1 {
+		t.Fatalf("deferred = %d", pass.Deferred)
+	}
+	// Still too big: defers again, never silently dropped.
+	if pass := s.Plan(100); len(pass.Sent) != 0 || pass.Deferred != 1 {
+		t.Fatalf("second undersized pass %+v", pass)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// A big enough pass finally flies it.
+	pass = s.Plan(500)
+	if len(pass.Sent) != 1 || pass.Sent[0].ID != "huge" || pass.Deferred != 0 {
+		t.Fatalf("oversized product never flew: %+v", pass)
+	}
+}

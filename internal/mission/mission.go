@@ -150,6 +150,13 @@ type Report struct {
 
 // Run flies the campaign.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext flies the campaign under ctx: cancellation propagates into
+// every baseline's pool submissions, so a signal-cancelled root context
+// aborts the campaign instead of finishing it.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -194,7 +201,7 @@ func Run(cfg Config) (*Report, error) {
 		go func(b int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[b], errs[b] = runBaseline(cfg, b, pool, refPool)
+			results[b], errs[b] = runBaseline(ctx, cfg, b, pool, refPool)
 		}(b)
 	}
 	wg.Wait()
@@ -291,14 +298,13 @@ func (c Config) stageSpan(ctx context.Context, stage string, baseline int) func(
 	}
 }
 
-func runBaseline(cfg Config, b int, pool, refPool *cluster.Pool) (*BaselineResult, error) {
+func runBaseline(ctx context.Context, cfg Config, b int, pool, refPool *cluster.Pool) (*BaselineResult, error) {
 	if testHookBaselineStart != nil {
 		testHookBaselineStart(b)
 	}
 	// Mint the baseline's trace: every stage span, tile dispatch and
 	// worker serve below parents under this root, and every log record
 	// emitted under ctx carries its trace_id.
-	ctx := context.Background()
 	var root *telemetry.TraceSpan
 	if tracer := cfg.Telemetry.Tracer(); tracer != nil {
 		root = tracer.StartTrace("baseline", fmt.Sprintf("baseline_%03d", b))
@@ -313,7 +319,7 @@ func runBaseline(cfg Config, b int, pool, refPool *cluster.Pool) (*BaselineResul
 		return nil, err
 	}
 	endRef := cfg.stageSpan(ctx, "reference", b)
-	reference := <-refPool.Submit(context.Background(), scene.Observed)
+	reference := <-refPool.Submit(ctx, scene.Observed)
 	endRef()
 	if reference.Err != nil {
 		return nil, reference.Err

@@ -1,6 +1,8 @@
 package mission
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"strings"
@@ -248,5 +250,17 @@ func TestCampaignTracePerBaseline(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("forensics records not stamped with a baseline trace ID:\n%s", logged)
+	}
+}
+
+// TestRunContextCancelAborts proves a cancelled context stops the
+// campaign with a context error instead of flying every baseline.
+func TestRunContextCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig("")
+	cfg.Baselines = 2
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

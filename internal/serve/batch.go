@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/telemetry"
+)
+
+// batcher coalesces admitted requests into batches before handing them to
+// the pool: a batch flushes when it reaches max members or when its oldest
+// member has waited window, whichever comes first. Submitting a batch as
+// one wave enqueues its tiles contiguously onto the shared queue, so the
+// pool's workers sweep through them without interleaving half-started
+// baselines, and the submission backpressure (Pool.Submit blocks when the
+// queue is full) is paid once per wave instead of once per request.
+//
+// With max <= 1 or window <= 0 the batcher degenerates to a pass-through.
+// During drain the server flips bypass so no request waits on a timer that
+// shutdown is racing against.
+type batcher struct {
+	backend Backend
+	max     int
+	window  time.Duration
+
+	batches   *telemetry.Counter   // nil without telemetry
+	batchSize *telemetry.Gauge     // members in the last flushed batch
+	batchWait *telemetry.Histogram // per-member wait for its batch
+
+	bypass atomic.Bool
+
+	mu      sync.Mutex
+	pending []*batchItem
+	timer   *time.Timer
+}
+
+// batchItem is one admitted request waiting for its batch.
+type batchItem struct {
+	ctx      context.Context
+	stack    *dataset.Stack
+	enqueued time.Time
+	out      chan *cluster.Result
+}
+
+func newBatcher(backend Backend, max int, window time.Duration, tel *telemetry.Registry) *batcher {
+	b := &batcher{backend: backend, max: max, window: window}
+	if tel != nil {
+		b.batches = tel.Counter("serve_batches_total")
+		b.batchSize = tel.Gauge("serve_batch_size")
+		b.batchWait = tel.Histogram("serve_batch_wait")
+	}
+	return b
+}
+
+// submit queues the stack for the next batch and returns the channel that
+// will deliver its pool result exactly once.
+func (b *batcher) submit(ctx context.Context, s *dataset.Stack) <-chan *cluster.Result {
+	it := &batchItem{ctx: ctx, stack: s, enqueued: time.Now(), out: make(chan *cluster.Result, 1)}
+	if b.max <= 1 || b.window <= 0 || b.bypass.Load() {
+		b.flush([]*batchItem{it})
+		return it.out
+	}
+	b.mu.Lock()
+	b.pending = append(b.pending, it)
+	if len(b.pending) >= b.max {
+		items := b.take()
+		b.mu.Unlock()
+		b.flush(items)
+		return it.out
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.window, b.fire)
+	}
+	b.mu.Unlock()
+	return it.out
+}
+
+// take detaches the pending batch and stops its timer. Callers hold b.mu.
+func (b *batcher) take() []*batchItem {
+	items := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return items
+}
+
+// fire is the window timer's flush path.
+func (b *batcher) fire() {
+	b.mu.Lock()
+	items := b.take()
+	b.mu.Unlock()
+	if len(items) > 0 {
+		b.flush(items)
+	}
+}
+
+// drain flips the batcher to pass-through and flushes anything pending, so
+// a shutdown never waits on the batch window.
+func (b *batcher) drain() {
+	b.bypass.Store(true)
+	b.fire()
+}
+
+// flush submits one batch: every member's tiles enqueue as one wave (the
+// Submit calls run back to back on this goroutine, paying queue
+// backpressure for the whole wave), then per-member goroutines wait for
+// the results so a slow baseline never blocks its batchmates' delivery.
+func (b *batcher) flush(items []*batchItem) {
+	if b.batches != nil {
+		b.batches.Inc()
+		b.batchSize.Set(float64(len(items)))
+		for _, it := range items {
+			b.batchWait.Observe(time.Since(it.enqueued))
+		}
+	}
+	for _, it := range items {
+		ch := b.backend.Submit(it.ctx, it.stack)
+		go func(it *batchItem, ch <-chan *cluster.Result) {
+			it.out <- <-ch
+		}(it, ch)
+	}
+}

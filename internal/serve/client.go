@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/telemetry"
+)
+
+// Client defaults; override with the corresponding ClientOption.
+const (
+	// DefaultAttempts bounds tries per Process call (first try plus
+	// retries over sheds and transport faults).
+	DefaultAttempts = 4
+	// DefaultRetryBackoff is the first retry delay; it doubles per
+	// attempt up to DefaultRetryBackoffMax, and is floored by the
+	// server's retry-after hint when one was given.
+	DefaultRetryBackoff    = 25 * time.Millisecond
+	DefaultRetryBackoffMax = 1 * time.Second
+	// DefaultClientDialAttempts and DefaultClientDialBackoff bound the
+	// reconnect loop, mirroring cluster.WithDialBackoff.
+	DefaultClientDialAttempts = 3
+	DefaultClientDialBackoff  = 20 * time.Millisecond
+)
+
+// ErrShed is wrapped into the error returned when every attempt was shed;
+// callers can errors.Is it to distinguish overload from hard failures.
+var ErrShed = errors.New("serve: request shed")
+
+// clientMetrics holds the client's registry handles.
+type clientMetrics struct {
+	requests *telemetry.Counter
+	sheds    *telemetry.Counter
+	retries  *telemetry.Counter
+	errored  *telemetry.Counter
+	lat      *telemetry.Histogram
+}
+
+// Client is the Go client for a serve.Server: one connection, sequential
+// requests, bounded exponential-backoff retries over sheds (honoring the
+// server's retry-after hint as the floor) and transport faults (re-dialing
+// with its own bounded backoff, the cluster.WithDialBackoff pattern). Open
+// several clients for parallel submissions.
+//
+// A Client is safe for concurrent use; concurrent Process calls serialize
+// over the single connection.
+type Client struct {
+	addr         string
+	id           string
+	attempts     int
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	dialAttempts int
+	dialBackoff  time.Duration
+
+	tel *telemetry.Registry
+	met *clientMetrics
+	log *slog.Logger
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientID names the client for the server's quota accounting and
+// per-client telemetry; empty defaults to the connection's source host.
+func WithClientID(id string) ClientOption {
+	return func(c *Client) { c.id = id }
+}
+
+// WithRetryPolicy tunes Process retries: attempts tries in total, backing
+// off from base (doubling per attempt, floored by the server's retry-after
+// hint) up to max.
+func WithRetryPolicy(attempts int, base, max time.Duration) ClientOption {
+	return func(c *Client) {
+		c.attempts = attempts
+		c.backoffBase = base
+		c.backoffMax = max
+	}
+}
+
+// WithClientDialBackoff tunes the reconnect loop: attempts dials per
+// connect, sleeping base (doubling each attempt) between them.
+func WithClientDialBackoff(attempts int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		c.dialAttempts = attempts
+		c.dialBackoff = base
+	}
+}
+
+// WithClientTelemetry wires the client's instrumentation into reg:
+// client_requests_total, client_sheds_total, client_retries_total,
+// client_errors_total, and the client_request latency histogram.
+func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
+	return func(c *Client) { c.tel = reg }
+}
+
+// WithClientLogger routes WARN retry/shed forensics into l.
+func WithClientLogger(l *slog.Logger) ClientOption {
+	return func(c *Client) { c.log = l }
+}
+
+// DialClient connects to a serve.Server.
+func DialClient(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr:         addr,
+		attempts:     DefaultAttempts,
+		backoffBase:  DefaultRetryBackoff,
+		backoffMax:   DefaultRetryBackoffMax,
+		dialAttempts: DefaultClientDialAttempts,
+		dialBackoff:  DefaultClientDialBackoff,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.attempts <= 0 {
+		c.attempts = 1
+	}
+	if c.backoffBase <= 0 {
+		c.backoffBase = DefaultRetryBackoff
+	}
+	if c.backoffMax < c.backoffBase {
+		c.backoffMax = c.backoffBase
+	}
+	if c.dialAttempts <= 0 {
+		c.dialAttempts = 1
+	}
+	if c.dialBackoff <= 0 {
+		c.dialBackoff = DefaultClientDialBackoff
+	}
+	if c.tel != nil {
+		c.met = &clientMetrics{
+			requests: c.tel.Counter("client_requests_total"),
+			sheds:    c.tel.Counter("client_sheds_total"),
+			retries:  c.tel.Counter("client_retries_total"),
+			errored:  c.tel.Counter("client_errors_total"),
+			lat:      c.tel.Histogram("client_request"),
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connect(context.Background()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials the server with bounded exponential backoff. Callers hold
+// c.mu.
+func (c *Client) connect(ctx context.Context) error {
+	backoff := c.dialBackoff
+	var lastErr error
+	for attempt := 0; attempt < c.dialAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err == nil {
+			c.conn = conn
+			c.enc = gob.NewEncoder(conn)
+			c.dec = gob.NewDecoder(conn)
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("serve: dial %s (%d attempts): %w", c.addr, c.dialAttempts, lastErr)
+}
+
+func (c *Client) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.enc, c.dec = nil, nil
+	}
+}
+
+// Close drops the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.teardown()
+}
+
+// Process streams the baseline to the server and returns the served
+// result. Sheds and transport faults are retried with bounded exponential
+// backoff (the server's retry-after hint floors each delay); terminal
+// server errors and context expiry return immediately. When every attempt
+// was shed the returned error wraps ErrShed.
+func (c *Client) Process(ctx context.Context, s *dataset.Stack) (*Result, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, errors.New("serve: empty baseline")
+	}
+	start := time.Now()
+	if c.met != nil {
+		c.met.requests.Inc()
+		defer func() { c.met.lat.Observe(time.Since(start)) }()
+	}
+	backoff := c.backoffBase
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		res, retryIn, err := c.try(ctx, s)
+		if err == nil && retryIn < 0 {
+			return res, nil
+		}
+		var terminal *terminalError
+		switch {
+		case errors.As(err, &terminal):
+			if c.met != nil {
+				c.met.errored.Inc()
+			}
+			return nil, terminal.err
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		case err != nil:
+			lastErr = err
+		default: // shed
+			if c.met != nil {
+				c.met.sheds.Inc()
+			}
+			lastErr = fmt.Errorf("%w after %d attempt(s)", ErrShed, attempt)
+		}
+		if attempt >= c.attempts {
+			if c.met != nil {
+				c.met.errored.Inc()
+			}
+			return nil, lastErr
+		}
+		delay := backoff
+		if retryIn > delay {
+			delay = retryIn
+		}
+		if c.log != nil {
+			c.log.LogAttrs(ctx, slog.LevelWarn, "retrying request",
+				slog.Int("attempt", attempt),
+				slog.Duration("delay", delay),
+				slog.Any("cause", lastErr))
+		}
+		if c.met != nil {
+			c.met.retries.Inc()
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > c.backoffMax {
+			backoff = c.backoffMax
+		}
+	}
+}
+
+// terminalError marks a server-reported failure that retrying cannot fix.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+
+// try runs one attempt. Outcomes: (res, -1, nil) success; (nil, hint, nil)
+// shed, retry no earlier than hint; (nil, 0, err) transport fault
+// (retryable) or *terminalError.
+func (c *Client) try(ctx context.Context, s *dataset.Stack) (*Result, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if c.conn == nil {
+		if err := c.connect(ctx); err != nil {
+			return nil, 0, err
+		}
+	}
+	conn := c.conn
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	// On cancellation, expire the socket so a blocked gob round-trip
+	// returns instead of hanging until the server answers.
+	stopWatch := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stopWatch()
+
+	hdr := header{Client: c.id, Frames: s.Len(), Width: s.Width(), Height: s.Height()}
+	if hasDeadline {
+		hdr.Deadline = deadline
+	}
+	if err := c.enc.Encode(&hdr); err != nil {
+		c.teardown()
+		return nil, 0, fmt.Errorf("serve: send header: %w", err)
+	}
+	var verdict response
+	if err := c.dec.Decode(&verdict); err != nil {
+		c.teardown()
+		return nil, 0, fmt.Errorf("serve: receive admission: %w", err)
+	}
+	switch verdict.Status {
+	case StatusShed, StatusDraining:
+		return nil, verdict.RetryAfter, nil
+	case StatusError:
+		return nil, 0, &terminalError{fmt.Errorf("serve: remote: %s", verdict.Err)}
+	case StatusAccepted:
+	default:
+		c.teardown()
+		return nil, 0, fmt.Errorf("serve: unexpected admission status %v", verdict.Status)
+	}
+	for _, frame := range s.Frames {
+		if err := c.enc.Encode(frame); err != nil {
+			c.teardown()
+			return nil, 0, fmt.Errorf("serve: send frame: %w", err)
+		}
+	}
+	var final response
+	if err := c.dec.Decode(&final); err != nil {
+		c.teardown()
+		return nil, 0, fmt.Errorf("serve: receive result: %w", err)
+	}
+	switch final.Status {
+	case StatusOK:
+		return &Result{
+			Image:      final.Image,
+			Compressed: final.Compressed,
+			Stats:      final.Stats,
+			PreStats:   final.PreStats,
+			Retries:    final.Retries,
+		}, -1, nil
+	case StatusError:
+		return nil, 0, &terminalError{fmt.Errorf("serve: remote: %s", final.Err)}
+	default:
+		c.teardown()
+		return nil, 0, fmt.Errorf("serve: unexpected result status %v", final.Status)
+	}
+}

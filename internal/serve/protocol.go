@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"spaceproc/internal/core"
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/dataset"
+)
+
+// Wire protocol: gob frames over a persistent TCP connection, one request
+// at a time per connection (a client that wants parallelism opens several
+// connections, which is also how per-client quotas are exercised).
+//
+// Per request the exchange is
+//
+//	client: header{Client, Frames, Width, Height, Deadline}
+//	server: response{Status: Accepted | Shed | Draining | Error}
+//	client: Frames x *dataset.Image   (only after Accepted)
+//	server: response{Status: OK | Error, result fields}
+//
+// Admission is decided on the header alone, before the payload is on the
+// wire: a shed request costs the network a few hundred bytes, not the
+// multi-megabyte baseline. Shed and Draining responses carry a RetryAfter
+// hint the client honors as the floor of its backoff.
+
+// Status is the server's verdict in a response frame.
+type Status int
+
+// Status values deliberately start at 1: gob omits zero-valued fields, so
+// a zero-valued status would vanish from the wire and a receiver decoding
+// into a reused struct would see the previous exchange's verdict.
+const (
+	// StatusAccepted admits the request; the client must now stream the
+	// baseline's frames.
+	StatusAccepted Status = iota + 1
+	// StatusShed rejects the request for load (global inflight limit or
+	// per-client quota); RetryAfter hints when to try again.
+	StatusShed
+	// StatusDraining rejects the request because the daemon is shutting
+	// down; retrying reaches this instance only if the drain aborts, so
+	// clients should treat it like Shed.
+	StatusDraining
+	// StatusOK carries the processed result.
+	StatusOK
+	// StatusError carries a terminal server-side failure (invalid header,
+	// pipeline error); retrying the same request will not help.
+	StatusError
+)
+
+// String renders the status for logs and errors.
+func (s Status) String() string {
+	switch s {
+	case StatusAccepted:
+		return "accepted"
+	case StatusShed:
+		return "shed"
+	case StatusDraining:
+		return "draining"
+	case StatusOK:
+		return "ok"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// header opens one request.
+type header struct {
+	// Client identifies the submitter for quota accounting and per-client
+	// telemetry; empty falls back to the connection's remote host.
+	Client string
+	// Frames is the number of readout frames about to be streamed.
+	Frames int
+	// Width and Height are the frame dimensions.
+	Width, Height int
+	// Deadline is the absolute processing cut-off (zero for none); the
+	// server derives its pipeline context from it, so client deadlines
+	// propagate into pool scheduling.
+	Deadline time.Time
+}
+
+// Request sanity bounds; headers outside them are answered StatusError.
+const (
+	// MaxFrames bounds readouts per baseline.
+	MaxFrames = 4096
+	// MaxEdge bounds frame width and height.
+	MaxEdge = 16384
+)
+
+// validate rejects nonsensical or abusive headers before any payload is
+// accepted.
+func (h header) validate() error {
+	switch {
+	case h.Frames <= 0 || h.Frames > MaxFrames:
+		return fmt.Errorf("serve: %d frames outside (0, %d]", h.Frames, MaxFrames)
+	case h.Width <= 0 || h.Width > MaxEdge:
+		return fmt.Errorf("serve: width %d outside (0, %d]", h.Width, MaxEdge)
+	case h.Height <= 0 || h.Height > MaxEdge:
+		return fmt.Errorf("serve: height %d outside (0, %d]", h.Height, MaxEdge)
+	}
+	return nil
+}
+
+// response is both the admission verdict and the final result frame.
+type response struct {
+	Status Status
+	// RetryAfter accompanies Shed and Draining: the server's hint for how
+	// long the client should wait before retrying.
+	RetryAfter time.Duration
+	// Err accompanies StatusError.
+	Err string
+
+	// Result payload, set on StatusOK.
+	Image      *dataset.Image
+	Compressed []byte
+	Stats      crreject.Stats
+	PreStats   core.VoteStats
+	Retries    int
+}
+
+// Result is one served baseline's output: the repaired, integrated frame,
+// its Rice-compressed downlink payload, and the fault-forensics counters
+// the pipeline collected along the way.
+type Result struct {
+	// Image is the reintegrated full-frame image.
+	Image *dataset.Image
+	// Compressed is the Rice-compressed downlink payload.
+	Compressed []byte
+	// Stats aggregates cosmic-ray rejection statistics over all tiles.
+	Stats crreject.Stats
+	// PreStats aggregates preprocessing telemetry (corrected pixels,
+	// window bits, guard rejections) over all tiles.
+	PreStats core.VoteStats
+	// Retries counts tiles reassigned after worker failures.
+	Retries int
+}
+
+// CompressionRatio returns input bytes over downlink bytes.
+func (r *Result) CompressionRatio() float64 {
+	if len(r.Compressed) == 0 {
+		return 1
+	}
+	return float64(2*len(r.Image.Pix)) / float64(len(r.Compressed))
+}

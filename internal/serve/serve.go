@@ -1,0 +1,542 @@
+// Package serve is the network front door of the reproduction: a
+// preprocessing-as-a-service daemon that accepts baselines over TCP, runs
+// them through a shared cluster.Pool, and streams back the repaired image,
+// its Rice-compressed downlink payload, and the fault-forensics report.
+//
+// The server implements production serving semantics end to end:
+//
+//   - Admission control: a bounded global inflight limit plus per-client
+//     concurrency quotas, decided on the request header before the
+//     payload is on the wire. Requests over either limit are shed with a
+//     retry-after hint instead of queueing unboundedly.
+//   - Dynamic batching: admitted requests coalesce for up to a small
+//     window (or a maximum batch size) and their tiles submit onto the
+//     pool as one wave (see batcher).
+//   - Deadline propagation: the client's context deadline rides the
+//     request header and bounds the pool submission on the server.
+//   - Graceful drain: Shutdown stops accepting, sheds new requests with
+//     StatusDraining, finishes every admitted request, then closes.
+//
+// Client is the matching Go client with bounded exponential-backoff
+// retries over both sheds and transport faults.
+package serve
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/telemetry"
+)
+
+// Server defaults; override with the corresponding Option.
+const (
+	// DefaultMaxInflight bounds admitted requests across all clients.
+	DefaultMaxInflight = 64
+	// DefaultRetryAfter is the shed hint handed to rejected clients.
+	DefaultRetryAfter = 50 * time.Millisecond
+	// DefaultBatchMax flushes a batch at this many members.
+	DefaultBatchMax = 8
+	// DefaultBatchWindow flushes a batch when its oldest member has
+	// waited this long.
+	DefaultBatchWindow = 2 * time.Millisecond
+	// maxClientGauges caps how many distinct per-client inflight gauges
+	// the server will mint, so a hostile client sweeping IDs cannot grow
+	// the registry unboundedly. Quota enforcement is not affected.
+	maxClientGauges = 64
+)
+
+// Backend is the slice of cluster.Pool the server schedules onto; the
+// indirection keeps the serving semantics testable against scripted
+// pipelines.
+type Backend interface {
+	Submit(ctx context.Context, s *dataset.Stack) <-chan *cluster.Result
+}
+
+// clientQuota tracks one client's admitted requests.
+type clientQuota struct {
+	inflight int
+	gauge    *telemetry.Gauge // nil without telemetry or past the gauge cap
+}
+
+// serveMetrics holds the server's registry handles, resolved once.
+type serveMetrics struct {
+	requests  *telemetry.Counter
+	accepted  *telemetry.Counter
+	shed      *telemetry.Counter
+	drainShed *telemetry.Counter
+	errored   *telemetry.Counter
+	inflight  *telemetry.Gauge
+	reqLat    *telemetry.Histogram
+	recvLat   *telemetry.Histogram
+}
+
+// Server is the daemon: construct with NewServer over a pool, start with
+// Listen, stop with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	backend     Backend
+	maxInflight int
+	perClient   int
+	retryAfter  time.Duration
+	batchMax    int
+	batchWindow time.Duration
+
+	tel *telemetry.Registry
+	met *serveMetrics
+	log *slog.Logger
+	bat *batcher
+
+	// forceCtx cancels every request's pipeline context on Close; a
+	// graceful Shutdown leaves it alone until the drain completes.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	clients  map[string]*clientQuota
+	gauges   int
+	inflight int
+	draining bool
+	closed   bool
+	reqWG    sync.WaitGroup // admitted requests
+	connWG   sync.WaitGroup // accept loop + connection handlers
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxInflight bounds admitted requests across all clients; further
+// requests are shed with a retry-after hint.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) { s.maxInflight = n }
+}
+
+// WithPerClientQuota bounds admitted requests per client ID (0 defaults to
+// the global limit).
+func WithPerClientQuota(n int) Option {
+	return func(s *Server) { s.perClient = n }
+}
+
+// WithRetryAfterHint sets the shed hint handed to rejected clients.
+func WithRetryAfterHint(d time.Duration) Option {
+	return func(s *Server) { s.retryAfter = d }
+}
+
+// WithBatching tunes the dynamic batcher: a batch flushes at max members
+// or when its oldest member has waited window. max <= 1 or window <= 0
+// disables batching.
+func WithBatching(max int, window time.Duration) Option {
+	return func(s *Server) {
+		s.batchMax = max
+		s.batchWindow = window
+	}
+}
+
+// WithTelemetry wires the serving instrumentation into reg: the
+// serve_requests_total / serve_requests_accepted_total / serve_shed_total
+// / serve_drain_shed_total / serve_errors_total counters, the
+// serve_requests_inflight gauge, serve_request and serve_receive latency
+// histograms, per-client serve_client_<id>_inflight gauges, and the
+// batcher's serve_batches_total / serve_batch_size / serve_batch_wait.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) { s.tel = reg }
+}
+
+// WithLogger routes the server's request forensics — INFO on listen and
+// drain milestones, WARN on sheds and failed requests — into l.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// NewServer builds a daemon over the backend (normally a *cluster.Pool
+// shared with the rest of the process). Start it with Listen.
+func NewServer(backend Backend, opts ...Option) (*Server, error) {
+	s := &Server{
+		backend:     backend,
+		maxInflight: DefaultMaxInflight,
+		retryAfter:  DefaultRetryAfter,
+		batchMax:    DefaultBatchMax,
+		batchWindow: DefaultBatchWindow,
+		conns:       make(map[net.Conn]struct{}),
+		clients:     make(map[string]*clientQuota),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if backend == nil {
+		return nil, errors.New("serve: nil backend")
+	}
+	if s.maxInflight <= 0 {
+		return nil, fmt.Errorf("serve: max inflight %d must be positive", s.maxInflight)
+	}
+	if s.perClient < 0 {
+		return nil, fmt.Errorf("serve: per-client quota %d must be non-negative", s.perClient)
+	}
+	if s.perClient == 0 || s.perClient > s.maxInflight {
+		s.perClient = s.maxInflight
+	}
+	if s.retryAfter <= 0 {
+		return nil, fmt.Errorf("serve: retry-after hint %v must be positive", s.retryAfter)
+	}
+	if s.tel != nil {
+		s.met = &serveMetrics{
+			requests:  s.tel.Counter("serve_requests_total"),
+			accepted:  s.tel.Counter("serve_requests_accepted_total"),
+			shed:      s.tel.Counter("serve_shed_total"),
+			drainShed: s.tel.Counter("serve_drain_shed_total"),
+			errored:   s.tel.Counter("serve_errors_total"),
+			inflight:  s.tel.Gauge("serve_requests_inflight"),
+			reqLat:    s.tel.Histogram("serve_request"),
+			recvLat:   s.tel.Histogram("serve_receive"),
+		}
+	}
+	s.bat = newBatcher(backend, s.batchMax, s.batchWindow, s.tel)
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	return s, nil
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and serves connections on
+// background goroutines until Shutdown or Close. Returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("serve: server already shut down")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("serve: already listening")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	if s.log != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "serving",
+			slog.String("addr", ln.Addr().String()))
+	}
+	s.connWG.Add(1)
+	go func() {
+		defer s.connWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed || s.draining {
+				s.mu.Unlock()
+				conn.Close()
+				continue
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.connWG.Add(1)
+			go func(conn net.Conn) {
+				defer s.connWG.Done()
+				s.serveConn(conn)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Inflight reports the number of admitted requests currently in the
+// pipeline.
+func (s *Server) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// serveConn answers requests on one connection until it drops or the
+// server closes.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var hdr header
+		if err := dec.Decode(&hdr); err != nil {
+			return
+		}
+		if !s.handle(conn, enc, dec, hdr) {
+			return
+		}
+	}
+}
+
+// handle runs one request exchange; it reports whether the connection is
+// still in sync and should serve another.
+func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, hdr header) bool {
+	if s.met != nil {
+		s.met.requests.Inc()
+	}
+	if err := hdr.validate(); err != nil {
+		// The client has not streamed anything yet, so the connection
+		// stays usable after an invalid header.
+		if s.met != nil {
+			s.met.errored.Inc()
+		}
+		return enc.Encode(&response{Status: StatusError, Err: err.Error()}) == nil
+	}
+	client := sanitizeClientID(hdr.Client, conn)
+
+	verdict, release := s.admit(client)
+	if verdict.Status != StatusAccepted {
+		if s.log != nil {
+			s.log.LogAttrs(context.Background(), slog.LevelWarn, "request shed",
+				slog.String("client", client),
+				slog.String("status", verdict.Status.String()),
+				slog.Duration("retry_after", verdict.RetryAfter))
+		}
+		return enc.Encode(&verdict) == nil
+	}
+	defer release()
+	start := time.Now()
+	if s.met != nil {
+		defer func() { s.met.reqLat.Observe(time.Since(start)) }()
+	}
+	if err := enc.Encode(&verdict); err != nil {
+		return false
+	}
+
+	// Receive the baseline. A decode fault here leaves the stream
+	// unsynchronized, so the connection is dropped.
+	stack := &dataset.Stack{Frames: make([]*dataset.Image, hdr.Frames)}
+	for i := range stack.Frames {
+		var frame dataset.Image
+		if err := dec.Decode(&frame); err != nil {
+			return false
+		}
+		if frame.Width != hdr.Width || frame.Height != hdr.Height || len(frame.Pix) != hdr.Width*hdr.Height {
+			if s.met != nil {
+				s.met.errored.Inc()
+			}
+			enc.Encode(&response{Status: StatusError,
+				Err: fmt.Sprintf("serve: frame %d is %dx%d (%d px), header said %dx%d",
+					i, frame.Width, frame.Height, len(frame.Pix), hdr.Width, hdr.Height)})
+			return false
+		}
+		stack.Frames[i] = &frame
+	}
+	if s.met != nil {
+		s.met.recvLat.Observe(time.Since(start))
+	}
+
+	// Run the baseline through the shared pool, honoring the client's
+	// deadline and dying with the server on a forced close.
+	ctx := s.forceCtx
+	if !hdr.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, hdr.Deadline)
+		defer cancel()
+	}
+	res := <-s.bat.submit(ctx, stack)
+	if res.Err != nil {
+		if s.met != nil {
+			s.met.errored.Inc()
+		}
+		if s.log != nil {
+			s.log.LogAttrs(ctx, slog.LevelWarn, "request failed",
+				slog.String("client", client),
+				slog.String("error", res.Err.Error()))
+		}
+		return enc.Encode(&response{Status: StatusError, Err: res.Err.Error()}) == nil
+	}
+	return enc.Encode(&response{
+		Status:     StatusOK,
+		Image:      res.Image,
+		Compressed: res.Compressed,
+		Stats:      res.Stats,
+		PreStats:   res.PreStats,
+		Retries:    res.Retries,
+	}) == nil
+}
+
+// admit decides one request under the inflight limit and the client's
+// quota. On acceptance the returned release must be called exactly once
+// when the request retires; on rejection release is nil and the verdict
+// carries the retry-after hint.
+func (s *Server) admit(client string) (response, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		if s.met != nil {
+			s.met.shed.Inc()
+			s.met.drainShed.Inc()
+		}
+		return response{Status: StatusDraining, RetryAfter: s.retryAfter}, nil
+	}
+	if s.inflight >= s.maxInflight {
+		if s.met != nil {
+			s.met.shed.Inc()
+		}
+		return response{Status: StatusShed, RetryAfter: s.retryAfter}, nil
+	}
+	cq := s.clients[client]
+	if cq == nil {
+		cq = &clientQuota{}
+		if s.tel != nil && s.gauges < maxClientGauges {
+			cq.gauge = s.tel.Gauge("serve_client_" + client + "_inflight")
+			s.gauges++
+		}
+		s.clients[client] = cq
+	}
+	if cq.inflight >= s.perClient {
+		if s.met != nil {
+			s.met.shed.Inc()
+		}
+		return response{Status: StatusShed, RetryAfter: s.retryAfter}, nil
+	}
+	s.inflight++
+	cq.inflight++
+	s.reqWG.Add(1)
+	if s.met != nil {
+		s.met.accepted.Inc()
+		s.met.inflight.Set(float64(s.inflight))
+	}
+	if cq.gauge != nil {
+		cq.gauge.Set(float64(cq.inflight))
+	}
+	release := func() {
+		s.mu.Lock()
+		s.inflight--
+		cq.inflight--
+		if s.met != nil {
+			s.met.inflight.Set(float64(s.inflight))
+		}
+		if cq.gauge != nil {
+			cq.gauge.Set(float64(cq.inflight))
+		}
+		s.mu.Unlock()
+		s.reqWG.Done()
+	}
+	return response{Status: StatusAccepted}, release
+}
+
+// Shutdown drains the server gracefully: stop accepting connections, shed
+// new requests with StatusDraining, wait for every admitted request to
+// finish (bounded by ctx), then close the remaining connections. It
+// returns nil on a clean drain and ctx.Err() when the deadline forced the
+// close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	inflight := s.inflight
+	s.mu.Unlock()
+	if alreadyDraining {
+		// A concurrent Shutdown owns the drain; just wait it out.
+		s.reqWG.Wait()
+		return nil
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	if s.log != nil {
+		s.log.LogAttrs(ctx, slog.LevelInfo, "draining",
+			slog.Int("inflight", inflight))
+	}
+	s.bat.drain()
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Deadline hit: cancel the remaining requests' pipeline contexts
+		// so their pool submissions abandon instead of running on.
+		s.forceCancel()
+		<-done
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.forceCancel()
+	if s.log != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "drained")
+	}
+	return err
+}
+
+// Close shuts down immediately: inflight requests' contexts are cancelled
+// and connections dropped without waiting for a drain.
+func (s *Server) Close() {
+	forced, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(forced) //nolint:errcheck // forced close, error is ctx.Canceled by construction
+}
+
+// sanitizeClientID maps a wire-supplied client ID onto the quota and
+// telemetry keyspace: metric-safe runes only, bounded length, remote host
+// as the fallback for anonymous clients.
+func sanitizeClientID(id string, conn net.Conn) string {
+	if id == "" {
+		host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+		if err != nil {
+			host = conn.RemoteAddr().String()
+		}
+		id = host
+	}
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 32 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "anon"
+	}
+	return b.String()
+}

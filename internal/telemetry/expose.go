@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -72,12 +73,45 @@ func (s Snapshot) Render() string {
 	return b.String()
 }
 
+// Version reports the build's version string from the embedded build
+// info: the module version when set, the VCS revision (suffixed "-dirty"
+// for modified trees) otherwise, "devel" when neither is stamped.
+var Version = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			dirty = kv.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+})
+
 // Handler returns an http.Handler serving the registry's metrics, a
 // liveness probe, the trace buffer, and the net/http/pprof profiling
 // surface:
 //
 //	/metrics       text exposition of a fresh Snapshot
-//	/healthz       {"status":"ok","uptime":"..."}
+//	/healthz       {"status":"ok","uptime":"...","version":"..."}
 //	/debug/trace   Chrome trace-event JSON of the tracer's buffer
 //	/debug/pprof/  index, cmdline, profile, symbol, trace, heap, ...
 func Handler(reg *Registry) http.Handler {
@@ -93,8 +127,9 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]string{
-			"status": "ok",
-			"uptime": reg.Uptime().String(),
+			"status":  "ok",
+			"uptime":  reg.Uptime().String(),
+			"version": Version(),
 		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -129,8 +164,10 @@ func NewServer(reg *Registry, addr string) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the sidecar down, waiting briefly for in-flight requests.
-func (s *Server) Close() error {
+// Shutdown closes the sidecar's listener and waits for in-flight scrapes
+// to finish, bounded by ctx. It is what signal handlers should call so
+// the /metrics socket is released before the process exits.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -138,11 +175,16 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
 	err := s.srv.Shutdown(ctx)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
 	return err
+}
+
+// Close shuts the sidecar down, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -182,10 +183,14 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("/healthz = %d", code)
 	}
 	var health struct {
-		Status string `json:"status"`
+		Status  string `json:"status"`
+		Version string `json:"version"`
 	}
 	if err := json.Unmarshal([]byte(body), &health); err != nil || health.Status != "ok" {
 		t.Fatalf("/healthz body %q (err %v)", body, err)
+	}
+	if health.Version == "" || health.Version != Version() {
+		t.Fatalf("/healthz version %q, want %q", health.Version, Version())
 	}
 	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d %q", code, body)
@@ -203,5 +208,38 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if len(events) != 1 || events[0]["name"] != "run baseline_000" {
 		t.Fatalf("/debug/trace events = %v", events)
+	}
+}
+
+func TestServerShutdownReleasesSocket(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := NewServer(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("socket still accepting after Shutdown")
+	}
+	// Shutdown and Close are idempotent afterwards.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() must never be empty")
+	}
+	if Version() != Version() {
+		t.Fatal("Version() must be stable")
 	}
 }

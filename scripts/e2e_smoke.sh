@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the serving layer against the real binaries:
+#
+#   1. build spaceprocd + loadgen
+#   2. boot the daemon on a free port
+#   3. drive one verified loadgen pass (-verify checks every served
+#      result bit-identical to an in-process run of the same pipeline)
+#   4. SIGTERM the daemon and require a clean "drained" exit
+#
+# No arguments. Exits non-zero on any failure. Used by `make e2e-smoke`
+# and the CI e2e job.
+set -eu
+
+workdir=$(mktemp -d)
+daemon_log="$workdir/spaceprocd.log"
+cleanup() {
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries"
+go build -o "$workdir/spaceprocd" ./cmd/spaceprocd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+echo "== booting spaceprocd"
+"$workdir/spaceprocd" -addr 127.0.0.1:0 -workers 4 -tile 32 \
+    -max-inflight 8 -drain-timeout 30s >"$daemon_log" 2>&1 &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^serving on //p' "$daemon_log" | head -n1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "daemon died during startup:" >&2
+        cat "$daemon_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "daemon never reported its address:" >&2
+    cat "$daemon_log" >&2
+    exit 1
+fi
+echo "daemon at $addr (pid $daemon_pid)"
+
+echo "== loadgen with bit-identical verification"
+"$workdir/loadgen" -addr "$addr" -clients 2 -requests 2 \
+    -width 64 -height 64 -readouts 8 -verify
+
+echo "== SIGTERM drain"
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 300); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "daemon did not exit after SIGTERM:" >&2
+    cat "$daemon_log" >&2
+    exit 1
+fi
+daemon_pid=""
+if ! grep -q "^drained$" "$daemon_log"; then
+    echo "daemon exited without draining:" >&2
+    cat "$daemon_log" >&2
+    exit 1
+fi
+echo "e2e smoke OK"

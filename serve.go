@@ -1,0 +1,96 @@
+package spaceproc
+
+import (
+	"log/slog"
+	"time"
+
+	"spaceproc/internal/serve"
+)
+
+// Preprocessing as a service (internal/serve): a daemon that runs client
+// baselines through a shared WorkerPool, with admission control, dynamic
+// batching, and graceful drain, plus the retrying Go client.
+type (
+	// ServeDaemon accepts baselines over TCP and answers with the
+	// repaired stack, its downlink payload, and the pipeline forensics.
+	ServeDaemon = serve.Server
+	// ServeDaemonOption configures a ServeDaemon.
+	ServeDaemonOption = serve.Option
+	// ServeBackend is the processing sink a ServeDaemon feeds, satisfied
+	// by *WorkerPool.
+	ServeBackend = serve.Backend
+	// ServeClient is the daemon's Go client: one connection, bounded
+	// exponential-backoff retries over sheds and transport faults.
+	ServeClient = serve.Client
+	// ServeClientOption configures a ServeClient.
+	ServeClientOption = serve.ClientOption
+	// ServeResult is one served baseline's output.
+	ServeResult = serve.Result
+)
+
+// ErrServeShed is wrapped into a ServeClient error when every attempt was
+// shed; errors.Is it to distinguish overload from hard failures.
+var ErrServeShed = serve.ErrShed
+
+// NewServeDaemon builds a daemon over the backend (normally a
+// *WorkerPool). Call Listen to bind and Shutdown to drain.
+func NewServeDaemon(backend ServeBackend, opts ...ServeDaemonOption) (*ServeDaemon, error) {
+	return serve.NewServer(backend, opts...)
+}
+
+// WithServeMaxInflight bounds concurrently admitted requests; beyond it
+// requests are shed with a retry-after hint instead of queued.
+func WithServeMaxInflight(n int) ServeDaemonOption { return serve.WithMaxInflight(n) }
+
+// WithServePerClientQuota bounds concurrently admitted requests per client
+// ID (0 means the global limit is the only bound).
+func WithServePerClientQuota(n int) ServeDaemonOption { return serve.WithPerClientQuota(n) }
+
+// WithServeRetryAfterHint sets the hint shed responses carry.
+func WithServeRetryAfterHint(d time.Duration) ServeDaemonOption {
+	return serve.WithRetryAfterHint(d)
+}
+
+// WithServeBatching coalesces admitted requests into pool submission
+// waves: a batch flushes at max members or when its oldest member has
+// waited window.
+func WithServeBatching(max int, window time.Duration) ServeDaemonOption {
+	return serve.WithBatching(max, window)
+}
+
+// WithServeTelemetry wires the daemon's serve_* metrics into reg.
+func WithServeTelemetry(reg *TelemetryRegistry) ServeDaemonOption {
+	return serve.WithTelemetry(reg)
+}
+
+// WithServeLogger routes the daemon's structured logs into l.
+func WithServeLogger(l *slog.Logger) ServeDaemonOption { return serve.WithLogger(l) }
+
+// DialService connects a ServeClient to a daemon.
+func DialService(addr string, opts ...ServeClientOption) (*ServeClient, error) {
+	return serve.DialClient(addr, opts...)
+}
+
+// WithServeClientID names the client for the daemon's quota accounting
+// and per-client telemetry.
+func WithServeClientID(id string) ServeClientOption { return serve.WithClientID(id) }
+
+// WithServeRetryPolicy tunes client retries: attempts tries in total,
+// backing off from base (doubling per attempt, floored by the daemon's
+// retry-after hint) up to max.
+func WithServeRetryPolicy(attempts int, base, max time.Duration) ServeClientOption {
+	return serve.WithRetryPolicy(attempts, base, max)
+}
+
+// WithServeClientDialBackoff tunes the client's reconnect loop.
+func WithServeClientDialBackoff(attempts int, base time.Duration) ServeClientOption {
+	return serve.WithClientDialBackoff(attempts, base)
+}
+
+// WithServeClientTelemetry wires the client_* metrics into reg.
+func WithServeClientTelemetry(reg *TelemetryRegistry) ServeClientOption {
+	return serve.WithClientTelemetry(reg)
+}
+
+// WithServeClientLogger routes the client's retry forensics into l.
+func WithServeClientLogger(l *slog.Logger) ServeClientOption { return serve.WithClientLogger(l) }
