@@ -41,6 +41,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	retryAfter := fs.Duration("retry-after", 50*time.Millisecond, "retry hint carried by shed responses")
 	batchMax := fs.Int("batch-max", 8, "requests per pool submission wave")
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "max wait for a batch to fill")
+	maxReqBytes := fs.Int64("max-request-bytes", 256<<20, "payload budget one request may declare")
+	recvTimeout := fs.Duration("recv-timeout", 30*time.Second, "per-frame receive deadline for admitted requests")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +88,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		spaceproc.WithServePerClientQuota(*perClient),
 		spaceproc.WithServeRetryAfterHint(*retryAfter),
 		spaceproc.WithServeBatching(*batchMax, *batchWindow),
+		spaceproc.WithServeMaxRequestBytes(*maxReqBytes),
+		spaceproc.WithServeReceiveTimeout(*recvTimeout),
 		spaceproc.WithServeTelemetry(reg),
 		spaceproc.WithServeLogger(logger),
 	)

@@ -65,6 +65,14 @@ func (b *batcher) submit(ctx context.Context, s *dataset.Stack) <-chan *cluster.
 		return it.out
 	}
 	b.mu.Lock()
+	if b.bypass.Load() {
+		// drain flipped bypass and flushed between the unlocked check
+		// above and this lock; parking the item on a fresh window timer
+		// here would make shutdown wait on it, so it goes straight out.
+		b.mu.Unlock()
+		b.flush([]*batchItem{it})
+		return it.out
+	}
 	b.pending = append(b.pending, it)
 	if len(b.pending) >= b.max {
 		items := b.take()

@@ -90,6 +90,20 @@ const (
 	MaxEdge = 16384
 )
 
+// payloadBytes is the in-memory size the header's payload decodes to:
+// Frames x Width x Height pixels at 2 bytes each. Admission checks it
+// against the server's request byte budget.
+func (h header) payloadBytes() int64 {
+	return int64(h.Frames) * int64(h.Width) * int64(h.Height) * 2
+}
+
+// wireBudget is the most bytes the header's payload may occupy on the
+// wire: gob encodes each uint16 pixel as a varint of at most 3 bytes,
+// plus one-time type definitions and per-frame message framing.
+func (h header) wireBudget() int64 {
+	return int64(h.Frames)*int64(h.Width)*int64(h.Height)*3 + int64(h.Frames)*64 + 64<<10
+}
+
 // validate rejects nonsensical or abusive headers before any payload is
 // accepted.
 func (h header) validate() error {

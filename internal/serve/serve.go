@@ -8,7 +8,11 @@
 //   - Admission control: a bounded global inflight limit plus per-client
 //     concurrency quotas, decided on the request header before the
 //     payload is on the wire. Requests over either limit are shed with a
-//     retry-after hint instead of queueing unboundedly.
+//     retry-after hint instead of queueing unboundedly. Admission also
+//     bounds bytes, not just request count: headers declaring more than
+//     the request byte budget are refused, and the payload decode reads
+//     through a budget-capped reader so wire-claimed gob lengths cannot
+//     out-allocate the header the server admitted.
 //   - Dynamic batching: admitted requests coalesce for up to a small
 //     window (or a maximum batch size) and their tiles submit onto the
 //     pool as one wave (see batcher).
@@ -26,6 +30,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"strings"
@@ -48,10 +53,21 @@ const (
 	// DefaultBatchWindow flushes a batch when its oldest member has
 	// waited this long.
 	DefaultBatchWindow = 2 * time.Millisecond
+	// DefaultMaxRequestBytes bounds the in-memory payload one admitted
+	// request may declare (Frames x Width x Height pixels at 2 bytes
+	// each).
+	DefaultMaxRequestBytes = 256 << 20
+	// DefaultReceiveTimeout bounds how long the server waits for each
+	// payload frame of an admitted request, so a client that stalls
+	// mid-stream releases its admission slot instead of pinning it.
+	DefaultReceiveTimeout = 30 * time.Second
 	// maxClientGauges caps how many distinct per-client inflight gauges
 	// the server will mint, so a hostile client sweeping IDs cannot grow
 	// the registry unboundedly. Quota enforcement is not affected.
 	maxClientGauges = 64
+	// maxHeaderBytes caps the wire bytes one header decode may consume
+	// (including gob's one-time type definitions).
+	maxHeaderBytes = 64 << 10
 )
 
 // Backend is the slice of cluster.Pool the server schedules onto; the
@@ -88,6 +104,8 @@ type Server struct {
 	retryAfter  time.Duration
 	batchMax    int
 	batchWindow time.Duration
+	maxReqBytes int64
+	recvTimeout time.Duration
 
 	tel *telemetry.Registry
 	met *serveMetrics
@@ -102,8 +120,8 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
-	clients  map[string]*clientQuota
-	gauges   int
+	clients  map[string]*clientQuota // entries pruned when a client's inflight hits zero
+	minted   map[string]*telemetry.Gauge
 	inflight int
 	draining bool
 	closed   bool
@@ -129,6 +147,20 @@ func WithPerClientQuota(n int) Option {
 // WithRetryAfterHint sets the shed hint handed to rejected clients.
 func WithRetryAfterHint(d time.Duration) Option {
 	return func(s *Server) { s.retryAfter = d }
+}
+
+// WithMaxRequestBytes bounds the payload one request may declare in its
+// header (Frames x Width x Height pixels at 2 bytes each); larger
+// requests are refused with StatusError before any payload is accepted.
+func WithMaxRequestBytes(n int64) Option {
+	return func(s *Server) { s.maxReqBytes = n }
+}
+
+// WithReceiveTimeout bounds the wait for each payload frame of an
+// admitted request; a client that stalls mid-stream is disconnected and
+// its admission slot released.
+func WithReceiveTimeout(d time.Duration) Option {
+	return func(s *Server) { s.recvTimeout = d }
 }
 
 // WithBatching tunes the dynamic batcher: a batch flushes at max members
@@ -166,8 +198,11 @@ func NewServer(backend Backend, opts ...Option) (*Server, error) {
 		retryAfter:  DefaultRetryAfter,
 		batchMax:    DefaultBatchMax,
 		batchWindow: DefaultBatchWindow,
+		maxReqBytes: DefaultMaxRequestBytes,
+		recvTimeout: DefaultReceiveTimeout,
 		conns:       make(map[net.Conn]struct{}),
 		clients:     make(map[string]*clientQuota),
+		minted:      make(map[string]*telemetry.Gauge),
 	}
 	for _, o := range opts {
 		o(s)
@@ -186,6 +221,12 @@ func NewServer(backend Backend, opts ...Option) (*Server, error) {
 	}
 	if s.retryAfter <= 0 {
 		return nil, fmt.Errorf("serve: retry-after hint %v must be positive", s.retryAfter)
+	}
+	if s.maxReqBytes <= 0 {
+		return nil, fmt.Errorf("serve: request byte budget %d must be positive", s.maxReqBytes)
+	}
+	if s.recvTimeout <= 0 {
+		return nil, fmt.Errorf("serve: receive timeout %v must be positive", s.recvTimeout)
 	}
 	if s.tel != nil {
 		s.met = &serveMetrics{
@@ -282,22 +323,50 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	// The decoder reads through a per-phase byte budget: headers get a
+	// small fixed allowance, payloads the wire budget their admitted
+	// header earned. A stream claiming more simply fails its decode.
+	lim := &limitReader{r: conn, n: maxHeaderBytes}
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 	for {
+		lim.n = maxHeaderBytes
 		var hdr header
 		if err := dec.Decode(&hdr); err != nil {
 			return
 		}
-		if !s.handle(conn, enc, dec, hdr) {
+		if !s.handle(conn, enc, dec, lim, hdr) {
 			return
 		}
 	}
 }
 
+// limitReader caps how many bytes the gob decoder may consume per
+// protocol phase, so a wire-claimed message length cannot pull more off
+// the socket than the admitted header declared. n < 0 reads unlimited.
+type limitReader struct {
+	r io.Reader
+	n int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.n < 0 {
+		return l.r.Read(p)
+	}
+	if l.n == 0 {
+		return 0, errors.New("serve: request byte budget exhausted")
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
 // handle runs one request exchange; it reports whether the connection is
 // still in sync and should serve another.
-func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, hdr header) bool {
+func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *limitReader, hdr header) bool {
 	if s.met != nil {
 		s.met.requests.Inc()
 	}
@@ -308,6 +377,14 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, hdr h
 			s.met.errored.Inc()
 		}
 		return enc.Encode(&response{Status: StatusError, Err: err.Error()}) == nil
+	}
+	if declared := hdr.payloadBytes(); declared > s.maxReqBytes {
+		if s.met != nil {
+			s.met.errored.Inc()
+		}
+		return enc.Encode(&response{Status: StatusError,
+			Err: fmt.Sprintf("serve: request declares %d payload bytes, budget is %d",
+				declared, s.maxReqBytes)}) == nil
 	}
 	client := sanitizeClientID(hdr.Client, conn)
 
@@ -331,9 +408,14 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, hdr h
 	}
 
 	// Receive the baseline. A decode fault here leaves the stream
-	// unsynchronized, so the connection is dropped.
+	// unsynchronized, so the connection is dropped. The reader budget is
+	// the admitted header's worst-case wire size; each frame must land
+	// within the receive timeout so a stalled client cannot pin its
+	// admission slot.
+	lim.n = hdr.wireBudget()
 	stack := &dataset.Stack{Frames: make([]*dataset.Image, hdr.Frames)}
 	for i := range stack.Frames {
+		conn.SetReadDeadline(time.Now().Add(s.recvTimeout)) //nolint:errcheck // a dead conn fails the decode below
 		var frame dataset.Image
 		if err := dec.Decode(&frame); err != nil {
 			return false
@@ -349,6 +431,7 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, hdr h
 		}
 		stack.Frames[i] = &frame
 	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // idle waits between requests are unbounded by design
 	if s.met != nil {
 		s.met.recvLat.Observe(time.Since(start))
 	}
@@ -406,9 +489,18 @@ func (s *Server) admit(client string) (response, func()) {
 	cq := s.clients[client]
 	if cq == nil {
 		cq = &clientQuota{}
-		if s.tel != nil && s.gauges < maxClientGauges {
-			cq.gauge = s.tel.Gauge("serve_client_" + client + "_inflight")
-			s.gauges++
+		if s.tel != nil {
+			// minted is the durable record of per-client gauges (capped,
+			// so an ID sweep cannot grow the registry); clients entries
+			// come and go with inflight work, and a returning client must
+			// not burn a second cap slot.
+			if g, ok := s.minted[client]; ok {
+				cq.gauge = g
+			} else if len(s.minted) < maxClientGauges {
+				g = s.tel.Gauge("serve_client_" + client + "_inflight")
+				s.minted[client] = g
+				cq.gauge = g
+			}
 		}
 		s.clients[client] = cq
 	}
@@ -438,6 +530,11 @@ func (s *Server) admit(client string) (response, func()) {
 		if cq.gauge != nil {
 			cq.gauge.Set(float64(cq.inflight))
 		}
+		if cq.inflight == 0 {
+			// Prune the quota entry so a client sweeping IDs cannot grow
+			// this map without bound; its gauge handle survives in minted.
+			delete(s.clients, client)
+		}
 		s.mu.Unlock()
 		s.reqWG.Done()
 	}
@@ -461,9 +558,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	inflight := s.inflight
 	s.mu.Unlock()
 	if alreadyDraining {
-		// A concurrent Shutdown owns the drain; just wait it out.
-		s.reqWG.Wait()
-		return nil
+		// A concurrent Shutdown owns the drain; wait it out, but still
+		// honor this caller's deadline with a forced close.
+		done := make(chan struct{})
+		go func() {
+			s.reqWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			s.forceCancel()
+			s.closeConns()
+			<-done
+			return ctx.Err()
+		}
 	}
 	if ln != nil {
 		ln.Close()
@@ -485,8 +595,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 		// Deadline hit: cancel the remaining requests' pipeline contexts
-		// so their pool submissions abandon instead of running on.
+		// so their pool submissions abandon instead of running on, and
+		// close the connections — cancellation alone cannot unblock a
+		// handler parked in a network read or write, and the drain must
+		// not wait on one.
 		s.forceCancel()
+		s.closeConns()
 		<-done
 	}
 
@@ -502,6 +616,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.log.LogAttrs(context.Background(), slog.LevelInfo, "drained")
 	}
 	return err
+}
+
+// closeConns force-closes every tracked connection, unblocking handlers
+// parked in network reads or writes so they retire their admission slots.
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 }
 
 // Close shuts down immediately: inflight requests' contexts are cancelled

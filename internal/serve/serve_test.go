@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -104,6 +105,197 @@ func TestNewServerValidation(t *testing.T) {
 	}
 	if _, err := NewServer(fb, WithRetryAfterHint(0)); err == nil {
 		t.Fatal("zero retry-after should error")
+	}
+	if _, err := NewServer(fb, WithMaxRequestBytes(0)); err == nil {
+		t.Fatal("zero request byte budget should error")
+	}
+	if _, err := NewServer(fb, WithReceiveTimeout(0)); err == nil {
+		t.Fatal("zero receive timeout should error")
+	}
+}
+
+// rawConn opens a bare gob connection to the server for protocol-level
+// tests.
+func rawConn(t *testing.T, addr string) (net.Conn, *gob.Encoder, *gob.Decoder) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, gob.NewEncoder(conn), gob.NewDecoder(conn)
+}
+
+// TestRequestOverByteBudgetRejected proves a header declaring more than
+// the request byte budget is refused before any payload moves and the
+// connection stays usable for an in-budget request.
+func TestRequestOverByteBudgetRejected(t *testing.T) {
+	fb := &fakeBackend{}
+	_, addr := startServer(t, fb, WithMaxRequestBytes(64)) // 32 pixels
+	_, enc, dec := rawConn(t, addr)
+
+	if err := enc.Encode(&header{Frames: 1, Width: 8, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError || !strings.Contains(resp.Err, "budget") {
+		t.Fatalf("want budget StatusError, got %v %q", resp.Status, resp.Err)
+	}
+
+	// An in-budget request on the same connection still round-trips.
+	stack := testStack(1, 4, 4)
+	if err := enc.Encode(&header{Frames: 1, Width: 4, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusAccepted {
+		t.Fatalf("want accepted, got %v (%s)", resp.Status, resp.Err)
+	}
+	if err := enc.Encode(stack.Frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("want OK, got %v (%s)", resp.Status, resp.Err)
+	}
+}
+
+// TestPayloadWireBudgetEnforced proves a payload stream that claims far
+// more wire bytes than the admitted header earns is cut off instead of
+// decoded: the server drops the connection without a response.
+func TestPayloadWireBudgetEnforced(t *testing.T) {
+	fb := &fakeBackend{}
+	_, addr := startServer(t, fb)
+	_, enc, dec := rawConn(t, addr)
+
+	if err := enc.Encode(&header{Frames: 1, Width: 2, Height: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusAccepted {
+		t.Fatalf("want accepted, got %v", resp.Status)
+	}
+	// A 2x2 header earns ~64 KiB of wire budget; stream a frame whose gob
+	// encoding is several times that (large pixel values encode as 3-byte
+	// varints).
+	huge := dataset.NewImage(256, 256)
+	for i := range huge.Pix {
+		huge.Pix[i] = 60000
+	}
+	if err := enc.Encode(huge); err != nil {
+		// The server may cut the connection while the frame is still
+		// being written; that is the enforcement working.
+		return
+	}
+	if err := dec.Decode(&resp); err == nil {
+		t.Fatalf("over-budget payload should drop the connection, got %v", resp.Status)
+	}
+}
+
+// TestStalledClientReleasesSlot proves an admitted client that stops
+// streaming frames is disconnected by the receive timeout and its
+// admission slot freed.
+func TestStalledClientReleasesSlot(t *testing.T) {
+	fb := &fakeBackend{}
+	srv, addr := startServer(t, fb, WithReceiveTimeout(30*time.Millisecond))
+	_, enc, dec := rawConn(t, addr)
+
+	if err := enc.Encode(&header{Frames: 2, Width: 8, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusAccepted {
+		t.Fatalf("want accepted, got %v", resp.Status)
+	}
+	if srv.Inflight() != 1 {
+		t.Fatalf("inflight = %d after admission", srv.Inflight())
+	}
+	// Stream nothing: the per-frame read deadline must retire the slot.
+	deadline := time.After(5 * time.Second)
+	for srv.Inflight() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("stalled client never released its admission slot")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestShutdownDeadlineUnblocksStalledReceive proves the drain deadline is
+// enforced even when a handler is parked in a network read: Shutdown
+// closes the connection instead of waiting on it forever.
+func TestShutdownDeadlineUnblocksStalledReceive(t *testing.T) {
+	fb := &fakeBackend{}
+	srv, addr := startServer(t, fb) // default (long) receive timeout
+	_, enc, dec := rawConn(t, addr)
+
+	if err := enc.Encode(&header{Frames: 2, Width: 8, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusAccepted {
+		t.Fatalf("want accepted, got %v", resp.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("forced drain should report the deadline, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown wedged on a stalled admitted client")
+	}
+	if srv.Inflight() != 0 {
+		t.Fatalf("inflight = %d after forced drain", srv.Inflight())
+	}
+}
+
+// TestClientEntriesPruned proves completed clients do not accumulate in
+// the quota map and a returning client does not burn a second gauge-cap
+// slot.
+func TestClientEntriesPruned(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	fb := &fakeBackend{}
+	srv, addr := startServer(t, fb, WithTelemetry(reg))
+	c := dialClient(t, addr, WithClientID("pruned"))
+
+	stack := testStack(2, 8, 8)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Process(context.Background(), stack); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		srv.mu.Lock()
+		entries, minted := len(srv.clients), len(srv.minted)
+		srv.mu.Unlock()
+		if entries != 0 {
+			t.Fatalf("after request %d: %d quota entries linger", i, entries)
+		}
+		if minted != 1 {
+			t.Fatalf("after request %d: %d gauges minted for one client", i, minted)
+		}
+	}
+	if got := reg.Snapshot().Gauges["serve_client_pruned_inflight"]; got != 0 {
+		t.Fatalf("per-client gauge = %g after completion", got)
 	}
 }
 
@@ -524,6 +716,39 @@ func TestBatcherDrainBypassesWindow(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("post-drain submit did not pass through")
+	}
+}
+
+// TestBatcherSubmitDrainRaceFlushes races submissions against drain with
+// an hour-long window: any item the race parks on a fresh timer would
+// only deliver after that window, so every channel must produce promptly.
+func TestBatcherSubmitDrainRaceFlushes(t *testing.T) {
+	fb := &fakeBackend{}
+	b := newBatcher(fb, 1000, time.Hour, nil)
+	const n = 64
+	outs := make([]<-chan *cluster.Result, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			outs[i] = b.submit(context.Background(), testStack(1, 4, 4))
+		}(i)
+	}
+	close(start)
+	b.drain()
+	wg.Wait()
+	for i, ch := range outs {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("item %d: %v", i, res.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("item %d parked past drain", i)
+		}
 	}
 }
 

@@ -51,6 +51,18 @@ func WithServeRetryAfterHint(d time.Duration) ServeDaemonOption {
 	return serve.WithRetryAfterHint(d)
 }
 
+// WithServeMaxRequestBytes bounds the payload one request may declare in
+// its header; larger requests are refused before any payload is accepted.
+func WithServeMaxRequestBytes(n int64) ServeDaemonOption {
+	return serve.WithMaxRequestBytes(n)
+}
+
+// WithServeReceiveTimeout bounds the wait for each payload frame of an
+// admitted request, so a stalled client releases its admission slot.
+func WithServeReceiveTimeout(d time.Duration) ServeDaemonOption {
+	return serve.WithReceiveTimeout(d)
+}
+
 // WithServeBatching coalesces admitted requests into pool submission
 // waves: a batch flushes at max members or when its oldest member has
 // waited window.
