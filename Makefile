@@ -45,8 +45,10 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out bench-smoke.json
 
-# e2e-smoke boots the real spaceprocd binary, drives it with loadgen
-# (bit-identical verification on), and SIGTERMs it expecting a clean
-# drain. See scripts/e2e_smoke.sh.
+# e2e-smoke boots the real binaries — one spaceprocd, then a 3-daemon
+# fleet behind spaceproc-router with one node killed and readmitted
+# mid-run — drives them with loadgen (bit-identical verification on),
+# and SIGTERMs everything expecting clean drains. See
+# scripts/e2e_smoke.sh.
 e2e-smoke:
 	sh scripts/e2e_smoke.sh

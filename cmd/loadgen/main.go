@@ -12,6 +12,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,7 +33,8 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:9035", "spaceprocd address")
+	addr := fs.String("addr", "127.0.0.1:9035", "spaceprocd or spaceproc-router address")
+	fleet := fs.String("fleet", "", "comma-separated daemon addresses for fleet-aware dialing (overrides -addr)")
 	clients := fs.Int("clients", 4, "concurrent client connections")
 	requests := fs.Int("requests", 8, "requests per client")
 	width := fs.Int("width", 128, "frame width")
@@ -55,6 +57,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *clients <= 0 || *requests <= 0 {
 		return fmt.Errorf("loadgen: clients and requests must be positive")
 	}
+	var fleetAddrs []string
+	for _, a := range strings.Split(*fleet, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			fleetAddrs = append(fleetAddrs, a)
+		}
+	}
 
 	// One synthesized baseline, faulted differently per request, keeps the
 	// generator cheap while every request still exercises repair.
@@ -74,11 +82,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			client, err := spaceproc.DialService(*addr,
+			opts := []spaceproc.ServeOption{
 				spaceproc.WithServeClientID(fmt.Sprintf("loadgen-%d", c)),
 				spaceproc.WithServeRetryPolicy(*attempts, 25*time.Millisecond, time.Second),
-				spaceproc.WithServeClientTelemetry(reg),
-			)
+				spaceproc.WithServeTelemetry(reg),
+			}
+			var client *spaceproc.ServeClient
+			var err error
+			if len(fleetAddrs) > 0 {
+				client, err = spaceproc.DialFleet(fleetAddrs, opts...)
+			} else {
+				client, err = spaceproc.Dial(*addr, opts...)
+			}
 			if err != nil {
 				errs[c] = err
 				return
@@ -91,7 +106,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				faulty := scene.Observed.Clone()
 				stream := spaceproc.NewRNGStream(*seed, uint64(c*(*requests)+r))
 				spaceproc.Uncorrelated{Gamma0: *gamma0}.InjectStack(faulty, stream)
-				res, err := client.Process(ctx, faulty)
+				// A per-request key spreads the work across a router's
+				// ring (a plain daemon ignores it), so every fleet member
+				// sees traffic instead of one node owning this client.
+				res, err := client.ProcessKeyed(ctx,
+					fmt.Sprintf("loadgen-%d-%d", c, r), faulty)
 				if err != nil {
 					failed.Add(1)
 					errs[c] = err

@@ -28,7 +28,7 @@ func startDaemon(t *testing.T) string {
 		}
 		pool.AddWorker(lw)
 	}
-	daemon, err := spaceproc.NewServeDaemon(pool)
+	daemon, err := spaceproc.NewDaemon(pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +79,32 @@ func TestLoadgenVerifiedRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(out, "client_requests_total") {
 		t.Fatalf("telemetry summary missing:\n%s", out)
+	}
+}
+
+// TestLoadgenFleetVerifiedRoundTrip drives two daemons through -fleet:
+// the per-request keys spread the load, and every served result still
+// verifies bit-identical against the in-process replay.
+func TestLoadgenFleetVerifiedRoundTrip(t *testing.T) {
+	addrA := startDaemon(t)
+	addrB := startDaemon(t)
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-fleet", addrA + "," + addrB,
+		"-clients", "2",
+		"-requests", "2",
+		"-width", "64", "-height", "64", "-readouts", "8",
+		"-verify",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "4 ok, 0 failed") {
+		t.Fatalf("unexpected summary:\n%s", out)
+	}
+	if !strings.Contains(out, "verify: 0 mismatched") {
+		t.Fatalf("verification not clean:\n%s", out)
 	}
 }
 

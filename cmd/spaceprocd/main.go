@@ -83,16 +83,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pool.AddWorker(lw)
 	}
 
-	daemon, err := spaceproc.NewServeDaemon(pool,
-		spaceproc.WithServeMaxInflight(*maxInflight),
-		spaceproc.WithServePerClientQuota(*perClient),
-		spaceproc.WithServeRetryAfterHint(*retryAfter),
-		spaceproc.WithServeBatching(*batchMax, *batchWindow),
-		spaceproc.WithServeMaxRequestBytes(*maxReqBytes),
-		spaceproc.WithServeReceiveTimeout(*recvTimeout),
-		spaceproc.WithServeTelemetry(reg),
-		spaceproc.WithServeLogger(logger),
-	)
+	scfg := spaceproc.DefaultServeConfig()
+	scfg.MaxInflight = *maxInflight
+	scfg.PerClientQuota = *perClient
+	scfg.RetryAfter = *retryAfter
+	// A zero ServeConfig field means "default"; the flags' zero means
+	// "disabled", which the config spells as a negative.
+	scfg.BatchMax = *batchMax
+	if *batchMax <= 0 {
+		scfg.BatchMax = -1
+	}
+	scfg.BatchWindow = *batchWindow
+	if *batchWindow <= 0 {
+		scfg.BatchWindow = -1
+	}
+	scfg.MaxRequestBytes = *maxReqBytes
+	scfg.ReceiveTimeout = *recvTimeout
+	scfg.Telemetry = reg
+	scfg.Logger = logger
+	daemon, err := spaceproc.NewDaemonWith(pool, scfg)
 	if err != nil {
 		return err
 	}

@@ -46,12 +46,12 @@ type batchItem struct {
 	out      chan *cluster.Result
 }
 
-func newBatcher(backend Backend, max int, window time.Duration, tel *telemetry.Registry) *batcher {
+func newBatcher(backend Backend, max int, window time.Duration, tel *telemetry.Registry, prefix string) *batcher {
 	b := &batcher{backend: backend, max: max, window: window}
 	if tel != nil {
-		b.batches = tel.Counter("serve_batches_total")
-		b.batchSize = tel.Gauge("serve_batch_size")
-		b.batchWait = tel.Histogram("serve_batch_wait")
+		b.batches = tel.Counter(prefix + "_batches_total")
+		b.batchSize = tel.Gauge(prefix + "_batch_size")
+		b.batchWait = tel.Histogram(prefix + "_batch_wait")
 	}
 	return b
 }

@@ -11,10 +11,11 @@ import (
 	"time"
 
 	"spaceproc/internal/dataset"
+	"spaceproc/internal/serve/ring"
 	"spaceproc/internal/telemetry"
 )
 
-// Client defaults; override with the corresponding ClientOption.
+// Client defaults; override via Config or the corresponding Option.
 const (
 	// DefaultAttempts bounds tries per Process call (first try plus
 	// retries over sheds and transport faults).
@@ -34,6 +35,12 @@ const (
 // callers can errors.Is it to distinguish overload from hard failures.
 var ErrShed = errors.New("serve: request shed")
 
+// ErrRemote is wrapped into errors the server reported as terminal
+// (invalid request, pipeline failure): the transport worked, the request
+// cannot succeed by retrying. A fleet distinguishes it from transport
+// faults — a node answering ErrRemote is alive and must not be ejected.
+var ErrRemote = errors.New("serve: remote error")
+
 // clientMetrics holds the client's registry handles.
 type clientMetrics struct {
 	requests *telemetry.Counter
@@ -43,111 +50,80 @@ type clientMetrics struct {
 	lat      *telemetry.Histogram
 }
 
-// Client is the Go client for a serve.Server: one connection, sequential
-// requests, bounded exponential-backoff retries over sheds (honoring the
-// server's retry-after hint as the floor) and transport faults (re-dialing
-// with its own bounded backoff, the cluster.WithDialBackoff pattern). Open
-// several clients for parallel submissions.
+// clientNode tracks one fleet member's dial health on the client side:
+// the pool's breaker idiom scaled down to a dial-avoidance window, so a
+// fleet-aware client stops hammering a dead node's connect timeout on
+// every reconnect.
+type clientNode struct {
+	consecutive int
+	backoff     time.Duration
+	avoidUntil  time.Time
+}
+
+// Client is the Go client for a serve.Server or Router: one connection,
+// sequential requests, bounded exponential-backoff retries over sheds
+// (honoring the server's retry-after hint as the floor) and transport
+// faults (re-dialing with its own bounded backoff, the
+// cluster.WithDialBackoff pattern). Open several clients for parallel
+// submissions.
+//
+// A fleet-aware client (DialFleet) holds the same consistent-hash ring a
+// router would and dials the member owning its client ID, failing over
+// along the ring when that node is unreachable.
 //
 // A Client is safe for concurrent use; concurrent Process calls serialize
 // over the single connection.
 type Client struct {
-	addr         string
-	id           string
-	attempts     int
-	backoffBase  time.Duration
-	backoffMax   time.Duration
-	dialAttempts int
-	dialBackoff  time.Duration
+	cfg   Config
+	addrs []string   // candidate servers; len > 1 makes the client fleet-aware
+	ring  *ring.Ring // nil for a single-address client
 
-	tel *telemetry.Registry
 	met *clientMetrics
 	log *slog.Logger
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	addr    string // address of the live conn
+	nodes   map[string]*clientNode
+	backoff time.Duration // current retry delay: doubles per shed, resets on success
 }
 
-// ClientOption configures a Client.
-type ClientOption func(*Client)
-
-// WithClientID names the client for the server's quota accounting and
-// per-client telemetry; empty defaults to the connection's source host.
-func WithClientID(id string) ClientOption {
-	return func(c *Client) { c.id = id }
-}
-
-// WithRetryPolicy tunes Process retries: attempts tries in total, backing
-// off from base (doubling per attempt, floored by the server's retry-after
-// hint) up to max.
-func WithRetryPolicy(attempts int, base, max time.Duration) ClientOption {
-	return func(c *Client) {
-		c.attempts = attempts
-		c.backoffBase = base
-		c.backoffMax = max
-	}
-}
-
-// WithClientDialBackoff tunes the reconnect loop: attempts dials per
-// connect, sleeping base (doubling each attempt) between them.
-func WithClientDialBackoff(attempts int, base time.Duration) ClientOption {
-	return func(c *Client) {
-		c.dialAttempts = attempts
-		c.dialBackoff = base
-	}
-}
-
-// WithClientTelemetry wires the client's instrumentation into reg:
-// client_requests_total, client_sheds_total, client_retries_total,
-// client_errors_total, and the client_request latency histogram.
-func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
-	return func(c *Client) { c.tel = reg }
-}
-
-// WithClientLogger routes WARN retry/shed forensics into l.
-func WithClientLogger(l *slog.Logger) ClientOption {
-	return func(c *Client) { c.log = l }
-}
-
-// DialClient connects to a serve.Server.
-func DialClient(addr string, opts ...ClientOption) (*Client, error) {
-	c := &Client{
-		addr:         addr,
-		attempts:     DefaultAttempts,
-		backoffBase:  DefaultRetryBackoff,
-		backoffMax:   DefaultRetryBackoffMax,
-		dialAttempts: DefaultClientDialAttempts,
-		dialBackoff:  DefaultClientDialBackoff,
-	}
+// DialClient connects to a single serve.Server or Router.
+func DialClient(addr string, opts ...Option) (*Client, error) {
+	cfg := DefaultConfig()
 	for _, o := range opts {
-		o(c)
+		o(&cfg)
 	}
-	if c.attempts <= 0 {
-		c.attempts = 1
+	return DialWith(cfg, addr)
+}
+
+// DialFleet connects a fleet-aware client: requests route to the member
+// owning the client's ID on the consistent-hash ring (configure it with
+// WithRing to match the fleet's routers), failing over to ring
+// successors when a member is unreachable.
+func DialFleet(addrs []string, opts ...Option) (*Client, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
 	}
-	if c.backoffBase <= 0 {
-		c.backoffBase = DefaultRetryBackoff
-	}
-	if c.backoffMax < c.backoffBase {
-		c.backoffMax = c.backoffBase
-	}
-	if c.dialAttempts <= 0 {
-		c.dialAttempts = 1
-	}
-	if c.dialBackoff <= 0 {
-		c.dialBackoff = DefaultClientDialBackoff
-	}
-	if c.tel != nil {
-		c.met = &clientMetrics{
-			requests: c.tel.Counter("client_requests_total"),
-			sheds:    c.tel.Counter("client_sheds_total"),
-			retries:  c.tel.Counter("client_retries_total"),
-			errored:  c.tel.Counter("client_errors_total"),
-			lat:      c.tel.Histogram("client_request"),
+	return DialWith(cfg, addrs...)
+}
+
+// DialWith connects using cfg's client fields (invalid values are
+// clamped, not errors — a half-configured client still makes progress).
+func DialWith(cfg Config, addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		for _, n := range cfg.Fleet {
+			addrs = append(addrs, n.Addr)
 		}
 	}
+	if len(addrs) == 0 {
+		return nil, errors.New("serve: no server address")
+	}
+	cfg.clampClient()
+	c := newClient(cfg, addrs)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.connect(context.Background()); err != nil {
@@ -156,12 +132,89 @@ func DialClient(addr string, opts ...ClientOption) (*Client, error) {
 	return c, nil
 }
 
-// connect dials the server with bounded exponential backoff. Callers hold
+// newClient builds an unconnected client; try dials lazily.
+func newClient(cfg Config, addrs []string) *Client {
+	c := &Client{
+		cfg:     cfg,
+		addrs:   append([]string(nil), addrs...),
+		nodes:   make(map[string]*clientNode),
+		backoff: cfg.RetryBackoff,
+	}
+	if len(addrs) > 1 {
+		c.ring = ring.New(cfg.VirtualNodes, cfg.RingSeed)
+		c.ring.Add(addrs...)
+	}
+	if cfg.Telemetry != nil {
+		c.met = &clientMetrics{
+			requests: cfg.Telemetry.Counter("client_requests_total"),
+			sheds:    cfg.Telemetry.Counter("client_sheds_total"),
+			retries:  cfg.Telemetry.Counter("client_retries_total"),
+			errored:  cfg.Telemetry.Counter("client_errors_total"),
+			lat:      cfg.Telemetry.Histogram("client_request"),
+		}
+	}
+	c.log = cfg.Logger
+	return c
+}
+
+// candidates returns the dial order: the ring sequence for the client's
+// ID with nodes inside their avoidance window demoted to the back, so a
+// recently dead member is the last resort instead of the first timeout.
+// Callers hold c.mu.
+func (c *Client) candidates() []string {
+	if c.ring == nil {
+		return c.addrs
+	}
+	seq := c.ring.Sequence(c.cfg.ClientID)
+	now := time.Now()
+	due := make([]string, 0, len(seq))
+	var avoided []string
+	for _, a := range seq {
+		if n := c.nodes[a]; n != nil && now.Before(n.avoidUntil) {
+			avoided = append(avoided, a)
+			continue
+		}
+		due = append(due, a)
+	}
+	return append(due, avoided...)
+}
+
+// noteDial records one dial outcome for a fleet member. Callers hold
 // c.mu.
+func (c *Client) noteDial(addr string, err error) {
+	if c.ring == nil {
+		return
+	}
+	n := c.nodes[addr]
+	if n == nil {
+		n = &clientNode{}
+		c.nodes[addr] = n
+	}
+	if err == nil {
+		n.consecutive = 0
+		n.backoff = 0
+		n.avoidUntil = time.Time{}
+		return
+	}
+	n.consecutive++
+	if n.consecutive < c.cfg.ProbeFailures {
+		return
+	}
+	if n.backoff == 0 {
+		n.backoff = c.cfg.ProbeBackoff
+	} else if n.backoff *= 2; n.backoff > c.cfg.ProbeBackoffMax {
+		n.backoff = c.cfg.ProbeBackoffMax
+	}
+	n.avoidUntil = time.Now().Add(n.backoff)
+}
+
+// connect dials a server with bounded exponential backoff, walking the
+// failover candidates on each pass for a fleet-aware client. Callers
+// hold c.mu.
 func (c *Client) connect(ctx context.Context) error {
-	backoff := c.dialBackoff
+	backoff := c.cfg.DialBackoff
 	var lastErr error
-	for attempt := 0; attempt < c.dialAttempts; attempt++ {
+	for attempt := 0; attempt < c.cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
 			t := time.NewTimer(backoff)
 			select {
@@ -172,23 +225,43 @@ func (c *Client) connect(ctx context.Context) error {
 			}
 			backoff *= 2
 		}
-		var d net.Dialer
-		conn, err := d.DialContext(ctx, "tcp", c.addr)
-		if err == nil {
-			c.conn = conn
-			c.enc = gob.NewEncoder(conn)
-			c.dec = gob.NewDecoder(conn)
-			return nil
+		for _, addr := range c.candidates() {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			c.noteDial(addr, err)
+			if err == nil {
+				c.conn = conn
+				c.addr = addr
+				c.enc = gob.NewEncoder(conn)
+				c.dec = gob.NewDecoder(conn)
+				return nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 		}
-		lastErr = err
 	}
-	return fmt.Errorf("serve: dial %s (%d attempts): %w", c.addr, c.dialAttempts, lastErr)
+	return fmt.Errorf("serve: dial %v (%d attempts): %w", c.addrs, c.cfg.DialAttempts, lastErr)
+}
+
+// ensureConnected dials if the client has no live connection, bounded by
+// ctx — the fleet uses it to cap a forwarding dial separately from the
+// request's own deadline.
+func (c *Client) ensureConnected(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return nil
+	}
+	return c.connect(ctx)
 }
 
 func (c *Client) teardown() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+		c.addr = ""
 		c.enc, c.dec = nil, nil
 	}
 }
@@ -200,12 +273,36 @@ func (c *Client) Close() {
 	c.teardown()
 }
 
+// Addr returns the address of the live connection ("" when disconnected)
+// — for a fleet-aware client, the member currently serving it.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
 // Process streams the baseline to the server and returns the served
 // result. Sheds and transport faults are retried with bounded exponential
 // backoff (the server's retry-after hint floors each delay); terminal
-// server errors and context expiry return immediately. When every attempt
-// was shed the returned error wraps ErrShed.
+// server errors (errors.Is ErrRemote) and context expiry return
+// immediately. When every attempt was shed the returned error wraps
+// ErrShed.
 func (c *Client) Process(ctx context.Context, s *dataset.Stack) (*Result, error) {
+	return c.process(ctx, c.cfg.ClientID, "", s)
+}
+
+// ProcessKeyed is Process with an explicit routing key: fleet routers
+// (and fleet-aware clients) place the request on the ring by key instead
+// of the client's ID, so callers can pin related baselines — one
+// dataset's readouts, say — to one node.
+func (c *Client) ProcessKeyed(ctx context.Context, key string, s *dataset.Stack) (*Result, error) {
+	return c.process(ctx, c.cfg.ClientID, key, s)
+}
+
+// process is the retry loop shared by Process, ProcessKeyed, and the
+// fleet's forwarders (which override clientID to preserve the original
+// submitter's quota identity end to end).
+func (c *Client) process(ctx context.Context, clientID, key string, s *dataset.Stack) (*Result, error) {
 	if s == nil || s.Len() == 0 {
 		return nil, errors.New("serve: empty baseline")
 	}
@@ -214,11 +311,16 @@ func (c *Client) Process(ctx context.Context, s *dataset.Stack) (*Result, error)
 		c.met.requests.Inc()
 		defer func() { c.met.lat.Observe(time.Since(start)) }()
 	}
-	backoff := c.backoffBase
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		res, retryIn, err := c.try(ctx, s)
+		res, retryIn, err := c.try(ctx, clientID, key, s)
 		if err == nil && retryIn < 0 {
+			// The server took a request, so its earlier sheds were
+			// transient load, not a trend: the next shed starts the
+			// backoff ladder from its base again. Without this reset a
+			// long-lived connection that saw early sheds would keep its
+			// inflated delay forever.
+			c.resetBackoff()
 			return res, nil
 		}
 		var terminal *terminalError
@@ -238,13 +340,13 @@ func (c *Client) Process(ctx context.Context, s *dataset.Stack) (*Result, error)
 			}
 			lastErr = fmt.Errorf("%w after %d attempt(s)", ErrShed, attempt)
 		}
-		if attempt >= c.attempts {
+		if attempt >= c.cfg.Attempts {
 			if c.met != nil {
 				c.met.errored.Inc()
 			}
 			return nil, lastErr
 		}
-		delay := backoff
+		delay := c.bumpBackoff()
 		if retryIn > delay {
 			delay = retryIn
 		}
@@ -264,21 +366,46 @@ func (c *Client) Process(ctx context.Context, s *dataset.Stack) (*Result, error)
 			t.Stop()
 			return nil, ctx.Err()
 		}
-		if backoff *= 2; backoff > c.backoffMax {
-			backoff = c.backoffMax
-		}
 	}
+}
+
+// bumpBackoff returns the current retry delay and escalates it for the
+// next retry (doubling up to the max). The ladder is connection-scoped,
+// not call-scoped: consecutive shed requests on a persistent connection
+// keep climbing it, and only a success (resetBackoff) descends.
+func (c *Client) bumpBackoff() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.backoff
+	if c.backoff *= 2; c.backoff > c.cfg.RetryBackoffMax {
+		c.backoff = c.cfg.RetryBackoffMax
+	}
+	return d
+}
+
+// resetBackoff restarts the retry ladder after a served request.
+func (c *Client) resetBackoff() {
+	c.mu.Lock()
+	c.backoff = c.cfg.RetryBackoff
+	c.mu.Unlock()
 }
 
 // terminalError marks a server-reported failure that retrying cannot fix.
 type terminalError struct{ err error }
 
 func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// remoteError wraps a server-reported message so callers can errors.Is
+// the ErrRemote sentinel.
+func remoteError(msg string) *terminalError {
+	return &terminalError{fmt.Errorf("%w: %s", ErrRemote, msg)}
+}
 
 // try runs one attempt. Outcomes: (res, -1, nil) success; (nil, hint, nil)
 // shed, retry no earlier than hint; (nil, 0, err) transport fault
 // (retryable) or *terminalError.
-func (c *Client) try(ctx context.Context, s *dataset.Stack) (*Result, time.Duration, error) {
+func (c *Client) try(ctx context.Context, clientID, key string, s *dataset.Stack) (*Result, time.Duration, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -303,7 +430,7 @@ func (c *Client) try(ctx context.Context, s *dataset.Stack) (*Result, time.Durat
 	})
 	defer stopWatch()
 
-	hdr := header{Client: c.id, Frames: s.Len(), Width: s.Width(), Height: s.Height()}
+	hdr := header{Client: clientID, Key: key, Frames: s.Len(), Width: s.Width(), Height: s.Height()}
 	if hasDeadline {
 		hdr.Deadline = deadline
 	}
@@ -320,7 +447,7 @@ func (c *Client) try(ctx context.Context, s *dataset.Stack) (*Result, time.Durat
 	case StatusShed, StatusDraining:
 		return nil, verdict.RetryAfter, nil
 	case StatusError:
-		return nil, 0, &terminalError{fmt.Errorf("serve: remote: %s", verdict.Err)}
+		return nil, 0, remoteError(verdict.Err)
 	case StatusAccepted:
 	default:
 		c.teardown()
@@ -346,8 +473,14 @@ func (c *Client) try(ctx context.Context, s *dataset.Stack) (*Result, time.Durat
 			PreStats:   final.PreStats,
 			Retries:    final.Retries,
 		}, -1, nil
+	case StatusShed, StatusDraining:
+		// A post-admission shed: a router admitted the request but found
+		// every fleet candidate saturated by the time it forwarded. The
+		// connection is still in sync, so back off and retry like an
+		// admission shed.
+		return nil, final.RetryAfter, nil
 	case StatusError:
-		return nil, 0, &terminalError{fmt.Errorf("serve: remote: %s", final.Err)}
+		return nil, 0, remoteError(final.Err)
 	default:
 		c.teardown()
 		return nil, 0, fmt.Errorf("serve: unexpected result status %v", final.Status)

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/telemetry"
+)
+
+// Core is the transport-independent heart of the serving tier: admission
+// control (bounded global inflight plus per-client quotas), dynamic
+// batching onto a Backend, and drain bookkeeping. The TCP daemon
+// (Server) and the fleet router are both thin transports over one Core,
+// so there is exactly one implementation of shedding and quota logic in
+// the tree — a transport decides how verdicts reach the wire, never
+// whether a request is admitted.
+//
+// Lifecycle: NewCore → Admit/Submit per request → BeginDrain, await
+// Idle, then ForceCancel (or ForceCancel directly for an abort).
+type Core struct {
+	cfg Config
+	met *serveMetrics // nil without telemetry
+	bat *batcher
+
+	// forceCtx cancels every request's pipeline context on a forced
+	// close; a graceful drain leaves it alone until the drain completes.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	mu       sync.Mutex
+	clients  map[string]*clientQuota // entries pruned when a client's inflight hits zero
+	minted   map[string]*telemetry.Gauge
+	inflight int
+	draining bool
+	reqWG    sync.WaitGroup // admitted requests
+}
+
+// Decision is one admission verdict: StatusAccepted, or a shed status
+// with the retry-after hint the transport should relay.
+type Decision struct {
+	Status     Status
+	RetryAfter time.Duration
+}
+
+// NewCore builds the admission core over the backend. cfg is used as
+// given after zero-field defaulting; construct via a Server or Router
+// when a transport is wanted.
+func NewCore(backend Backend, cfg Config) (*Core, error) {
+	if backend == nil {
+		return nil, errors.New("serve: nil backend")
+	}
+	cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PerClientQuota == 0 || cfg.PerClientQuota > cfg.MaxInflight {
+		cfg.PerClientQuota = cfg.MaxInflight
+	}
+	c := &Core{
+		cfg:     cfg,
+		clients: make(map[string]*clientQuota),
+		minted:  make(map[string]*telemetry.Gauge),
+	}
+	if cfg.Telemetry != nil {
+		p := cfg.MetricPrefix
+		c.met = &serveMetrics{
+			requests:  cfg.Telemetry.Counter(p + "_requests_total"),
+			accepted:  cfg.Telemetry.Counter(p + "_requests_accepted_total"),
+			shed:      cfg.Telemetry.Counter(p + "_shed_total"),
+			drainShed: cfg.Telemetry.Counter(p + "_drain_shed_total"),
+			errored:   cfg.Telemetry.Counter(p + "_errors_total"),
+			inflight:  cfg.Telemetry.Gauge(p + "_requests_inflight"),
+			reqLat:    cfg.Telemetry.Histogram(p + "_request"),
+			recvLat:   cfg.Telemetry.Histogram(p + "_receive"),
+		}
+	}
+	c.bat = newBatcher(backend, cfg.BatchMax, cfg.BatchWindow, cfg.Telemetry, cfg.MetricPrefix)
+	c.forceCtx, c.forceCancel = context.WithCancel(context.Background())
+	return c, nil
+}
+
+// Config returns the defaulted configuration the core runs with.
+func (c *Core) Config() Config { return c.cfg }
+
+// Admit decides one request under the inflight limit and the client's
+// quota. On acceptance the returned release must be called exactly once
+// when the request retires; on rejection release is nil and the decision
+// carries the retry-after hint.
+func (c *Core) Admit(client string) (Decision, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		if c.met != nil {
+			c.met.shed.Inc()
+			c.met.drainShed.Inc()
+		}
+		return Decision{Status: StatusDraining, RetryAfter: c.cfg.RetryAfter}, nil
+	}
+	if c.inflight >= c.cfg.MaxInflight {
+		if c.met != nil {
+			c.met.shed.Inc()
+		}
+		return Decision{Status: StatusShed, RetryAfter: c.cfg.RetryAfter}, nil
+	}
+	cq := c.clients[client]
+	if cq == nil {
+		cq = &clientQuota{}
+		if c.cfg.Telemetry != nil {
+			// minted is the durable record of per-client gauges (capped,
+			// so an ID sweep cannot grow the registry); clients entries
+			// come and go with inflight work, and a returning client must
+			// not burn a second cap slot.
+			if g, ok := c.minted[client]; ok {
+				cq.gauge = g
+			} else if len(c.minted) < maxClientGauges {
+				g = c.cfg.Telemetry.Gauge(c.cfg.MetricPrefix + "_client_" + client + "_inflight")
+				c.minted[client] = g
+				cq.gauge = g
+			}
+		}
+		c.clients[client] = cq
+	}
+	if cq.inflight >= c.cfg.PerClientQuota {
+		if c.met != nil {
+			c.met.shed.Inc()
+		}
+		return Decision{Status: StatusShed, RetryAfter: c.cfg.RetryAfter}, nil
+	}
+	c.inflight++
+	cq.inflight++
+	c.reqWG.Add(1)
+	if c.met != nil {
+		c.met.accepted.Inc()
+		c.met.inflight.Set(float64(c.inflight))
+	}
+	if cq.gauge != nil {
+		cq.gauge.Set(float64(cq.inflight))
+	}
+	release := func() {
+		c.mu.Lock()
+		c.inflight--
+		cq.inflight--
+		if c.met != nil {
+			c.met.inflight.Set(float64(c.inflight))
+		}
+		if cq.gauge != nil {
+			cq.gauge.Set(float64(cq.inflight))
+		}
+		if cq.inflight == 0 {
+			// Prune the quota entry so a client sweeping IDs cannot grow
+			// this map without bound; its gauge handle survives in minted.
+			delete(c.clients, client)
+		}
+		c.mu.Unlock()
+		c.reqWG.Done()
+	}
+	return Decision{Status: StatusAccepted}, release
+}
+
+// Submit runs one admitted baseline through the batcher onto the
+// backend. The context should carry the request's Route and deadline;
+// derive it from Context() so a forced close cancels the pipeline.
+func (c *Core) Submit(ctx context.Context, s *dataset.Stack) <-chan *cluster.Result {
+	return c.bat.submit(ctx, s)
+}
+
+// Context is the root every request's pipeline context must derive from:
+// it is cancelled by ForceCancel so an aborted shutdown abandons pool
+// work instead of running it to completion.
+func (c *Core) Context() context.Context { return c.forceCtx }
+
+// Inflight reports the number of admitted requests currently in the
+// pipeline.
+func (c *Core) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// BeginDrain flips the core into draining — every further Admit answers
+// StatusDraining — and flushes the batcher so no admitted request waits
+// on a batch window the shutdown is racing. It reports whether this call
+// started the drain (false when one was already underway).
+func (c *Core) BeginDrain() bool {
+	c.mu.Lock()
+	already := c.draining
+	c.draining = true
+	c.mu.Unlock()
+	if !already {
+		c.bat.drain()
+	}
+	return !already
+}
+
+// Idle returns a channel that closes once every admitted request has
+// retired. Each call makes a fresh channel, so concurrent drains can
+// each wait with their own deadline.
+func (c *Core) Idle() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		c.reqWG.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// ForceCancel cancels every request's pipeline context (see Context).
+// Idempotent; BeginDrain first for a graceful wind-down.
+func (c *Core) ForceCancel() { c.forceCancel() }
+
+// metrics exposes the shared handles to the transports (request counts
+// and latencies are observed where the wire is).
+func (c *Core) metrics() *serveMetrics { return c.met }
+
+// Route names the origin of one request as it flows through Core.Submit
+// into a Backend: the sanitized client ID, and the routing key a fleet
+// backend hashes onto its ring (falling back to the client ID when the
+// request did not pin a key).
+type Route struct {
+	Client string
+	Key    string
+}
+
+type routeCtxKey struct{}
+
+// WithRoute attaches the request's route to ctx for the backend.
+func WithRoute(ctx context.Context, rt Route) context.Context {
+	return context.WithValue(ctx, routeCtxKey{}, rt)
+}
+
+// RouteFrom recovers the route attached by WithRoute.
+func RouteFrom(ctx context.Context) (Route, bool) {
+	rt, ok := ctx.Value(routeCtxKey{}).(Route)
+	return rt, ok
+}

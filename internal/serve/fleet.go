@@ -1,0 +1,604 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/serve/ring"
+	"spaceproc/internal/telemetry"
+)
+
+// fleetDialTimeout bounds one forwarding dial so a freshly dead node
+// costs a connect timeout, not a request deadline.
+const fleetDialTimeout = time.Second
+
+// NodeState is a fleet member's circuit-breaker state, mirroring the
+// worker pool's idiom: Healthy until ProbeFailures consecutive probe or
+// forward failures, then Quarantined for an exponentially growing
+// backoff, then Probing (half-open) where a single success readmits and
+// a single failure re-quarantines with a doubled backoff.
+type NodeState int
+
+const (
+	NodeHealthy NodeState = iota
+	NodeQuarantined
+	NodeProbing
+)
+
+// String renders the state for logs and status reports.
+func (s NodeState) String() string {
+	switch s {
+	case NodeHealthy:
+		return "healthy"
+	case NodeQuarantined:
+		return "quarantined"
+	case NodeProbing:
+		return "probing"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// NodeStatus is one member's membership snapshot (see Fleet.Status).
+type NodeStatus struct {
+	Addr  string
+	State NodeState
+	Depth int // max of live forwards and the last probed inflight gauge
+}
+
+// fleetMetrics holds the fleet's registry handles under the configured
+// prefix ("router" behind a Router).
+type fleetMetrics struct {
+	routed      *telemetry.Counter // requests forwarded successfully
+	rerouted    *telemetry.Counter // served by a node other than the ring owner
+	spillover   *telemetry.Counter // owner demoted for queue depth
+	ejected     *telemetry.Counter // circuit trips
+	readmitted  *telemetry.Counter // circuit closes
+	probeFailed *telemetry.Counter
+	nodes       *telemetry.Gauge
+	nodesUp     *telemetry.Gauge
+}
+
+// fleetNode is one member: its breaker, its queue-depth estimate, and a
+// pool of idle forwarding clients.
+type fleetNode struct {
+	node     Node
+	id       string // metric-safe address
+	healthyG *telemetry.Gauge
+	depthG   *telemetry.Gauge
+
+	mu          sync.Mutex
+	state       NodeState
+	consecutive int
+	backoff     time.Duration
+	reopenAt    time.Time
+	probedDepth int       // serve_requests_inflight from the last probe
+	outstanding int       // live forwards from this fleet
+	idle        []*Client // parked forwarding connections
+}
+
+// Fleet is a consistent-hash routing backend over spaceprocd members: it
+// implements Backend, so a Server constructed over it IS the router —
+// admission, quotas, and drain come from the same Core as the daemon,
+// and only the Submit sink differs. Requests place onto the ring by
+// their Route key, fail over along the ring past ejected members, and
+// spill past members whose queue depth runs hot.
+type Fleet struct {
+	cfg   Config
+	ring  *ring.Ring
+	log   *slog.Logger
+	met   *fleetMetrics // nil without telemetry
+	nodes map[string]*fleetNode
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closeO sync.Once
+}
+
+// NewFleet builds the routing backend from cfg's fleet fields; cfg must
+// name at least one node. A positive ProbeInterval starts the background
+// membership prober (stopped by Close).
+func NewFleet(cfg Config) (*Fleet, error) {
+	cfg.withDefaults()
+	cfg.clampClient()
+	if len(cfg.Fleet) == 0 {
+		return nil, errors.New("serve: fleet needs at least one node")
+	}
+	f := &Fleet{
+		cfg:   cfg,
+		ring:  ring.New(cfg.VirtualNodes, cfg.RingSeed),
+		log:   cfg.Logger,
+		nodes: make(map[string]*fleetNode, len(cfg.Fleet)),
+		done:  make(chan struct{}),
+	}
+	p := cfg.MetricPrefix
+	if cfg.Telemetry != nil {
+		f.met = &fleetMetrics{
+			routed:      cfg.Telemetry.Counter(p + "_routed_total"),
+			rerouted:    cfg.Telemetry.Counter(p + "_rerouted_total"),
+			spillover:   cfg.Telemetry.Counter(p + "_spillover_total"),
+			ejected:     cfg.Telemetry.Counter(p + "_ejected_total"),
+			readmitted:  cfg.Telemetry.Counter(p + "_readmitted_total"),
+			probeFailed: cfg.Telemetry.Counter(p + "_probe_failures_total"),
+			nodes:       cfg.Telemetry.Gauge(p + "_nodes"),
+			nodesUp:     cfg.Telemetry.Gauge(p + "_nodes_healthy"),
+		}
+	}
+	for _, n := range cfg.Fleet {
+		if n.Addr == "" {
+			return nil, errors.New("serve: fleet node with empty address")
+		}
+		if _, dup := f.nodes[n.Addr]; dup {
+			return nil, fmt.Errorf("serve: duplicate fleet node %s", n.Addr)
+		}
+		fn := &fleetNode{node: n, id: metricSafe(n.Addr)}
+		if cfg.Telemetry != nil {
+			fn.healthyG = cfg.Telemetry.Gauge(p + "_node_" + fn.id + "_healthy")
+			fn.depthG = cfg.Telemetry.Gauge(p + "_node_" + fn.id + "_depth")
+			fn.healthyG.Set(1)
+		}
+		f.nodes[n.Addr] = fn
+		f.ring.Add(n.Addr)
+	}
+	if f.met != nil {
+		f.met.nodes.Set(float64(len(f.nodes)))
+		f.met.nodesUp.Set(float64(len(f.nodes)))
+	}
+	if cfg.ProbeInterval > 0 {
+		f.wg.Add(1)
+		go f.probeLoop()
+	}
+	return f, nil
+}
+
+// metricSafe maps an address onto the telemetry keyspace the way client
+// IDs are mapped.
+func metricSafe(addr string) string {
+	var b strings.Builder
+	for _, r := range addr {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// Submit implements Backend: the request routes onto the ring on a
+// background goroutine and the channel delivers the result exactly once.
+func (f *Fleet) Submit(ctx context.Context, s *dataset.Stack) <-chan *cluster.Result {
+	ch := make(chan *cluster.Result, 1)
+	go func() { ch <- f.route(ctx, s) }()
+	return ch
+}
+
+// route forwards one request: candidates in ring order from the key's
+// owner, unavailable members skipped, hot members demoted, transport
+// faults tripping the member's breaker and moving on.
+func (f *Fleet) route(ctx context.Context, s *dataset.Stack) *cluster.Result {
+	rt, _ := RouteFrom(ctx)
+	key := rt.Key
+	if key == "" {
+		key = rt.Client
+	}
+	if key == "" {
+		key = "anon"
+	}
+	seq := f.ring.Sequence(key)
+	owner := seq[0]
+
+	// Partition by availability; quarantined members past their reopen
+	// time transition to Probing here (the half-open trial is a live
+	// request or a probe, whichever comes first).
+	avail := make([]string, 0, len(seq))
+	for _, addr := range seq {
+		if f.nodes[addr].admittable() {
+			avail = append(avail, addr)
+		}
+	}
+	if len(avail) == 0 {
+		// Every member ejected: forward anyway in ring order rather than
+		// fail closed — a universally black-holed fleet answers with
+		// dial errors soon enough, and a recovered one heals fastest by
+		// being tried.
+		avail = seq
+	}
+
+	// Spillover: members at or past the depth threshold sink behind the
+	// cool ones (stable order otherwise).
+	spilled := false
+	if d := f.cfg.SpillDepth; d > 0 {
+		cool := make([]string, 0, len(avail))
+		var hot []string
+		for _, addr := range avail {
+			if f.nodes[addr].depth() >= d {
+				hot = append(hot, addr)
+			} else {
+				cool = append(cool, addr)
+			}
+		}
+		if len(cool) > 0 && len(hot) > 0 && hot[0] == avail[0] {
+			spilled = true
+		}
+		avail = append(cool, hot...)
+	}
+
+	var errs []error
+	sawShed := false
+	for _, addr := range avail {
+		n := f.nodes[addr]
+		res, err := f.forward(ctx, n, rt.Client, key, s)
+		switch {
+		case err == nil:
+			f.noteSuccess(n)
+			if f.met != nil {
+				f.met.routed.Inc()
+				if addr != owner {
+					f.met.rerouted.Inc()
+				}
+				if spilled && addr != owner {
+					f.met.spillover.Inc()
+				}
+			}
+			return res
+		case ctx.Err() != nil:
+			return &cluster.Result{Err: ctx.Err()}
+		case errors.Is(err, ErrRemote):
+			// The node is alive and answered; the request itself is
+			// broken. Terminal — no other node will disagree.
+			f.noteSuccess(n)
+			return &cluster.Result{Err: err}
+		case errors.Is(err, ErrShed):
+			// Alive but saturated: clears the breaker, try the successor.
+			f.noteSuccess(n)
+			sawShed = true
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+		default:
+			// Transport fault: trip toward ejection and try the successor.
+			f.noteFailure(n, err)
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+		}
+	}
+	if sawShed {
+		// At least one member admitted-and-shed or refused for load; the
+		// request is retryable, and the transport above relays it as
+		// StatusShed so clients back off instead of failing.
+		return &cluster.Result{Err: fmt.Errorf("%w: fleet saturated: %w", ErrShed, errors.Join(errs...))}
+	}
+	return &cluster.Result{Err: fmt.Errorf("serve: no fleet member reachable: %w", errors.Join(errs...))}
+}
+
+// forward runs one request against one member over a pooled client.
+func (f *Fleet) forward(ctx context.Context, n *fleetNode, clientID, key string, s *dataset.Stack) (*cluster.Result, error) {
+	cl := n.popClient(f.cfg)
+	n.mu.Lock()
+	n.outstanding++
+	depth := n.liveDepth()
+	n.mu.Unlock()
+	if n.depthG != nil {
+		n.depthG.Set(float64(depth))
+	}
+	defer func() {
+		n.mu.Lock()
+		n.outstanding--
+		depth := n.liveDepth()
+		n.mu.Unlock()
+		if n.depthG != nil {
+			n.depthG.Set(float64(depth))
+		}
+	}()
+
+	// Bound the dial separately from the exchange: a dead node should
+	// cost a connect timeout, not the request's whole deadline.
+	dialCtx, cancel := context.WithTimeout(ctx, fleetDialTimeout)
+	err := cl.ensureConnected(dialCtx)
+	cancel()
+	if err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		return nil, err
+	}
+	res, err := cl.process(ctx, clientID, key, s)
+	if err != nil {
+		// Shed and remote verdicts arrive over a healthy exchange, so the
+		// connection is still in sync and worth pooling; anything else
+		// means the stream state is unknown.
+		if errors.Is(err, ErrShed) || errors.Is(err, ErrRemote) {
+			n.pushClient(cl)
+		} else {
+			cl.Close()
+		}
+		return nil, err
+	}
+	n.pushClient(cl)
+	return &cluster.Result{
+		Image:      res.Image,
+		Compressed: res.Compressed,
+		Stats:      res.Stats,
+		PreStats:   res.PreStats,
+		Retries:    res.Retries,
+	}, nil
+}
+
+// popClient takes an idle forwarding client or builds a lean one: a
+// single attempt and a single dial, because failover policy belongs to
+// the fleet, not to the per-node client.
+func (n *fleetNode) popClient(cfg Config) *Client {
+	n.mu.Lock()
+	if l := len(n.idle); l > 0 {
+		cl := n.idle[l-1]
+		n.idle = n.idle[:l-1]
+		n.mu.Unlock()
+		return cl
+	}
+	n.mu.Unlock()
+	lean := DefaultConfig()
+	lean.Attempts = 1
+	lean.DialAttempts = 1
+	lean.DialBackoff = cfg.DialBackoff
+	return newClient(lean, []string{n.node.Addr})
+}
+
+func (n *fleetNode) pushClient(cl *Client) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.idle) < 8 {
+		n.idle = append(n.idle, cl)
+		return
+	}
+	go cl.Close()
+}
+
+// admittable reports whether the member may take a request, moving a
+// quarantined member whose backoff expired into the half-open Probing
+// state (this caller is the trial).
+func (n *fleetNode) admittable() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.state {
+	case NodeHealthy, NodeProbing:
+		return true
+	default:
+		if time.Now().After(n.reopenAt) {
+			n.state = NodeProbing
+			return true
+		}
+		return false
+	}
+}
+
+// liveDepth is the depth estimate under n.mu.
+func (n *fleetNode) liveDepth() int {
+	if n.outstanding > n.probedDepth {
+		return n.outstanding
+	}
+	return n.probedDepth
+}
+
+// depth is the public depth estimate.
+func (n *fleetNode) depth() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.liveDepth()
+}
+
+// noteSuccess clears the member's breaker, readmitting it if it was
+// ejected.
+func (f *Fleet) noteSuccess(n *fleetNode) {
+	n.mu.Lock()
+	was := n.state
+	n.state = NodeHealthy
+	n.consecutive = 0
+	n.backoff = 0
+	n.reopenAt = time.Time{}
+	n.mu.Unlock()
+	if was == NodeHealthy {
+		return
+	}
+	if n.healthyG != nil {
+		n.healthyG.Set(1)
+	}
+	if f.met != nil {
+		f.met.readmitted.Inc()
+		f.met.nodesUp.Set(float64(f.healthyCount()))
+	}
+	if f.log != nil {
+		f.log.LogAttrs(context.Background(), slog.LevelInfo, "fleet node readmitted",
+			slog.String("node", n.node.Addr))
+	}
+}
+
+// noteFailure records one probe or forward failure, tripping the breaker
+// after ProbeFailures consecutive misses (immediately when the failure
+// was the half-open trial) into an exponentially longer quarantine.
+func (f *Fleet) noteFailure(n *fleetNode, cause error) {
+	n.mu.Lock()
+	n.consecutive++
+	trip := n.state == NodeProbing || n.consecutive >= f.cfg.ProbeFailures
+	wasHealthy := n.state == NodeHealthy
+	var backoff time.Duration
+	if trip {
+		if n.backoff == 0 {
+			n.backoff = f.cfg.ProbeBackoff
+		} else if n.backoff *= 2; n.backoff > f.cfg.ProbeBackoffMax {
+			n.backoff = f.cfg.ProbeBackoffMax
+		}
+		backoff = n.backoff
+		n.reopenAt = time.Now().Add(backoff)
+		n.state = NodeQuarantined
+	}
+	n.mu.Unlock()
+	if !trip {
+		return
+	}
+	if !wasHealthy {
+		// A re-trip of an already ejected member (the half-open trial
+		// failed): the eject was counted when it left Healthy.
+		if f.log != nil {
+			f.log.LogAttrs(context.Background(), slog.LevelWarn, "fleet node re-quarantined",
+				slog.String("node", n.node.Addr),
+				slog.Duration("backoff", backoff),
+				slog.Any("cause", cause))
+		}
+		return
+	}
+	if n.healthyG != nil {
+		n.healthyG.Set(0)
+	}
+	if f.met != nil {
+		f.met.ejected.Inc()
+		f.met.nodesUp.Set(float64(f.healthyCount()))
+	}
+	if f.log != nil {
+		f.log.LogAttrs(context.Background(), slog.LevelWarn, "fleet node ejected",
+			slog.String("node", n.node.Addr),
+			slog.Duration("backoff", backoff),
+			slog.Any("cause", cause))
+	}
+}
+
+func (f *Fleet) healthyCount() int {
+	c := 0
+	for _, n := range f.nodes {
+		n.mu.Lock()
+		if n.state == NodeHealthy {
+			c++
+		}
+		n.mu.Unlock()
+	}
+	return c
+}
+
+// Status snapshots every member's membership state, keyed by address.
+func (f *Fleet) Status() map[string]NodeStatus {
+	out := make(map[string]NodeStatus, len(f.nodes))
+	for addr, n := range f.nodes {
+		n.mu.Lock()
+		out[addr] = NodeStatus{Addr: addr, State: n.state, Depth: n.liveDepth()}
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// probeLoop drives membership: every ProbeInterval each member is probed
+// — /healthz (and the inflight gauge off /metrics) when it has a Health
+// address, a bare TCP dial of the serve address otherwise. Quarantined
+// members are left alone until their backoff expires; then the probe is
+// the half-open trial.
+func (f *Fleet) probeLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	httpc := &http.Client{Timeout: f.cfg.ProbeInterval * 2}
+	for {
+		select {
+		case <-f.done:
+			return
+		case <-t.C:
+		}
+		for _, n := range f.nodes {
+			n.mu.Lock()
+			skip := n.state == NodeQuarantined && time.Now().Before(n.reopenAt)
+			n.mu.Unlock()
+			if skip {
+				continue
+			}
+			if err := f.probe(httpc, n); err != nil {
+				if f.met != nil {
+					f.met.probeFailed.Inc()
+				}
+				f.noteFailure(n, err)
+			} else {
+				f.noteSuccess(n)
+			}
+		}
+	}
+}
+
+// probe checks one member's liveness and refreshes its depth estimate.
+func (f *Fleet) probe(httpc *http.Client, n *fleetNode) error {
+	if n.node.Health == "" {
+		conn, err := net.DialTimeout("tcp", n.node.Addr, f.cfg.ProbeInterval*2)
+		if err != nil {
+			return err
+		}
+		conn.Close()
+		return nil
+	}
+	resp, err := httpc.Get("http://" + n.node.Health + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: %s /healthz: %s", n.node.Health, resp.Status)
+	}
+	// Depth is best-effort decoration on the liveness verdict: a node
+	// without the gauge (or a failed scrape) is healthy with unknown
+	// depth, not unhealthy.
+	if depth, ok := f.scrapeDepth(httpc, n.node.Health); ok {
+		n.mu.Lock()
+		n.probedDepth = depth
+		d := n.liveDepth()
+		n.mu.Unlock()
+		if n.depthG != nil {
+			n.depthG.Set(float64(d))
+		}
+	}
+	return nil
+}
+
+// scrapeDepth pulls the serve_requests_inflight gauge from the node's
+// text exposition.
+func (f *Fleet) scrapeDepth(httpc *http.Client, health string) (int, bool) {
+	resp, err := httpc.Get("http://" + health + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 3 && fields[0] == "gauge" && fields[1] == "serve_requests_inflight" {
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return 0, false
+			}
+			return int(v), true
+		}
+	}
+	return 0, false
+}
+
+// Close stops the prober and drops every pooled forwarding connection.
+// Forwards in flight finish on their own connections.
+func (f *Fleet) Close() {
+	f.closeO.Do(func() { close(f.done) })
+	f.wg.Wait()
+	for _, n := range f.nodes {
+		n.mu.Lock()
+		idle := n.idle
+		n.idle = nil
+		n.mu.Unlock()
+		for _, cl := range idle {
+			cl.Close()
+		}
+	}
+}

@@ -72,6 +72,11 @@ type header struct {
 	// Client identifies the submitter for quota accounting and per-client
 	// telemetry; empty falls back to the connection's remote host.
 	Client string
+	// Key pins the request's consistent-hash placement when it crosses a
+	// fleet router (e.g. a dataset ID, so one dataset's baselines land on
+	// one node's cache); empty falls back to Client, keeping each
+	// client's traffic on one node.
+	Key string
 	// Frames is the number of readout frames about to be streamed.
 	Frames int
 	// Width and Height are the frame dimensions.

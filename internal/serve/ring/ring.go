@@ -1,0 +1,189 @@
+// Package ring implements the consistent-hash ring that spreads serve
+// traffic across a fleet of spaceprocd nodes. Each member is projected
+// onto the ring at many pseudo-random points (virtual nodes), so keys
+// spread evenly even with a handful of members, and removing a member
+// reassigns only the ~1/N of keys that hashed to it — every other key
+// keeps its node, which is what makes mid-run fleet rebalances cheap.
+//
+// The ring is deterministic: the same (seed, members) always produce the
+// same placement regardless of insertion order, so a router restart (or a
+// second router in front of the same fleet) routes identically.
+package ring
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count; enough that
+// an 8-member ring balances within a few percent.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring over string members. The zero value is
+// not usable; construct with New. All methods are safe for concurrent
+// use.
+type Ring struct {
+	vnodes int
+	seed   uint64
+
+	mu      sync.RWMutex
+	points  []point // sorted by (hash, member)
+	members map[string]struct{}
+}
+
+// New builds an empty ring with vnodes virtual nodes per member (<= 0
+// selects DefaultVirtualNodes) and a hash seed. Two rings with the same
+// seed and members route identically.
+func New(vnodes int, seed uint64) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{
+		vnodes:  vnodes,
+		seed:    seed,
+		members: make(map[string]struct{}),
+	}
+}
+
+// Add inserts members; already-present members are no-ops.
+func (r *Ring) Add(members ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, m := range members {
+		if _, ok := r.members[m]; ok {
+			continue
+		}
+		r.members[m] = struct{}{}
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, point{hash: r.hash(m + "#" + strconv.Itoa(i)), member: m})
+		}
+		changed = true
+	}
+	if changed {
+		sort.Slice(r.points, func(i, j int) bool {
+			if r.points[i].hash != r.points[j].hash {
+				return r.points[i].hash < r.points[j].hash
+			}
+			return r.points[i].member < r.points[j].member
+		})
+	}
+}
+
+// Remove deletes a member and reports whether it was present. Only keys
+// that mapped to the removed member move; every other key keeps its
+// assignment.
+func (r *Ring) Remove(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the members in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the member owning key, walking clockwise from the key's
+// ring position to the first virtual node. ok is false on an empty ring.
+func (r *Ring) Lookup(key string) (member string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.start(key)].member, true
+}
+
+// Sequence returns every member in ring order starting from key's owner:
+// element 0 is Lookup(key), element 1 the first distinct member after it,
+// and so on. It is the failover/spillover order — when a node is down or
+// hot, its keys drain to the next member in this sequence.
+func (r *Ring) Sequence(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]struct{}, len(r.members))
+	for i, n := r.start(key), len(r.points); len(seen) < len(r.members) && n > 0; n-- {
+		p := r.points[i]
+		if _, dup := seen[p.member]; !dup {
+			seen[p.member] = struct{}{}
+			out = append(out, p.member)
+		}
+		if i++; i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// start returns the index of the first virtual node at or clockwise of
+// key's hash. Callers hold r.mu.
+func (r *Ring) start(key string) int {
+	h := r.hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hash is FNV-1a over the seed's bytes then s, with a final avalanche
+// mix (splitmix64 finalizer) so sequential vnode suffixes land far
+// apart on the ring.
+func (r *Ring) hash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (r.seed >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,178 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("client-%d/dataset-%d", i%997, i)
+	}
+	return out
+}
+
+// TestLookupDeterministic: same seed and members route every key the
+// same way regardless of construction order or a rebuilt ring.
+func TestLookupDeterministic(t *testing.T) {
+	members := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}
+	a := New(64, 42)
+	a.Add(members...)
+	b := New(64, 42)
+	for i := len(members) - 1; i >= 0; i-- { // reverse insertion order
+		b.Add(members[i])
+	}
+	for _, k := range keys(2000) {
+		ma, _ := a.Lookup(k)
+		mb, _ := b.Lookup(k)
+		if ma != mb {
+			t.Fatalf("key %q: insertion order changed routing: %q vs %q", k, ma, mb)
+		}
+	}
+	// A different seed must produce a different placement overall.
+	c := New(64, 43)
+	c.Add(members...)
+	same := 0
+	ks := keys(2000)
+	for _, k := range ks {
+		ma, _ := a.Lookup(k)
+		mc, _ := c.Lookup(k)
+		if ma == mc {
+			same++
+		}
+	}
+	if same == len(ks) {
+		t.Fatal("changing the seed left every key on the same member")
+	}
+}
+
+// TestDistributionBalance: with enough virtual nodes, keys spread close
+// to uniformly. A chi-squared-style bound: sum((obs-exp)^2/exp) over 8
+// members for 20k keys stays far below a generous threshold, and no
+// member is twice or half its fair share.
+func TestDistributionBalance(t *testing.T) {
+	const members, nkeys = 8, 20000
+	r := New(128, 7)
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	counts := make(map[string]int)
+	for _, k := range keys(nkeys) {
+		m, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		counts[m]++
+	}
+	exp := float64(nkeys) / members
+	chi2 := 0.0
+	for i := 0; i < members; i++ {
+		obs := float64(counts[fmt.Sprintf("node-%d", i)])
+		chi2 += (obs - exp) * (obs - exp) / exp
+		if obs < exp/2 || obs > exp*2 {
+			t.Fatalf("node-%d got %.0f keys, fair share %.0f — ring badly unbalanced", i, obs, exp)
+		}
+	}
+	// Under consistent hashing the member shares themselves vary with the
+	// arc lengths, inflating chi2 over the plain multinomial ~(m-1) to
+	// roughly (m-1)*(1 + nkeys/(m*vnodes)) ≈ 143 here. The fixed seed
+	// makes the statistic deterministic; 2x that expectation guards the
+	// balance property without depending on one lucky seed.
+	if bound := 2 * (members - 1) * (1 + float64(nkeys)/(members*128)); chi2 > bound {
+		t.Fatalf("chi-squared %.1f exceeds balance bound %.1f", chi2, bound)
+	}
+}
+
+// TestMinimalRemapping: removing one of N members moves only that
+// member's keys (~1/N of the total); every other key keeps its node.
+func TestMinimalRemapping(t *testing.T) {
+	const members, nkeys = 8, 20000
+	r := New(128, 7)
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	ks := keys(nkeys)
+	before := make(map[string]string, nkeys)
+	for _, k := range ks {
+		before[k], _ = r.Lookup(k)
+	}
+	const victim = "node-3"
+	if !r.Remove(victim) {
+		t.Fatal("remove reported member absent")
+	}
+	if r.Remove(victim) {
+		t.Fatal("second remove must report absent")
+	}
+	moved := 0
+	for _, k := range ks {
+		after, _ := r.Lookup(k)
+		if before[k] == victim {
+			if after == victim {
+				t.Fatalf("key %q still routes to removed member", k)
+			}
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved from %q to %q though its member survived", k, before[k], after)
+		}
+	}
+	frac := float64(moved) / nkeys
+	if frac < 1.0/(2*members) || frac > 2.0/members {
+		t.Fatalf("removal moved %.1f%% of keys, expected ~%.1f%%", frac*100, 100.0/members)
+	}
+}
+
+// TestSequence: failover order starts at the key's owner and covers
+// every member exactly once.
+func TestSequence(t *testing.T) {
+	r := New(32, 11)
+	r.Add("a", "b", "c", "d")
+	for _, k := range keys(500) {
+		owner, _ := r.Lookup(k)
+		seq := r.Sequence(k)
+		if len(seq) != 4 {
+			t.Fatalf("sequence for %q has %d members, want 4", k, len(seq))
+		}
+		if seq[0] != owner {
+			t.Fatalf("sequence for %q starts at %q, Lookup says %q", k, seq[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("sequence for %q repeats %q", k, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestEmptyAndSingle: empty-ring lookups miss; a lone member owns
+// everything; Add is idempotent.
+func TestEmptyAndSingle(t *testing.T) {
+	r := New(0, 1) // 0 selects DefaultVirtualNodes
+	if _, ok := r.Lookup("anything"); ok {
+		t.Fatal("empty ring must miss")
+	}
+	if s := r.Sequence("anything"); s != nil {
+		t.Fatalf("empty ring sequence = %v", s)
+	}
+	if r.Remove("ghost") {
+		t.Fatal("removing an absent member must report false")
+	}
+	r.Add("solo")
+	r.Add("solo")
+	if r.Len() != 1 {
+		t.Fatalf("len = %d after duplicate add", r.Len())
+	}
+	for _, k := range keys(100) {
+		m, ok := r.Lookup(k)
+		if !ok || m != "solo" {
+			t.Fatalf("lone member must own every key, got %q ok=%v", m, ok)
+		}
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("members = %v", got)
+	}
+}

@@ -3,7 +3,7 @@
 // them through a shared cluster.Pool, and streams back the repaired image,
 // its Rice-compressed downlink payload, and the fault-forensics report.
 //
-// The server implements production serving semantics end to end:
+// The serving semantics live in Core, transport-independent:
 //
 //   - Admission control: a bounded global inflight limit plus per-client
 //     concurrency quotas, decided on the request header before the
@@ -21,8 +21,11 @@
 //   - Graceful drain: Shutdown stops accepting, sheds new requests with
 //     StatusDraining, finishes every admitted request, then closes.
 //
-// Client is the matching Go client with bounded exponential-backoff
-// retries over both sheds and transport faults.
+// Server is the TCP transport over a Core; Router is the same transport
+// over a Fleet backend, turning the identical admission pipeline into a
+// consistent-hash front for many daemons. Client is the matching Go
+// client with bounded exponential-backoff retries over sheds and
+// transport faults, optionally fleet-aware (DialFleet).
 package serve
 
 import (
@@ -42,7 +45,7 @@ import (
 	"spaceproc/internal/telemetry"
 )
 
-// Server defaults; override with the corresponding Option.
+// Server defaults; override via Config or the corresponding Option.
 const (
 	// DefaultMaxInflight bounds admitted requests across all clients.
 	DefaultMaxInflight = 64
@@ -70,9 +73,9 @@ const (
 	maxHeaderBytes = 64 << 10
 )
 
-// Backend is the slice of cluster.Pool the server schedules onto; the
-// indirection keeps the serving semantics testable against scripted
-// pipelines.
+// Backend is the processing sink the serving tier schedules onto: a
+// *cluster.Pool on a daemon, a *Fleet on a router; the indirection keeps
+// the serving semantics testable against scripted pipelines.
 type Backend interface {
 	Submit(ctx context.Context, s *dataset.Stack) <-chan *cluster.Result
 }
@@ -83,7 +86,9 @@ type clientQuota struct {
 	gauge    *telemetry.Gauge // nil without telemetry or past the gauge cap
 }
 
-// serveMetrics holds the server's registry handles, resolved once.
+// serveMetrics holds the tier's registry handles, resolved once with the
+// configured prefix and shared between a Core (admission counts) and its
+// transport (wire counts and latencies).
 type serveMetrics struct {
 	requests  *telemetry.Counter
 	accepted  *telemetry.Counter
@@ -95,155 +100,56 @@ type serveMetrics struct {
 	recvLat   *telemetry.Histogram
 }
 
-// Server is the daemon: construct with NewServer over a pool, start with
-// Listen, stop with Shutdown (graceful) or Close (immediate).
+// Server is the daemon: the TCP transport over a Core. Construct with
+// NewServer (options) or NewServerWith (a Config), start with Listen,
+// stop with Shutdown (graceful) or Close (immediate).
 type Server struct {
-	backend     Backend
-	maxInflight int
-	perClient   int
-	retryAfter  time.Duration
-	batchMax    int
-	batchWindow time.Duration
-	maxReqBytes int64
-	recvTimeout time.Duration
-
-	tel *telemetry.Registry
-	met *serveMetrics
-	log *slog.Logger
-	bat *batcher
-
-	// forceCtx cancels every request's pipeline context on Close; a
-	// graceful Shutdown leaves it alone until the drain completes.
-	forceCtx    context.Context
-	forceCancel context.CancelFunc
+	core *Core
+	cfg  Config // the core's defaulted copy
+	met  *serveMetrics
+	log  *slog.Logger
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
-	clients  map[string]*clientQuota // entries pruned when a client's inflight hits zero
-	minted   map[string]*telemetry.Gauge
-	inflight int
 	draining bool
 	closed   bool
-	reqWG    sync.WaitGroup // admitted requests
 	connWG   sync.WaitGroup // accept loop + connection handlers
 }
 
-// Option configures a Server.
-type Option func(*Server)
-
-// WithMaxInflight bounds admitted requests across all clients; further
-// requests are shed with a retry-after hint.
-func WithMaxInflight(n int) Option {
-	return func(s *Server) { s.maxInflight = n }
-}
-
-// WithPerClientQuota bounds admitted requests per client ID (0 defaults to
-// the global limit).
-func WithPerClientQuota(n int) Option {
-	return func(s *Server) { s.perClient = n }
-}
-
-// WithRetryAfterHint sets the shed hint handed to rejected clients.
-func WithRetryAfterHint(d time.Duration) Option {
-	return func(s *Server) { s.retryAfter = d }
-}
-
-// WithMaxRequestBytes bounds the payload one request may declare in its
-// header (Frames x Width x Height pixels at 2 bytes each); larger
-// requests are refused with StatusError before any payload is accepted.
-func WithMaxRequestBytes(n int64) Option {
-	return func(s *Server) { s.maxReqBytes = n }
-}
-
-// WithReceiveTimeout bounds the wait for each payload frame of an
-// admitted request; a client that stalls mid-stream is disconnected and
-// its admission slot released.
-func WithReceiveTimeout(d time.Duration) Option {
-	return func(s *Server) { s.recvTimeout = d }
-}
-
-// WithBatching tunes the dynamic batcher: a batch flushes at max members
-// or when its oldest member has waited window. max <= 1 or window <= 0
-// disables batching.
-func WithBatching(max int, window time.Duration) Option {
-	return func(s *Server) {
-		s.batchMax = max
-		s.batchWindow = window
-	}
-}
-
-// WithTelemetry wires the serving instrumentation into reg: the
-// serve_requests_total / serve_requests_accepted_total / serve_shed_total
-// / serve_drain_shed_total / serve_errors_total counters, the
-// serve_requests_inflight gauge, serve_request and serve_receive latency
-// histograms, per-client serve_client_<id>_inflight gauges, and the
-// batcher's serve_batches_total / serve_batch_size / serve_batch_wait.
-func WithTelemetry(reg *telemetry.Registry) Option {
-	return func(s *Server) { s.tel = reg }
-}
-
-// WithLogger routes the server's request forensics — INFO on listen and
-// drain milestones, WARN on sheds and failed requests — into l.
-func WithLogger(l *slog.Logger) Option {
-	return func(s *Server) { s.log = l }
-}
-
 // NewServer builds a daemon over the backend (normally a *cluster.Pool
-// shared with the rest of the process). Start it with Listen.
+// shared with the rest of the process). Options apply over
+// DefaultConfig and are validated strictly: an explicit zero is an
+// error, not silently patched. Start it with Listen.
 func NewServer(backend Backend, opts ...Option) (*Server, error) {
-	s := &Server{
-		backend:     backend,
-		maxInflight: DefaultMaxInflight,
-		retryAfter:  DefaultRetryAfter,
-		batchMax:    DefaultBatchMax,
-		batchWindow: DefaultBatchWindow,
-		maxReqBytes: DefaultMaxRequestBytes,
-		recvTimeout: DefaultReceiveTimeout,
-		conns:       make(map[net.Conn]struct{}),
-		clients:     make(map[string]*clientQuota),
-		minted:      make(map[string]*telemetry.Gauge),
-	}
+	cfg := DefaultConfig()
 	for _, o := range opts {
-		o(s)
+		o(&cfg)
 	}
-	if backend == nil {
-		return nil, errors.New("serve: nil backend")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if s.maxInflight <= 0 {
-		return nil, fmt.Errorf("serve: max inflight %d must be positive", s.maxInflight)
-	}
-	if s.perClient < 0 {
-		return nil, fmt.Errorf("serve: per-client quota %d must be non-negative", s.perClient)
-	}
-	if s.perClient == 0 || s.perClient > s.maxInflight {
-		s.perClient = s.maxInflight
-	}
-	if s.retryAfter <= 0 {
-		return nil, fmt.Errorf("serve: retry-after hint %v must be positive", s.retryAfter)
-	}
-	if s.maxReqBytes <= 0 {
-		return nil, fmt.Errorf("serve: request byte budget %d must be positive", s.maxReqBytes)
-	}
-	if s.recvTimeout <= 0 {
-		return nil, fmt.Errorf("serve: receive timeout %v must be positive", s.recvTimeout)
-	}
-	if s.tel != nil {
-		s.met = &serveMetrics{
-			requests:  s.tel.Counter("serve_requests_total"),
-			accepted:  s.tel.Counter("serve_requests_accepted_total"),
-			shed:      s.tel.Counter("serve_shed_total"),
-			drainShed: s.tel.Counter("serve_drain_shed_total"),
-			errored:   s.tel.Counter("serve_errors_total"),
-			inflight:  s.tel.Gauge("serve_requests_inflight"),
-			reqLat:    s.tel.Histogram("serve_request"),
-			recvLat:   s.tel.Histogram("serve_receive"),
-		}
-	}
-	s.bat = newBatcher(backend, s.batchMax, s.batchWindow, s.tel)
-	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
-	return s, nil
+	return NewServerWith(backend, cfg)
 }
+
+// NewServerWith builds a daemon from cfg; zero fields take defaults.
+func NewServerWith(backend Backend, cfg Config) (*Server, error) {
+	core, err := NewCore(backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		core:  core,
+		cfg:   core.Config(),
+		met:   core.metrics(),
+		log:   core.Config().Logger,
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Core exposes the server's admission core (shared metrics handles,
+// inflight accounting) for tests and embedding transports.
+func (s *Server) Core() *Core { return s.core }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and serves connections on
 // background goroutines until Shutdown or Close. Returns the bound
@@ -308,11 +214,7 @@ func (s *Server) Addr() string {
 
 // Inflight reports the number of admitted requests currently in the
 // pipeline.
-func (s *Server) Inflight() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inflight
-}
+func (s *Server) Inflight() int { return s.core.Inflight() }
 
 // serveConn answers requests on one connection until it drops or the
 // server closes.
@@ -378,23 +280,24 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 		}
 		return enc.Encode(&response{Status: StatusError, Err: err.Error()}) == nil
 	}
-	if declared := hdr.payloadBytes(); declared > s.maxReqBytes {
+	if declared := hdr.payloadBytes(); declared > s.cfg.MaxRequestBytes {
 		if s.met != nil {
 			s.met.errored.Inc()
 		}
 		return enc.Encode(&response{Status: StatusError,
 			Err: fmt.Sprintf("serve: request declares %d payload bytes, budget is %d",
-				declared, s.maxReqBytes)}) == nil
+				declared, s.cfg.MaxRequestBytes)}) == nil
 	}
 	client := sanitizeClientID(hdr.Client, conn)
 
-	verdict, release := s.admit(client)
-	if verdict.Status != StatusAccepted {
+	dcsn, release := s.core.Admit(client)
+	verdict := response{Status: dcsn.Status, RetryAfter: dcsn.RetryAfter}
+	if dcsn.Status != StatusAccepted {
 		if s.log != nil {
 			s.log.LogAttrs(context.Background(), slog.LevelWarn, "request shed",
 				slog.String("client", client),
-				slog.String("status", verdict.Status.String()),
-				slog.Duration("retry_after", verdict.RetryAfter))
+				slog.String("status", dcsn.Status.String()),
+				slog.Duration("retry_after", dcsn.RetryAfter))
 		}
 		return enc.Encode(&verdict) == nil
 	}
@@ -415,7 +318,7 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 	lim.n = hdr.wireBudget()
 	stack := &dataset.Stack{Frames: make([]*dataset.Image, hdr.Frames)}
 	for i := range stack.Frames {
-		conn.SetReadDeadline(time.Now().Add(s.recvTimeout)) //nolint:errcheck // a dead conn fails the decode below
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReceiveTimeout)) //nolint:errcheck // a dead conn fails the decode below
 		var frame dataset.Image
 		if err := dec.Decode(&frame); err != nil {
 			return false
@@ -436,16 +339,36 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 		s.met.recvLat.Observe(time.Since(start))
 	}
 
-	// Run the baseline through the shared pool, honoring the client's
-	// deadline and dying with the server on a forced close.
-	ctx := s.forceCtx
+	// Run the baseline through the backend, honoring the client's
+	// deadline and dying with the server on a forced close. The route
+	// rides the context so a fleet backend can place the request on its
+	// ring by the client's key.
+	ctx := s.core.Context()
 	if !hdr.Deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, hdr.Deadline)
 		defer cancel()
 	}
-	res := <-s.bat.submit(ctx, stack)
+	key := hdr.Key
+	if key == "" {
+		key = client
+	}
+	ctx = WithRoute(ctx, Route{Client: client, Key: key})
+	res := <-s.core.Submit(ctx, stack)
 	if res.Err != nil {
+		// A backend shed (the fleet found every candidate saturated) is
+		// relayed as a retryable shed, not a terminal error, so clients
+		// back off and replay exactly as if admission had refused them.
+		if errors.Is(res.Err, ErrShed) {
+			if s.met != nil {
+				s.met.shed.Inc()
+			}
+			if s.log != nil {
+				s.log.LogAttrs(ctx, slog.LevelWarn, "request shed by backend",
+					slog.String("client", client))
+			}
+			return enc.Encode(&response{Status: StatusShed, RetryAfter: s.cfg.RetryAfter}) == nil
+		}
 		if s.met != nil {
 			s.met.errored.Inc()
 		}
@@ -466,81 +389,6 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 	}) == nil
 }
 
-// admit decides one request under the inflight limit and the client's
-// quota. On acceptance the returned release must be called exactly once
-// when the request retires; on rejection release is nil and the verdict
-// carries the retry-after hint.
-func (s *Server) admit(client string) (response, func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining || s.closed {
-		if s.met != nil {
-			s.met.shed.Inc()
-			s.met.drainShed.Inc()
-		}
-		return response{Status: StatusDraining, RetryAfter: s.retryAfter}, nil
-	}
-	if s.inflight >= s.maxInflight {
-		if s.met != nil {
-			s.met.shed.Inc()
-		}
-		return response{Status: StatusShed, RetryAfter: s.retryAfter}, nil
-	}
-	cq := s.clients[client]
-	if cq == nil {
-		cq = &clientQuota{}
-		if s.tel != nil {
-			// minted is the durable record of per-client gauges (capped,
-			// so an ID sweep cannot grow the registry); clients entries
-			// come and go with inflight work, and a returning client must
-			// not burn a second cap slot.
-			if g, ok := s.minted[client]; ok {
-				cq.gauge = g
-			} else if len(s.minted) < maxClientGauges {
-				g = s.tel.Gauge("serve_client_" + client + "_inflight")
-				s.minted[client] = g
-				cq.gauge = g
-			}
-		}
-		s.clients[client] = cq
-	}
-	if cq.inflight >= s.perClient {
-		if s.met != nil {
-			s.met.shed.Inc()
-		}
-		return response{Status: StatusShed, RetryAfter: s.retryAfter}, nil
-	}
-	s.inflight++
-	cq.inflight++
-	s.reqWG.Add(1)
-	if s.met != nil {
-		s.met.accepted.Inc()
-		s.met.inflight.Set(float64(s.inflight))
-	}
-	if cq.gauge != nil {
-		cq.gauge.Set(float64(cq.inflight))
-	}
-	release := func() {
-		s.mu.Lock()
-		s.inflight--
-		cq.inflight--
-		if s.met != nil {
-			s.met.inflight.Set(float64(s.inflight))
-		}
-		if cq.gauge != nil {
-			cq.gauge.Set(float64(cq.inflight))
-		}
-		if cq.inflight == 0 {
-			// Prune the quota entry so a client sweeping IDs cannot grow
-			// this map without bound; its gauge handle survives in minted.
-			delete(s.clients, client)
-		}
-		s.mu.Unlock()
-		s.reqWG.Done()
-	}
-	return response{Status: StatusAccepted}, release
-}
-
 // Shutdown drains the server gracefully: stop accepting connections, shed
 // new requests with StatusDraining, wait for every admitted request to
 // finish (bounded by ctx), then close the remaining connections. It
@@ -552,24 +400,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		return nil
 	}
-	alreadyDraining := s.draining
 	s.draining = true
 	ln := s.ln
-	inflight := s.inflight
 	s.mu.Unlock()
-	if alreadyDraining {
+	if !s.core.BeginDrain() {
 		// A concurrent Shutdown owns the drain; wait it out, but still
 		// honor this caller's deadline with a forced close.
-		done := make(chan struct{})
-		go func() {
-			s.reqWG.Wait()
-			close(done)
-		}()
+		done := s.core.Idle()
 		select {
 		case <-done:
 			return nil
 		case <-ctx.Done():
-			s.forceCancel()
+			s.core.ForceCancel()
 			s.closeConns()
 			<-done
 			return ctx.Err()
@@ -580,15 +422,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.log != nil {
 		s.log.LogAttrs(ctx, slog.LevelInfo, "draining",
-			slog.Int("inflight", inflight))
+			slog.Int("inflight", s.core.Inflight()))
 	}
-	s.bat.drain()
 
-	done := make(chan struct{})
-	go func() {
-		s.reqWG.Wait()
-		close(done)
-	}()
+	done := s.core.Idle()
 	var err error
 	select {
 	case <-done:
@@ -599,7 +436,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// close the connections — cancellation alone cannot unblock a
 		// handler parked in a network read or write, and the drain must
 		// not wait on one.
-		s.forceCancel()
+		s.core.ForceCancel()
 		s.closeConns()
 		<-done
 	}
@@ -611,7 +448,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
-	s.forceCancel()
+	s.core.ForceCancel()
 	if s.log != nil {
 		s.log.LogAttrs(context.Background(), slog.LevelInfo, "drained")
 	}

@@ -284,9 +284,9 @@ func TestClientEntriesPruned(t *testing.T) {
 		if _, err := c.Process(context.Background(), stack); err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
-		srv.mu.Lock()
-		entries, minted := len(srv.clients), len(srv.minted)
-		srv.mu.Unlock()
+		srv.core.mu.Lock()
+		entries, minted := len(srv.core.clients), len(srv.core.minted)
+		srv.core.mu.Unlock()
 		if entries != 0 {
 			t.Fatalf("after request %d: %d quota entries linger", i, entries)
 		}
@@ -653,7 +653,7 @@ func TestClientRetriesTransportFault(t *testing.T) {
 func TestBatcherCoalescesByCount(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	fb := &fakeBackend{}
-	b := newBatcher(fb, 3, time.Hour, reg) // window effectively never fires
+	b := newBatcher(fb, 3, time.Hour, reg, "serve") // window effectively never fires
 	var outs []<-chan *cluster.Result
 	for i := 0; i < 3; i++ {
 		outs = append(outs, b.submit(context.Background(), testStack(1, 4, 4)))
@@ -680,7 +680,7 @@ func TestBatcherCoalescesByCount(t *testing.T) {
 func TestBatcherFlushesOnWindow(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	fb := &fakeBackend{}
-	b := newBatcher(fb, 100, 2*time.Millisecond, reg)
+	b := newBatcher(fb, 100, 2*time.Millisecond, reg, "serve")
 	ch := b.submit(context.Background(), testStack(1, 4, 4))
 	select {
 	case res := <-ch:
@@ -697,7 +697,7 @@ func TestBatcherFlushesOnWindow(t *testing.T) {
 
 func TestBatcherDrainBypassesWindow(t *testing.T) {
 	fb := &fakeBackend{}
-	b := newBatcher(fb, 100, time.Hour, nil)
+	b := newBatcher(fb, 100, time.Hour, nil, "serve")
 	ch := b.submit(context.Background(), testStack(1, 4, 4))
 	b.drain()
 	select {
@@ -724,7 +724,7 @@ func TestBatcherDrainBypassesWindow(t *testing.T) {
 // only deliver after that window, so every channel must produce promptly.
 func TestBatcherSubmitDrainRaceFlushes(t *testing.T) {
 	fb := &fakeBackend{}
-	b := newBatcher(fb, 1000, time.Hour, nil)
+	b := newBatcher(fb, 1000, time.Hour, nil, "serve")
 	const n = 64
 	outs := make([]<-chan *cluster.Result, n)
 	var wg sync.WaitGroup

@@ -1,11 +1,23 @@
 #!/usr/bin/env sh
-# End-to-end smoke of the serving layer against the real binaries:
+# End-to-end smoke of the serving layer against the real binaries, in two
+# scenarios:
 #
-#   1. build spaceprocd + loadgen
+# Single daemon:
+#   1. build spaceprocd + spaceproc-router + loadgen
 #   2. boot the daemon on a free port
 #   3. drive one verified loadgen pass (-verify checks every served
 #      result bit-identical to an in-process run of the same pipeline)
 #   4. SIGTERM the daemon and require a clean "drained" exit
+#
+# Fleet:
+#   5. boot three daemons and a spaceproc-router in front of them
+#   6. drive a verified loadgen pass through the router and, mid-run,
+#      SIGTERM one daemon; require the router to eject it, the pass to
+#      finish with zero failures and zero mismatches (failover + retries
+#      absorb the kill), then restart the daemon on its old address and
+#      require the router to readmit it
+#   7. drive a second verified pass over the healed fleet
+#   8. SIGTERM the router and the daemons and require clean drains
 #
 # No arguments. Exits non-zero on any failure. Used by `make e2e-smoke`
 # and the CI e2e job.
@@ -13,33 +25,63 @@ set -eu
 
 workdir=$(mktemp -d)
 daemon_log="$workdir/spaceprocd.log"
+pids=""
 cleanup() {
-    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
 
+# await_line FILE PATTERN: polls FILE until a line matches sed PATTERN,
+# prints the first match.
+await_line() {
+    file=$1
+    pattern=$2
+    for _ in $(seq 1 300); do
+        line=$(sed -n "s/^$pattern//p" "$file" | head -n1)
+        if [ -n "$line" ]; then
+            echo "$line"
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+# await_grep FILE PATTERN: polls FILE until grep matches.
+await_grep() {
+    file=$1
+    pattern=$2
+    for _ in $(seq 1 300); do
+        grep -q "$pattern" "$file" && return 0
+        sleep 0.1
+    done
+    return 1
+}
+
+# await_exit PID: waits for the process to exit.
+await_exit() {
+    for _ in $(seq 1 300); do
+        kill -0 "$1" 2>/dev/null || return 0
+        sleep 0.1
+    done
+    return 1
+}
+
 echo "== building binaries"
 go build -o "$workdir/spaceprocd" ./cmd/spaceprocd
+go build -o "$workdir/spaceproc-router" ./cmd/spaceproc-router
 go build -o "$workdir/loadgen" ./cmd/loadgen
 
 echo "== booting spaceprocd"
 "$workdir/spaceprocd" -addr 127.0.0.1:0 -workers 4 -tile 32 \
     -max-inflight 8 -drain-timeout 30s >"$daemon_log" 2>&1 &
 daemon_pid=$!
+pids="$daemon_pid"
 
-addr=""
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^serving on //p' "$daemon_log" | head -n1)
-    [ -n "$addr" ] && break
-    if ! kill -0 "$daemon_pid" 2>/dev/null; then
-        echo "daemon died during startup:" >&2
-        cat "$daemon_log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
+if ! addr=$(await_line "$daemon_log" "serving on "); then
     echo "daemon never reported its address:" >&2
     cat "$daemon_log" >&2
     exit 1
@@ -52,19 +94,139 @@ echo "== loadgen with bit-identical verification"
 
 echo "== SIGTERM drain"
 kill -TERM "$daemon_pid"
-for _ in $(seq 1 300); do
-    kill -0 "$daemon_pid" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "$daemon_pid" 2>/dev/null; then
+if ! await_exit "$daemon_pid"; then
     echo "daemon did not exit after SIGTERM:" >&2
     cat "$daemon_log" >&2
     exit 1
 fi
-daemon_pid=""
+pids=""
 if ! grep -q "^drained$" "$daemon_log"; then
     echo "daemon exited without draining:" >&2
     cat "$daemon_log" >&2
     exit 1
 fi
+
+echo "== booting a 3-daemon fleet"
+fleet_addrs=""
+fleet_pids=""
+for i in 1 2 3; do
+    "$workdir/spaceprocd" -addr 127.0.0.1:0 -workers 2 -tile 32 \
+        -drain-timeout 30s >"$workdir/node$i.log" 2>&1 &
+    pid=$!
+    pids="$pids $pid"
+    fleet_pids="$fleet_pids $pid"
+    if ! naddr=$(await_line "$workdir/node$i.log" "serving on "); then
+        echo "fleet node $i never reported its address:" >&2
+        cat "$workdir/node$i.log" >&2
+        exit 1
+    fi
+    fleet_addrs="$fleet_addrs,$naddr"
+    eval "node${i}_addr=\$naddr"
+    eval "node${i}_pid=\$pid"
+    echo "node $i at $naddr (pid $pid)"
+done
+fleet_addrs=${fleet_addrs#,}
+
+echo "== booting spaceproc-router"
+router_log="$workdir/router.log"
+"$workdir/spaceproc-router" -addr 127.0.0.1:0 -nodes "$fleet_addrs" \
+    -probe-interval 100ms -probe-failures 2 \
+    -drain-timeout 30s >"$router_log" 2>"$workdir/router_err.log" &
+router_pid=$!
+pids="$pids $router_pid"
+if ! raddr=$(await_line "$router_log" "routing on "); then
+    echo "router never reported its address:" >&2
+    cat "$router_log" "$workdir/router_err.log" >&2
+    exit 1
+fi
+echo "router at $raddr (pid $router_pid)"
+
+echo "== loadgen through the router, one node killed mid-run"
+"$workdir/loadgen" -addr "$raddr" -clients 2 -requests 25 \
+    -width 64 -height 64 -readouts 8 -attempts 12 -verify \
+    >"$workdir/loadgen_fleet.log" 2>&1 &
+loadgen_pid=$!
+pids="$pids $loadgen_pid"
+
+sleep 0.3
+echo "killing node 2 ($node2_addr)"
+kill -TERM "$node2_pid"
+if ! await_exit "$node2_pid"; then
+    echo "killed node never exited:" >&2
+    cat "$workdir/node2.log" >&2
+    exit 1
+fi
+if ! await_grep "$workdir/router_err.log" "fleet node ejected"; then
+    echo "router never ejected the dead node:" >&2
+    cat "$workdir/router_err.log" >&2
+    exit 1
+fi
+echo "router ejected node 2"
+
+echo "restarting node 2 on $node2_addr"
+"$workdir/spaceprocd" -addr "$node2_addr" -workers 2 -tile 32 \
+    -drain-timeout 30s >"$workdir/node2b.log" 2>&1 &
+node2_pid=$!
+pids="$pids $node2_pid"
+if ! await_line "$workdir/node2b.log" "serving on " >/dev/null; then
+    echo "restarted node never came up:" >&2
+    cat "$workdir/node2b.log" >&2
+    exit 1
+fi
+if ! await_grep "$workdir/router_err.log" "fleet node readmitted"; then
+    echo "router never readmitted the restarted node:" >&2
+    cat "$workdir/router_err.log" >&2
+    exit 1
+fi
+echo "router readmitted node 2"
+
+if ! wait "$loadgen_pid"; then
+    echo "fleet loadgen failed:" >&2
+    cat "$workdir/loadgen_fleet.log" >&2
+    exit 1
+fi
+if ! grep -q " 0 failed" "$workdir/loadgen_fleet.log"; then
+    echo "fleet loadgen lost requests across the kill:" >&2
+    cat "$workdir/loadgen_fleet.log" >&2
+    exit 1
+fi
+if ! grep -q "^verify: 0 mismatched$" "$workdir/loadgen_fleet.log"; then
+    echo "fleet results not bit-identical:" >&2
+    cat "$workdir/loadgen_fleet.log" >&2
+    exit 1
+fi
+
+echo "== loadgen over the healed fleet"
+"$workdir/loadgen" -addr "$raddr" -clients 2 -requests 2 \
+    -width 64 -height 64 -readouts 8 -verify
+
+echo "== SIGTERM drains (router, then fleet)"
+kill -TERM "$router_pid"
+if ! await_exit "$router_pid"; then
+    echo "router did not exit after SIGTERM:" >&2
+    cat "$router_log" "$workdir/router_err.log" >&2
+    exit 1
+fi
+if ! grep -q "^drained$" "$router_log"; then
+    echo "router exited without draining:" >&2
+    cat "$router_log" >&2
+    exit 1
+fi
+for i in 1 3; do
+    eval "pid=\$node${i}_pid"
+    kill -TERM "$pid"
+done
+kill -TERM "$node2_pid"
+for i in 1 3; do
+    eval "pid=\$node${i}_pid"
+    if ! await_exit "$pid"; then
+        echo "fleet node $i did not exit after SIGTERM" >&2
+        exit 1
+    fi
+done
+if ! await_exit "$node2_pid"; then
+    echo "restarted node did not exit after SIGTERM" >&2
+    exit 1
+fi
+pids=""
 echo "e2e smoke OK"

@@ -24,7 +24,7 @@ func TestServeFacade(t *testing.T) {
 	pool.AddWorker(lw)
 
 	reg := spaceproc.NewTelemetryRegistry()
-	daemon, err := spaceproc.NewServeDaemon(pool,
+	daemon, err := spaceproc.NewDaemon(pool,
 		spaceproc.WithServeMaxInflight(4),
 		spaceproc.WithServePerClientQuota(2),
 		spaceproc.WithServeRetryAfterHint(10*time.Millisecond),
@@ -41,11 +41,11 @@ func TestServeFacade(t *testing.T) {
 	defer daemon.Close()
 
 	creg := spaceproc.NewTelemetryRegistry()
-	client, err := spaceproc.DialService(addr,
+	client, err := spaceproc.Dial(addr,
 		spaceproc.WithServeClientID("facade"),
 		spaceproc.WithServeRetryPolicy(3, time.Millisecond, 10*time.Millisecond),
 		spaceproc.WithServeClientDialBackoff(2, time.Millisecond),
-		spaceproc.WithServeClientTelemetry(creg),
+		spaceproc.WithServeTelemetry(creg),
 	)
 	if err != nil {
 		t.Fatal(err)
