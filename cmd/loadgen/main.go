@@ -1,8 +1,10 @@
 // Command loadgen drives a spaceprocd daemon: N clients each stream M
 // synthesized, fault-injected baselines and the tool reports throughput,
-// shed/retry counts, and latency quantiles. With -verify every served
-// result is checked bit-identical against an in-process run of the same
-// pipeline (assuming the daemon runs the default preprocessing flags).
+// shed/retry counts, latency percentiles, and the trace IDs of the
+// slowest requests (grep them in the servers' /debug/trace exports, or
+// in the file -trace writes). With -verify every served result is
+// checked bit-identical against an in-process run of the same pipeline
+// (assuming the daemon runs the default preprocessing flags).
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +49,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "synthesis seed")
 	verify := fs.Bool("verify", false, "check served results bit-identical to an in-process run")
 	attempts := fs.Int("attempts", 8, "client retry attempts per request")
+	traceFile := fs.String("trace", "", "write the run's Chrome trace-event JSON to this file")
+	slowest := fs.Int("slowest", 5, "slowest requests to list with their trace IDs (0 disables)")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +79,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	reg := spaceproc.NewTelemetryRegistry()
+	tracer := reg.Tracer()
+	tracer.SetProc("loadgen")
 	var ok, failed, mismatched atomic.Int64
+	var samplesMu sync.Mutex
+	samples := make([]sample, 0, *clients**requests)
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, *clients)
@@ -109,8 +118,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				// A per-request key spreads the work across a router's
 				// ring (a plain daemon ignores it), so every fleet member
 				// sees traffic instead of one node owning this client.
-				res, err := client.ProcessKeyed(ctx,
-					fmt.Sprintf("loadgen-%d-%d", c, r), faulty)
+				key := fmt.Sprintf("loadgen-%d-%d", c, r)
+				// Each request roots its own trace; the serve client's
+				// client_request span (and everything the servers record)
+				// parents under it, so the trace ID printed for a slow
+				// request indexes every hop's /debug/trace.
+				span := tracer.StartTrace("loadgen_request", key)
+				rctx := spaceproc.ContextWithTrace(ctx, tracer, span.Context())
+				reqStart := time.Now()
+				res, err := client.ProcessKeyed(rctx, key, faulty)
+				span.End()
+				s := sample{key: key, traceID: span.Context().TraceID, dur: time.Since(reqStart), ok: err == nil}
+				samplesMu.Lock()
+				samples = append(samples, s)
+				samplesMu.Unlock()
 				if err != nil {
 					failed.Add(1)
 					errs[c] = err
@@ -132,7 +153,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *verify {
 		fmt.Fprintf(out, "verify: %d mismatched\n", mismatched.Load())
 	}
+	reportLatency(out, samples, *slowest)
 	fmt.Fprint(out, reg.Snapshot().Render())
+	if *traceFile != "" {
+		if err := tracer.WriteTraceFile(*traceFile); err != nil {
+			return fmt.Errorf("loadgen: write trace: %w", err)
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *traceFile)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -142,6 +170,53 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("loadgen: %d served results differ from the in-process pipeline", mismatched.Load())
 	}
 	return nil
+}
+
+// sample is one completed request: its dataset key, the trace it
+// rooted, and the end-to-end wall time as the caller saw it (including
+// client-side retries, which the per-attempt spans break down).
+type sample struct {
+	key     string
+	traceID uint64
+	dur     time.Duration
+	ok      bool
+}
+
+// reportLatency prints the run's end-to-end percentile summary and the
+// slowest requests with their trace IDs.
+func reportLatency(out io.Writer, samples []sample, slowest int) {
+	if len(samples) == 0 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].dur > samples[j].dur })
+	durs := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		durs[i] = s.dur
+	}
+	fmt.Fprintf(out, "latency: p50 %s  p90 %s  p99 %s  max %s (%d requests)\n",
+		pct(durs, 50), pct(durs, 90), pct(durs, 99), durs[0].Round(time.Microsecond), len(durs))
+	if slowest > len(samples) {
+		slowest = len(samples)
+	}
+	for i := 0; i < slowest; i++ {
+		s := samples[i]
+		status := "ok"
+		if !s.ok {
+			status = "failed"
+		}
+		fmt.Fprintf(out, "slow %d: %s  trace %016x  key %s  %s\n",
+			i+1, s.dur.Round(time.Microsecond), s.traceID, s.key, status)
+	}
+}
+
+// pct reads the p-th percentile off durations sorted descending.
+func pct(desc []time.Duration, p int) time.Duration {
+	// The p-th percentile is the value with (100-p)% of samples above it.
+	i := len(desc) * (100 - p) / 100
+	if i >= len(desc) {
+		i = len(desc) - 1
+	}
+	return desc[i].Round(time.Microsecond)
 }
 
 // matchesLocal replays the request through the in-process pipeline (same

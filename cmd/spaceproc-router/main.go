@@ -55,6 +55,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "health probe period (0 disables probing)")
 	probeFailures := fs.Int("probe-failures", 3, "consecutive failures that eject a member")
 	spillDepth := fs.Int("spill-depth", 0, "member queue depth that triggers spillover (0 disables)")
+	fleetScrape := fs.Duration("fleet-scrape", time.Second, "fleet metrics scrape period for /fleet/metrics (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -101,21 +102,39 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "routing on %s\n", bound)
 	fmt.Fprintf(out, "fleet of %d node(s)\n", len(fleet))
+	reg.Tracer().SetProc("spaceproc-router " + bound)
 
 	var sidecar *spaceproc.TelemetryServer
+	var agg *spaceproc.TelemetryAggregator
 	if *metricsAddr != "" {
 		sidecar, err = spaceproc.NewTelemetryServer(reg, *metricsAddr)
 		if err != nil {
 			router.Close()
 			return err
 		}
+		sidecar.Handle("/debug/slowest", router.SlowestHandler())
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", sidecar.Addr())
+		fmt.Fprintf(out, "slowest requests on http://%s/debug/slowest\n", sidecar.Addr())
+		// Fleet-wide telemetry: scrape every member that exposes a health
+		// sidecar and serve per-node plus merged views. Members listed
+		// without a health address can't be scraped and are left out.
+		if targets := scrapeTargets(fleet); *fleetScrape > 0 && len(targets) > 0 {
+			agg = spaceproc.NewTelemetryAggregator(targets, *fleetScrape)
+			agg.Start()
+			sidecar.Handle("/fleet/metrics", agg.MetricsHandler())
+			sidecar.Handle("/fleet/healthz", agg.HealthHandler())
+			fmt.Fprintf(out, "fleet metrics on http://%s/fleet/metrics (%d scrapeable node(s))\n",
+				sidecar.Addr(), len(targets))
+		}
 	}
 
 	<-ctx.Done()
 	fmt.Fprintln(out, "draining...")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if agg != nil {
+		agg.Stop()
+	}
 	drainErr := router.Shutdown(drainCtx)
 	if sidecar != nil {
 		if err := sidecar.Shutdown(drainCtx); err != nil && drainErr == nil {
@@ -127,6 +146,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "drained")
 	return nil
+}
+
+// scrapeTargets maps fleet members with health sidecars to their
+// /metrics URLs, keyed by serve address (the name shown in /fleet views).
+func scrapeTargets(fleet []spaceproc.ServeNode) map[string]string {
+	targets := map[string]string{}
+	for _, n := range fleet {
+		if n.Health != "" {
+			targets[n.Addr] = "http://" + n.Health + "/metrics"
+		}
+	}
+	return targets
 }
 
 // parseNodes splits "-nodes a:1=h:1,b:2" into fleet members.

@@ -110,6 +110,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "serving on %s\n", bound)
+	// Name this process's row in merged Chrome trace views, so spans
+	// forwarded from routers and clients land under distinct pids.
+	reg.Tracer().SetProc("spaceprocd " + bound)
 
 	var sidecar *spaceproc.TelemetryServer
 	if *metricsAddr != "" {
@@ -118,7 +121,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			daemon.Close()
 			return err
 		}
+		sidecar.Handle("/debug/slowest", daemon.SlowestHandler())
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", sidecar.Addr())
+		fmt.Fprintf(out, "slowest requests on http://%s/debug/slowest\n", sidecar.Addr())
 	}
 
 	<-ctx.Done()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,31 @@ type batchItem struct {
 	stack    *dataset.Stack
 	enqueued time.Time
 	out      chan *cluster.Result
+}
+
+// BatchStats reports, per request, what the batcher did with it: how long
+// it waited for its batch and how many members flushed together. A
+// transport that wants them (for the access log and the slow-request
+// ring) installs a carrier with withBatchStats before Submit; the batcher
+// fills it at flush time, which happens-before the result delivery the
+// transport blocks on.
+type BatchStats struct {
+	QueueWait time.Duration
+	BatchSize int
+}
+
+type batchStatsKey struct{}
+
+// withBatchStats attaches a BatchStats carrier to ctx and returns it.
+func withBatchStats(ctx context.Context) (context.Context, *BatchStats) {
+	bs := &BatchStats{}
+	return context.WithValue(ctx, batchStatsKey{}, bs), bs
+}
+
+// batchStatsFrom recovers the carrier, or nil.
+func batchStatsFrom(ctx context.Context) *BatchStats {
+	bs, _ := ctx.Value(batchStatsKey{}).(*BatchStats)
+	return bs
 }
 
 func newBatcher(backend Backend, max int, window time.Duration, tel *telemetry.Registry, prefix string) *batcher {
@@ -119,18 +145,48 @@ func (b *batcher) drain() {
 // Submit calls run back to back on this goroutine, paying queue
 // backpressure for the whole wave), then per-member goroutines wait for
 // the results so a slow baseline never blocks its batchmates' delivery.
+//
+// Traced members get two spans each: a queue_wait span covering
+// enqueue-to-flush (recorded retrospectively, since the wait is only
+// known now) and a batch span covering the backend execution, which the
+// backend's own spans (the fleet's forward, the pool's run) parent
+// under.
 func (b *batcher) flush(items []*batchItem) {
+	size := len(items)
 	if b.batches != nil {
 		b.batches.Inc()
-		b.batchSize.Set(float64(len(items)))
-		for _, it := range items {
-			b.batchWait.Observe(time.Since(it.enqueued))
-		}
+		b.batchSize.Set(float64(size))
 	}
 	for _, it := range items {
-		ch := b.backend.Submit(it.ctx, it.stack)
-		go func(it *batchItem, ch <-chan *cluster.Result) {
-			it.out <- <-ch
-		}(it, ch)
+		wait := time.Since(it.enqueued)
+		if b.batchWait != nil {
+			b.batchWait.Observe(wait)
+		}
+		if bs := batchStatsFrom(it.ctx); bs != nil {
+			bs.QueueWait = wait
+			bs.BatchSize = size
+		}
+		ctx := it.ctx
+		var span *telemetry.TraceSpan
+		if tc, ok := telemetry.TraceFromContext(ctx); ok {
+			if tr := telemetry.TracerFromContext(ctx); tr != nil {
+				tr.Record(telemetry.TraceEvent{
+					TraceID:  tc.TraceID,
+					SpanID:   telemetry.NewSpanID(),
+					ParentID: tc.SpanID,
+					Stage:    StageQueueWait,
+					Start:    it.enqueued,
+					Dur:      wait,
+				})
+				span = tr.StartSpan(tc, StageBatch, fmt.Sprintf("size_%d", size))
+				ctx = telemetry.ContextWithTrace(ctx, tr, span.Context())
+			}
+		}
+		ch := b.backend.Submit(ctx, it.stack)
+		go func(it *batchItem, span *telemetry.TraceSpan, ch <-chan *cluster.Result) {
+			res := <-ch
+			span.End()
+			it.out <- res
+		}(it, span, ch)
 	}
 }

@@ -78,8 +78,9 @@ type Client struct {
 	addrs []string   // candidate servers; len > 1 makes the client fleet-aware
 	ring  *ring.Ring // nil for a single-address client
 
-	met *clientMetrics
-	log *slog.Logger
+	met    *clientMetrics
+	tracer *telemetry.Tracer // nil without telemetry; spans degrade to no-ops
+	log    *slog.Logger
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -152,6 +153,7 @@ func newClient(cfg Config, addrs []string) *Client {
 			errored:  cfg.Telemetry.Counter("client_errors_total"),
 			lat:      cfg.Telemetry.Histogram("client_request"),
 		}
+		c.tracer = cfg.Telemetry.Tracer()
 	}
 	c.log = cfg.Logger
 	return c
@@ -302,6 +304,16 @@ func (c *Client) ProcessKeyed(ctx context.Context, key string, s *dataset.Stack)
 // process is the retry loop shared by Process, ProcessKeyed, and the
 // fleet's forwarders (which override clientID to preserve the original
 // submitter's quota identity end to end).
+//
+// Tracing: a client with telemetry opens one client_request root span per
+// call (a child when ctx already carries a trace, so callers like loadgen
+// can parent many requests under one run) and one client_attempt span per
+// try — sheds, failovers and retries each leave their own annotated span.
+// The attempt's position rides the wire header, so the server's
+// serve_request span parents under the attempt that reached it. A lean
+// client without telemetry (the fleet's forwarders) records nothing and
+// propagates the context's trace position verbatim, so the router's
+// forward span becomes the downstream daemon's parent.
 func (c *Client) process(ctx context.Context, clientID, key string, s *dataset.Stack) (*Result, error) {
 	if s == nil || s.Len() == 0 {
 		return nil, errors.New("serve: empty baseline")
@@ -311,9 +323,22 @@ func (c *Client) process(ctx context.Context, clientID, key string, s *dataset.S
 		c.met.requests.Inc()
 		defer func() { c.met.lat.Observe(time.Since(start)) }()
 	}
+	wire, _ := telemetry.TraceFromContext(ctx)
+	var root *telemetry.TraceSpan
+	if c.tracer != nil {
+		root = c.tracer.StartSpan(wire, StageClientRequest, clientID)
+		wire = root.Context()
+		defer root.End()
+	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		res, retryIn, err := c.try(ctx, clientID, key, s)
+		att := c.tracer.StartSpan(wire, StageClientAttempt, fmt.Sprintf("attempt_%d", attempt))
+		attTC := att.Context()
+		if !attTC.Valid() {
+			attTC = wire
+		}
+		res, retryIn, err := c.try(ctx, clientID, key, s, attTC)
+		endAttempt(att, retryIn, err)
 		if err == nil && retryIn < 0 {
 			// The server took a request, so its earlier sheds were
 			// transient load, not a trend: the next shed starts the
@@ -390,6 +415,25 @@ func (c *Client) resetBackoff() {
 	c.mu.Unlock()
 }
 
+// endAttempt annotates one client_attempt span with its outcome and
+// records it. Nil spans (no telemetry) are no-ops throughout.
+func endAttempt(att *telemetry.TraceSpan, retryIn time.Duration, err error) {
+	if att == nil {
+		return
+	}
+	switch {
+	case err == nil && retryIn < 0:
+		att.Annotate("outcome", "ok")
+	case err == nil:
+		att.Annotate("outcome", "shed")
+		att.Annotate("retry_after", retryIn.String())
+	default:
+		att.Annotate("outcome", "error")
+		att.Annotate("error", err.Error())
+	}
+	att.End()
+}
+
 // terminalError marks a server-reported failure that retrying cannot fix.
 type terminalError struct{ err error }
 
@@ -404,8 +448,9 @@ func remoteError(msg string) *terminalError {
 
 // try runs one attempt. Outcomes: (res, -1, nil) success; (nil, hint, nil)
 // shed, retry no earlier than hint; (nil, 0, err) transport fault
-// (retryable) or *terminalError.
-func (c *Client) try(ctx context.Context, clientID, key string, s *dataset.Stack) (*Result, time.Duration, error) {
+// (retryable) or *terminalError. wire is the trace position the server
+// should parent under (zero for untraced).
+func (c *Client) try(ctx context.Context, clientID, key string, s *dataset.Stack, wire telemetry.TraceContext) (*Result, time.Duration, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -430,7 +475,8 @@ func (c *Client) try(ctx context.Context, clientID, key string, s *dataset.Stack
 	})
 	defer stopWatch()
 
-	hdr := header{Client: clientID, Key: key, Frames: s.Len(), Width: s.Width(), Height: s.Height()}
+	hdr := header{Client: clientID, Key: key, Frames: s.Len(), Width: s.Width(), Height: s.Height(),
+		TraceID: wire.TraceID, SpanID: wire.SpanID}
 	if hasDeadline {
 		hdr.Deadline = deadline
 	}

@@ -1,14 +1,13 @@
 package serve
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -243,7 +242,33 @@ func (f *Fleet) route(ctx context.Context, s *dataset.Stack) *cluster.Result {
 	sawShed := false
 	for _, addr := range avail {
 		n := f.nodes[addr]
-		res, err := f.forward(ctx, n, rt.Client, key, s)
+		// Each hop gets its own forward span: a request that bounced off
+		// two saturated members before landing on a third shows all three
+		// attempts in its trace. The span's position rides the forwarding
+		// context, so the downstream daemon parents under this hop.
+		fctx := ctx
+		var span *telemetry.TraceSpan
+		if tc, ok := telemetry.TraceFromContext(ctx); ok {
+			if tr := telemetry.TracerFromContext(ctx); tr != nil {
+				span = tr.StartSpan(tc, StageForward, addr)
+				fctx = telemetry.ContextWithTrace(ctx, tr, span.Context())
+			}
+		}
+		res, err := f.forward(fctx, n, rt.Client, key, s)
+		if span != nil {
+			switch {
+			case err == nil:
+				span.Annotate("outcome", "ok")
+			case errors.Is(err, ErrShed):
+				span.Annotate("outcome", "shed")
+			case errors.Is(err, ErrRemote):
+				span.Annotate("outcome", "remote_error")
+			default:
+				span.Annotate("outcome", "transport_error")
+				span.Annotate("error", err.Error())
+			}
+			span.End()
+		}
 		switch {
 		case err == nil:
 			f.noteSuccess(n)
@@ -566,25 +591,21 @@ func (f *Fleet) probe(httpc *http.Client, n *fleetNode) error {
 }
 
 // scrapeDepth pulls the serve_requests_inflight gauge from the node's
-// text exposition.
+// text exposition through the shared telemetry parser. A truncated body
+// still yields the gauge when it parsed before the fault; a page without
+// the gauge (or an unreachable node) reports no depth.
 func (f *Fleet) scrapeDepth(httpc *http.Client, health string) (int, bool) {
 	resp, err := httpc.Get("http://" + health + "/metrics")
 	if err != nil {
 		return 0, false
 	}
 	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 3 && fields[0] == "gauge" && fields[1] == "serve_requests_inflight" {
-			v, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return 0, false
-			}
-			return int(v), true
-		}
+	exp, _ := telemetry.ParseText(io.LimitReader(resp.Body, 4<<20))
+	v, ok := exp.Gauge("serve_requests_inflight")
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return int(v), true
 }
 
 // Close stops the prober and drops every pooled forwarding connection.

@@ -67,6 +67,25 @@ func (s Status) String() string {
 	}
 }
 
+// Trace stage names for the serve tier, in request order. Together with
+// the pool's stages (cluster.StageRun and friends) they make up the
+// vocabulary of one end-to-end trace: client_request spans the whole
+// Process call, client_attempt each try (including sheds and failovers),
+// serve_request the daemon's handling, forward each fleet hop, and
+// admission / receive / queue_wait / batch / respond the daemon's
+// internal phases.
+const (
+	StageClientRequest = "client_request"
+	StageClientAttempt = "client_attempt"
+	StageServeRequest  = "serve_request"
+	StageAdmission     = "admission"
+	StageReceive       = "receive"
+	StageQueueWait     = "queue_wait"
+	StageBatch         = "batch"
+	StageForward       = "forward"
+	StageRespond       = "respond"
+)
+
 // header opens one request.
 type header struct {
 	// Client identifies the submitter for quota accounting and per-client
@@ -85,6 +104,13 @@ type header struct {
 	// server derives its pipeline context from it, so client deadlines
 	// propagate into pool scheduling.
 	Deadline time.Time
+	// TraceID and SpanID carry the client's trace position so the server
+	// continues one distributed trace instead of starting its own. Zero
+	// means untraced — safe on the wire even though gob omits zero fields,
+	// because the server decodes into a fresh header per request (unlike
+	// Status, these fields have a meaningful zero).
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Request sanity bounds; headers outside them are answered StatusError.

@@ -104,10 +104,12 @@ type serveMetrics struct {
 // NewServer (options) or NewServerWith (a Config), start with Listen,
 // stop with Shutdown (graceful) or Close (immediate).
 type Server struct {
-	core *Core
-	cfg  Config // the core's defaulted copy
-	met  *serveMetrics
-	log  *slog.Logger
+	core   *Core
+	cfg    Config // the core's defaulted copy
+	met    *serveMetrics
+	tracer *telemetry.Tracer // nil without telemetry
+	log    *slog.Logger
+	slow   slowRing
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -139,11 +141,12 @@ func NewServerWith(backend Backend, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return &Server{
-		core:  core,
-		cfg:   core.Config(),
-		met:   core.metrics(),
-		log:   core.Config().Logger,
-		conns: make(map[net.Conn]struct{}),
+		core:   core,
+		cfg:    core.Config(),
+		met:    core.metrics(),
+		tracer: core.Config().Telemetry.Tracer(),
+		log:    core.Config().Logger,
+		conns:  make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -268,6 +271,14 @@ func (l *limitReader) Read(p []byte) (int, error) {
 
 // handle runs one request exchange; it reports whether the connection is
 // still in sync and should serve another.
+//
+// Tracing: when the wire header carries a trace position the request's
+// whole handling runs as a serve_request span parented under the
+// client's attempt, with admission / receive / respond child spans here
+// and queue_wait / batch spans in the batcher. The server never mints
+// root traces — an untraced request stays untraced — so trace volume is
+// always the client's choice. Every admitted request also leaves one
+// structured access-log line and competes for the slowest-requests ring.
 func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *limitReader, hdr header) bool {
 	if s.met != nil {
 		s.met.requests.Inc()
@@ -290,14 +301,36 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 	}
 	client := sanitizeClientID(hdr.Client, conn)
 
+	wire := telemetry.TraceContext{TraceID: hdr.TraceID, SpanID: hdr.SpanID}
+	var reqSpan *telemetry.TraceSpan
+	if s.tracer != nil && wire.Valid() {
+		reqSpan = s.tracer.StartSpan(wire, StageServeRequest, client)
+	}
+	// child opens a phase span under the request span; nil (a no-op
+	// throughout) when the request is untraced.
+	child := func(stage, label string) *telemetry.TraceSpan {
+		if reqSpan == nil {
+			return nil
+		}
+		return s.tracer.StartSpan(reqSpan.Context(), stage, label)
+	}
+
+	adm := child(StageAdmission, client)
 	dcsn, release := s.core.Admit(client)
+	adm.Annotate("status", dcsn.Status.String())
+	adm.End()
 	verdict := response{Status: dcsn.Status, RetryAfter: dcsn.RetryAfter}
 	if dcsn.Status != StatusAccepted {
 		if s.log != nil {
 			s.log.LogAttrs(context.Background(), slog.LevelWarn, "request shed",
 				slog.String("client", client),
 				slog.String("status", dcsn.Status.String()),
+				slog.String("trace_id", traceIDString(wire)),
 				slog.Duration("retry_after", dcsn.RetryAfter))
+		}
+		if reqSpan != nil {
+			reqSpan.Annotate("outcome", dcsn.Status.String())
+			reqSpan.End()
 		}
 		return enc.Encode(&verdict) == nil
 	}
@@ -306,6 +339,44 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 	if s.met != nil {
 		defer func() { s.met.reqLat.Observe(time.Since(start)) }()
 	}
+
+	// The access log, the slowest-requests ring and the request span all
+	// settle here, whatever path the request takes out of this function.
+	outcome := "disconnect"
+	var bs *BatchStats
+	defer func() {
+		dur := time.Since(start)
+		var queueWait time.Duration
+		batchSize := 0
+		if bs != nil {
+			queueWait, batchSize = bs.QueueWait, bs.BatchSize
+		}
+		if s.log != nil {
+			s.log.LogAttrs(context.Background(), slog.LevelInfo, "request served",
+				slog.String("client", client),
+				slog.Int64("bytes", hdr.payloadBytes()),
+				slog.Duration("queue_wait", queueWait),
+				slog.Int("batch_size", batchSize),
+				slog.String("outcome", outcome),
+				slog.String("trace_id", traceIDString(wire)),
+				slog.Duration("duration", dur))
+		}
+		s.slow.note(SlowRequest{
+			Time:      time.Now(),
+			Client:    client,
+			TraceID:   traceIDString(wire),
+			Outcome:   outcome,
+			Bytes:     hdr.payloadBytes(),
+			QueueWait: queueWait,
+			BatchSize: batchSize,
+			Duration:  dur,
+		})
+		if reqSpan != nil {
+			reqSpan.Annotate("outcome", outcome)
+			reqSpan.End()
+		}
+	}()
+
 	if err := enc.Encode(&verdict); err != nil {
 		return false
 	}
@@ -315,18 +386,25 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 	// the admitted header's worst-case wire size; each frame must land
 	// within the receive timeout so a stalled client cannot pin its
 	// admission slot.
+	recv := child(StageReceive, fmt.Sprintf("frames_%d", hdr.Frames))
 	lim.n = hdr.wireBudget()
 	stack := &dataset.Stack{Frames: make([]*dataset.Image, hdr.Frames)}
 	for i := range stack.Frames {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReceiveTimeout)) //nolint:errcheck // a dead conn fails the decode below
 		var frame dataset.Image
 		if err := dec.Decode(&frame); err != nil {
+			outcome = "recv_error"
+			recv.Annotate("error", err.Error())
+			recv.End()
 			return false
 		}
 		if frame.Width != hdr.Width || frame.Height != hdr.Height || len(frame.Pix) != hdr.Width*hdr.Height {
 			if s.met != nil {
 				s.met.errored.Inc()
 			}
+			outcome = "bad_frame"
+			recv.Annotate("error", "frame does not match header")
+			recv.End()
 			enc.Encode(&response{Status: StatusError,
 				Err: fmt.Sprintf("serve: frame %d is %dx%d (%d px), header said %dx%d",
 					i, frame.Width, frame.Height, len(frame.Pix), hdr.Width, hdr.Height)})
@@ -335,6 +413,7 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 		stack.Frames[i] = &frame
 	}
 	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // idle waits between requests are unbounded by design
+	recv.End()
 	if s.met != nil {
 		s.met.recvLat.Observe(time.Since(start))
 	}
@@ -342,7 +421,8 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 	// Run the baseline through the backend, honoring the client's
 	// deadline and dying with the server on a forced close. The route
 	// rides the context so a fleet backend can place the request on its
-	// ring by the client's key.
+	// ring by the client's key; the trace position rides it too, so the
+	// batcher's and backend's spans continue this request's trace.
 	ctx := s.core.Context()
 	if !hdr.Deadline.IsZero() {
 		var cancel context.CancelFunc
@@ -354,6 +434,10 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 		key = client
 	}
 	ctx = WithRoute(ctx, Route{Client: client, Key: key})
+	ctx, bs = withBatchStats(ctx)
+	if reqSpan != nil {
+		ctx = telemetry.ContextWithTrace(ctx, s.tracer, reqSpan.Context())
+	}
 	res := <-s.core.Submit(ctx, stack)
 	if res.Err != nil {
 		// A backend shed (the fleet found every candidate saturated) is
@@ -367,6 +451,7 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 				s.log.LogAttrs(ctx, slog.LevelWarn, "request shed by backend",
 					slog.String("client", client))
 			}
+			outcome = "shed"
 			return enc.Encode(&response{Status: StatusShed, RetryAfter: s.cfg.RetryAfter}) == nil
 		}
 		if s.met != nil {
@@ -377,9 +462,11 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 				slog.String("client", client),
 				slog.String("error", res.Err.Error()))
 		}
+		outcome = "error"
 		return enc.Encode(&response{Status: StatusError, Err: res.Err.Error()}) == nil
 	}
-	return enc.Encode(&response{
+	resp := child(StageRespond, client)
+	ok := enc.Encode(&response{
 		Status:     StatusOK,
 		Image:      res.Image,
 		Compressed: res.Compressed,
@@ -387,6 +474,19 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 		PreStats:   res.PreStats,
 		Retries:    res.Retries,
 	}) == nil
+	resp.End()
+	if ok {
+		outcome = "ok"
+	}
+	return ok
+}
+
+// traceIDString renders the trace ID for logs ("" when untraced).
+func traceIDString(tc telemetry.TraceContext) string {
+	if !tc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("%016x", tc.TraceID)
 }
 
 // Shutdown drains the server gracefully: stop accepting connections, shed

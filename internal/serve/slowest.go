@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// slowCapacity bounds the slowest-requests ring: enough to triage a bad
+// minute, small enough that a scrape is instant.
+const slowCapacity = 32
+
+// SlowRequest is one entry in the daemon's slowest-requests ring: the
+// same fields the access log records, with the trace ID as the handle
+// into /debug/trace.
+type SlowRequest struct {
+	// Time is when the request completed.
+	Time time.Time `json:"time"`
+	// Client is the sanitized submitter ID.
+	Client string `json:"client"`
+	// TraceID links the request's spans in the Chrome export; empty for
+	// untraced requests.
+	TraceID string `json:"trace_id,omitempty"`
+	// Outcome is the final status string ("ok", "shed", "error").
+	Outcome string `json:"outcome"`
+	// Bytes is the declared payload size.
+	Bytes int64 `json:"bytes"`
+	// QueueWait and BatchSize report what the batcher did with the
+	// request.
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	BatchSize int           `json:"batch_size"`
+	// Duration is admission-to-response wall time.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// slowRing keeps the slowest requests seen, by duration. Insertion keeps
+// the slice sorted (slowest first) and drops the fastest entry past
+// capacity; with 32 entries a linear insert is cheaper than a heap.
+type slowRing struct {
+	mu   sync.Mutex
+	reqs []SlowRequest
+}
+
+// note offers one completed request to the ring.
+func (r *slowRing) note(sr SlowRequest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.reqs) >= slowCapacity && sr.Duration <= r.reqs[len(r.reqs)-1].Duration {
+		return
+	}
+	i := sort.Search(len(r.reqs), func(i int) bool { return r.reqs[i].Duration < sr.Duration })
+	r.reqs = append(r.reqs, SlowRequest{})
+	copy(r.reqs[i+1:], r.reqs[i:])
+	r.reqs[i] = sr
+	if len(r.reqs) > slowCapacity {
+		r.reqs = r.reqs[:slowCapacity]
+	}
+}
+
+// snapshot returns the entries, slowest first.
+func (r *slowRing) snapshot() []SlowRequest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SlowRequest, len(r.reqs))
+	copy(out, r.reqs)
+	return out
+}
+
+// Slowest returns the server's slowest served requests, slowest first.
+func (s *Server) Slowest() []SlowRequest { return s.slow.snapshot() }
+
+// SlowestHandler serves the ring as JSON — mount it at /debug/slowest on
+// the telemetry sidecar. Each entry's trace_id indexes into /debug/trace.
+func (s *Server) SlowestHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(s.Slowest()) //nolint:errcheck // a broken scrape conn has nowhere to report
+	})
+}

@@ -17,6 +17,9 @@ import (
 
 // WriteText writes the snapshot in an expvar-style line-oriented text
 // format: one `kind name field=value...` line per metric, stable order.
+// Histogram lines carry both the human-readable quantile digest and the
+// exact machine fields (sum, min_ns, max_ns, and the non-zero bucket
+// counts) that make the page mergeable across nodes via ParseText.
 func (s Snapshot) WriteText(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "uptime %s\n", fmtDur(s.Uptime))
@@ -27,16 +30,43 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		fmt.Fprintf(&b, "gauge %s %g\n", name, s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
-		h := s.Histograms[name]
-		fmt.Fprintf(&b, "histogram %s count=%d min=%s mean=%s p50=%s p95=%s p99=%s max=%s\n",
-			name, h.Count, fmtDur(h.Min), fmtDur(h.Mean),
-			fmtDur(h.P50), fmtDur(h.P95), fmtDur(h.P99), fmtDur(h.Max))
+		writeHistogramLine(&b, name, s.Histograms[name], s.HistogramStates[name])
 	}
 	for _, stage := range sortedKeys(s.SpanCounts) {
 		fmt.Fprintf(&b, "spans %s %d\n", stage, s.SpanCounts[stage])
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeHistogramLine renders one histogram exposition line. The summary
+// fields are for humans; sum/min_ns/max_ns/buckets are exact and let a
+// scraper reconstruct a mergeable HistogramState.
+func writeHistogramLine(b *strings.Builder, name string, h HistogramSummary, st HistogramState) {
+	fmt.Fprintf(b, "histogram %s count=%d min=%s mean=%s p50=%s p95=%s p99=%s max=%s",
+		name, h.Count, fmtDur(h.Min), fmtDur(h.Mean),
+		fmtDur(h.P50), fmtDur(h.P95), fmtDur(h.P99), fmtDur(h.Max))
+	if st.Count > 0 {
+		fmt.Fprintf(b, " sum=%d min_ns=%d max_ns=%d buckets=%s",
+			st.Sum, int64(st.Min), int64(st.Max), encodeBuckets(st.Buckets))
+	}
+	b.WriteByte('\n')
+}
+
+// encodeBuckets renders the non-zero buckets as index:count pairs
+// ("22:3,23:1"); DecodeBuckets inverts it.
+func encodeBuckets(buckets [histBuckets]int64) string {
+	var b strings.Builder
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", i, n)
+	}
+	return b.String()
 }
 
 // Render returns a human-oriented summary table of the snapshot, the form
@@ -114,7 +144,7 @@ var Version = sync.OnceValue(func() string {
 //	/healthz       {"status":"ok","uptime":"...","version":"..."}
 //	/debug/trace   Chrome trace-event JSON of the tracer's buffer
 //	/debug/pprof/  index, cmdline, profile, symbol, trace, heap, ...
-func Handler(reg *Registry) http.Handler {
+func Handler(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -146,6 +176,7 @@ type Server struct {
 	mu     sync.Mutex
 	ln     net.Listener
 	srv    *http.Server
+	mux    *http.ServeMux
 	closed bool
 }
 
@@ -156,9 +187,18 @@ func NewServer(reg *Registry, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	mux := Handler(reg)
+	s := &Server{ln: ln, mux: mux, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// Handle mounts an additional handler on the sidecar's mux — the hook
+// daemons use for /debug/slowest and routers for the /fleet surface.
+// Registering a pattern twice panics (http.ServeMux semantics), so mount
+// extras right after NewServer.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // Addr returns the bound listen address.

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fleet aggregation. An Aggregator periodically scrapes the /metrics page
+// of every node in a fleet, keeps the latest parsed exposition per node,
+// and serves two merged views: /fleet/metrics (per-node sections plus a
+// merged exposition whose histograms are bucket-merged, so fleet p99 is
+// computed from combined buckets rather than averaged per-node
+// quantiles) and /fleet/healthz (JSON roll-up of node reachability).
+//
+// The aggregator is transport-dumb: it only needs each node's metrics
+// URL. The router binary owns the mapping from serve nodes to their
+// sidecar addresses.
+
+// aggScrapeTimeout bounds one node scrape.
+const aggScrapeTimeout = 2 * time.Second
+
+// DefaultAggregateInterval is the background scrape cadence when the
+// Aggregator is started with interval <= 0.
+const DefaultAggregateInterval = time.Second
+
+// NodeStatus is one node's slice of a fleet snapshot.
+type NodeStatus struct {
+	// Name is the node's stable identifier (the serve address for the
+	// router's fleet).
+	Name string
+	// URL is the scraped metrics URL.
+	URL string
+	// Up reports whether the most recent scrape succeeded.
+	Up bool
+	// Err holds the most recent scrape error when Up is false.
+	Err string
+	// Scraped is when the exposition was last refreshed successfully.
+	Scraped time.Time
+	// Exposition is the last successfully parsed page; nil before the
+	// first success.
+	Exposition *Exposition
+}
+
+// Aggregator scrapes a fixed set of node metrics endpoints and serves
+// merged fleet views. Safe for concurrent use.
+type Aggregator struct {
+	client   *http.Client
+	interval time.Duration
+
+	mu    sync.Mutex
+	nodes map[string]*NodeStatus // keyed by Name
+	order []string               // stable render order
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewAggregator builds an aggregator over the given name -> metrics-URL
+// targets. interval <= 0 selects DefaultAggregateInterval. Call Start to
+// begin background scraping, or Refresh for one synchronous pass.
+func NewAggregator(targets map[string]string, interval time.Duration) *Aggregator {
+	if interval <= 0 {
+		interval = DefaultAggregateInterval
+	}
+	a := &Aggregator{
+		client:   &http.Client{Timeout: aggScrapeTimeout},
+		interval: interval,
+		nodes:    make(map[string]*NodeStatus, len(targets)),
+		done:     make(chan struct{}),
+	}
+	for name, url := range targets {
+		a.nodes[name] = &NodeStatus{Name: name, URL: url}
+		a.order = append(a.order, name)
+	}
+	sort.Strings(a.order)
+	return a
+}
+
+// Start launches the background scrape loop; Stop ends it. An initial
+// pass runs immediately so handlers have data as soon as nodes respond.
+func (a *Aggregator) Start() {
+	go func() {
+		a.Refresh(context.Background())
+		t := time.NewTicker(a.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.done:
+				return
+			case <-t.C:
+				a.Refresh(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop ends the background scrape loop. Idempotent.
+func (a *Aggregator) Stop() { a.once.Do(func() { close(a.done) }) }
+
+// Refresh scrapes every node once, concurrently, and installs the
+// results. It returns the number of nodes that answered.
+func (a *Aggregator) Refresh(ctx context.Context) int {
+	a.mu.Lock()
+	targets := make([]*NodeStatus, 0, len(a.nodes))
+	for _, name := range a.order {
+		targets = append(targets, &NodeStatus{Name: name, URL: a.nodes[name].URL})
+	}
+	a.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, n := range targets {
+		wg.Add(1)
+		go func(n *NodeStatus) {
+			defer wg.Done()
+			exp, err := a.scrape(ctx, n.URL)
+			if err != nil {
+				n.Err = err.Error()
+				return
+			}
+			n.Up = true
+			n.Scraped = time.Now()
+			n.Exposition = exp
+		}(n)
+	}
+	wg.Wait()
+
+	up := 0
+	a.mu.Lock()
+	for _, n := range targets {
+		cur := a.nodes[n.Name]
+		if n.Up {
+			up++
+			cur.Up, cur.Err, cur.Scraped, cur.Exposition = true, "", n.Scraped, n.Exposition
+		} else {
+			cur.Up, cur.Err = false, n.Err
+		}
+	}
+	a.mu.Unlock()
+	return up
+}
+
+// scrape fetches and parses one node's metrics page.
+func (a *Aggregator) scrape(ctx context.Context, url string) (*Exposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("telemetry: scrape %s: status %d", url, resp.StatusCode)
+	}
+	return ParseText(io.LimitReader(resp.Body, 4<<20))
+}
+
+// Fleet returns the current per-node statuses (stable order) and the
+// merged exposition across every node that is up.
+func (a *Aggregator) Fleet() ([]NodeStatus, *Exposition) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	merged := NewExposition()
+	out := make([]NodeStatus, 0, len(a.order))
+	for _, name := range a.order {
+		n := a.nodes[name]
+		out = append(out, *n)
+		if n.Up && n.Exposition != nil {
+			merged.Merge(n.Exposition)
+		}
+	}
+	return out, merged
+}
+
+// MetricsHandler serves /fleet/metrics: one "node <name> up|down" header
+// line and the node's exposition per node, then a "fleet merged" section
+// whose histogram lines are bucket-merged across nodes.
+func (a *Aggregator) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		nodes, merged := a.Fleet()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, n := range nodes {
+			if !n.Up {
+				fmt.Fprintf(w, "# node %s down: %s\n", n.Name, n.Err)
+				continue
+			}
+			fmt.Fprintf(w, "# node %s up scraped=%s\n", n.Name, n.Scraped.UTC().Format(time.RFC3339))
+			n.Exposition.WriteText(w)
+		}
+		fmt.Fprintf(w, "# fleet merged\n")
+		merged.WriteText(w)
+	})
+}
+
+// HealthHandler serves /fleet/healthz: JSON with per-node up/down and an
+// overall status — "ok" when every node answers, "degraded" when some
+// do, and HTTP 503 with status "down" when none do.
+func (a *Aggregator) HealthHandler() http.Handler {
+	type nodeHealth struct {
+		Name    string `json:"name"`
+		Up      bool   `json:"up"`
+		Err     string `json:"error,omitempty"`
+		Scraped string `json:"scraped,omitempty"`
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		nodes, _ := a.Fleet()
+		up := 0
+		out := make([]nodeHealth, 0, len(nodes))
+		for _, n := range nodes {
+			h := nodeHealth{Name: n.Name, Up: n.Up, Err: n.Err}
+			if !n.Scraped.IsZero() {
+				h.Scraped = n.Scraped.UTC().Format(time.RFC3339)
+			}
+			if n.Up {
+				up++
+			}
+			out = append(out, h)
+		}
+		status := "ok"
+		code := http.StatusOK
+		switch {
+		case len(nodes) == 0 || up == 0:
+			status = "down"
+			code = http.StatusServiceUnavailable
+		case up < len(nodes):
+			status = "degraded"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": status,
+			"up":     up,
+			"total":  len(nodes),
+			"nodes":  out,
+		})
+	})
+}

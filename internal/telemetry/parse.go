@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Text-exposition parsing. ParseText is the inverse of Snapshot.WriteText:
+// it reconstructs counters, gauges, and mergeable histogram states from a
+// scraped /metrics page. It is the one parser every scraper in the tree
+// shares — the fleet router's queue-depth probe and the /fleet/metrics
+// aggregator both read through it — replacing ad-hoc field splitting.
+//
+// The parser is deliberately forgiving: malformed lines are skipped, not
+// fatal, because a scrape races the server's own writes and a consumer
+// wants whatever parsed rather than nothing. Only the underlying read
+// error is returned, alongside everything parsed before the fault, so a
+// truncated body still yields its prefix.
+
+// Exposition is a parsed /metrics page: the same shape as a Snapshot but
+// built from text, with full histogram states so pages from many nodes
+// can be merged.
+type Exposition struct {
+	Uptime     time.Duration
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramState
+	SpanCounts map[string]int64
+}
+
+// NewExposition returns an empty exposition with initialized maps.
+func NewExposition() *Exposition {
+	return &Exposition{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramState{},
+		SpanCounts: map[string]int64{},
+	}
+}
+
+// Gauge looks up a gauge by name, reporting whether the page carried it.
+func (e *Exposition) Gauge(name string) (float64, bool) {
+	v, ok := e.Gauges[name]
+	return v, ok
+}
+
+// Counter looks up a counter by name, reporting whether the page carried
+// it.
+func (e *Exposition) Counter(name string) (int64, bool) {
+	v, ok := e.Counters[name]
+	return v, ok
+}
+
+// Merge folds o into e: counters, gauges and span counts sum, histogram
+// states merge bucket-by-bucket, and uptime keeps the maximum (the
+// longest-lived node). Summing gauges is the useful fleet semantic for
+// the levels exposed here (inflight requests, queue depths, worker
+// counts); a consumer wanting per-node values reads them pre-merge.
+func (e *Exposition) Merge(o *Exposition) {
+	if o == nil {
+		return
+	}
+	if o.Uptime > e.Uptime {
+		e.Uptime = o.Uptime
+	}
+	for name, v := range o.Counters {
+		e.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		e.Gauges[name] += v
+	}
+	for name, st := range o.Histograms {
+		cur := e.Histograms[name]
+		cur.Merge(st)
+		e.Histograms[name] = cur
+	}
+	for name, v := range o.SpanCounts {
+		e.SpanCounts[name] += v
+	}
+}
+
+// WriteText renders the exposition in the same line format Snapshot
+// .WriteText emits, so an aggregated page is itself parseable and
+// mergeable by the next tier up.
+func (e *Exposition) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uptime %s\n", fmtDur(e.Uptime))
+	for _, name := range sortedKeys(e.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", name, e.Counters[name])
+	}
+	for _, name := range sortedKeys(e.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %g\n", name, e.Gauges[name])
+	}
+	for _, name := range sortedKeys(e.Histograms) {
+		st := e.Histograms[name]
+		writeHistogramLine(&b, name, st.Summary(), st)
+	}
+	for _, stage := range sortedKeys(e.SpanCounts) {
+		fmt.Fprintf(&b, "spans %s %d\n", stage, e.SpanCounts[stage])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ParseText parses a text exposition. Malformed lines are skipped; the
+// returned error is non-nil only for a read fault, and the exposition
+// holds everything parsed up to it.
+func ParseText(r io.Reader) (*Exposition, error) {
+	e := NewExposition()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		parseLine(e, sc.Text())
+	}
+	return e, sc.Err()
+}
+
+// parseLine folds one exposition line into e, silently skipping anything
+// it cannot make sense of.
+func parseLine(e *Exposition, line string) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return
+	}
+	switch fields[0] {
+	case "uptime":
+		if d, err := time.ParseDuration(fields[1]); err == nil {
+			e.Uptime = d
+		}
+	case "counter":
+		if len(fields) != 3 {
+			return
+		}
+		if v, err := strconv.ParseInt(fields[2], 10, 64); err == nil {
+			e.Counters[fields[1]] = v
+		}
+	case "gauge":
+		if len(fields) != 3 {
+			return
+		}
+		if v, err := strconv.ParseFloat(fields[2], 64); err == nil {
+			e.Gauges[fields[1]] = v
+		}
+	case "spans":
+		if len(fields) != 3 {
+			return
+		}
+		if v, err := strconv.ParseInt(fields[2], 10, 64); err == nil {
+			e.SpanCounts[fields[1]] = v
+		}
+	case "histogram":
+		if st, ok := parseHistogram(fields[2:]); ok {
+			e.Histograms[fields[1]] = st
+		}
+	}
+}
+
+// parseHistogram reconstructs a HistogramState from the k=v fields of one
+// histogram line. Pages from current servers carry the exact machine
+// fields (sum, min_ns, max_ns, buckets); pages from older servers only
+// carry the digest, in which case the state is approximated by placing
+// every observation at the mean — counts and sums stay exact, quantiles
+// degrade to the mean, and merging still adds up.
+func parseHistogram(fields []string) (HistogramState, bool) {
+	kv := map[string]string{}
+	for _, f := range fields {
+		i := strings.IndexByte(f, '=')
+		if i <= 0 {
+			return HistogramState{}, false
+		}
+		kv[f[:i]] = f[i+1:]
+	}
+	count, err := strconv.ParseInt(kv["count"], 10, 64)
+	if err != nil || count < 0 {
+		return HistogramState{}, false
+	}
+	if count == 0 {
+		return HistogramState{}, true
+	}
+	st := HistogramState{Count: count}
+	if sumS, ok := kv["sum"]; ok {
+		sum, err1 := strconv.ParseInt(sumS, 10, 64)
+		mn, err2 := strconv.ParseInt(kv["min_ns"], 10, 64)
+		mx, err3 := strconv.ParseInt(kv["max_ns"], 10, 64)
+		buckets, err4 := DecodeBuckets(kv["buckets"])
+		if err1 == nil && err2 == nil && err3 == nil && err4 == nil {
+			st.Sum, st.Min, st.Max = sum, time.Duration(mn), time.Duration(mx)
+			st.Buckets = buckets
+			return st, true
+		}
+	}
+	// Digest-only fallback: exact count, sum from the mean, all mass in
+	// the mean's bucket.
+	mean, err := time.ParseDuration(kv["mean"])
+	if err != nil {
+		return HistogramState{}, false
+	}
+	st.Sum = int64(mean) * count
+	st.Min, st.Max = mean, mean
+	if mn, err := time.ParseDuration(kv["min"]); err == nil {
+		st.Min = mn
+	}
+	if mx, err := time.ParseDuration(kv["max"]); err == nil {
+		st.Max = mx
+	}
+	st.Buckets[bucketIndex(int64(mean))] = count
+	return st, true
+}
+
+// DecodeBuckets parses the "i:n,i:n" bucket encoding emitted by
+// WriteText. An empty string decodes to all-zero buckets.
+func DecodeBuckets(s string) ([histBuckets]int64, error) {
+	var buckets [histBuckets]int64
+	if s == "" {
+		return buckets, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		i := strings.IndexByte(pair, ':')
+		if i <= 0 {
+			return buckets, fmt.Errorf("telemetry: bad bucket pair %q", pair)
+		}
+		idx, err := strconv.Atoi(pair[:i])
+		if err != nil || idx < 0 || idx >= histBuckets {
+			return buckets, fmt.Errorf("telemetry: bad bucket index %q", pair)
+		}
+		n, err := strconv.ParseInt(pair[i+1:], 10, 64)
+		if err != nil {
+			return buckets, fmt.Errorf("telemetry: bad bucket count %q", pair)
+		}
+		buckets[idx] = n
+	}
+	return buckets, nil
+}
+
+// bucketIndex is the bucket an ns duration falls into (see Observe).
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	return bits.Len64(uint64(ns))
+}

@@ -102,8 +102,65 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Quantile estimates the q-th quantile (q in [0,1]) of the observed
 // durations. With no observations it returns 0.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
+	return h.State().Quantile(q)
+}
+
+// State captures the histogram's complete bucket state: unlike Summary,
+// which digests into fixed quantiles, a State can be merged with the
+// states of other histograms (other nodes' /metrics pages) and the merged
+// quantiles recomputed from the combined buckets — the only way to
+// aggregate percentiles across a fleet without averaging lies.
+func (h *Histogram) State() HistogramState {
+	s := HistogramState{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count == 0 {
+		return HistogramState{}
+	}
+	s.Min = time.Duration(h.min.Load())
+	s.Max = time.Duration(h.max.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramState is the mergeable state of one Histogram: exact count,
+// sum, min and max, plus the power-of-two bucket counts quantiles are
+// estimated from. The zero value is an empty histogram.
+type HistogramState struct {
+	Count, Sum int64
+	Min, Max   time.Duration
+	Buckets    [histBuckets]int64
+}
+
+// Merge folds o into s. Merging preserves counts and sums exactly and
+// quantile estimation error stays bounded by the bucket resolution, so a
+// fleet-merged p99 is as trustworthy as a single node's.
+func (s *HistogramState) Merge(o HistogramState) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = o
+		return
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket
+// counts, interpolating inside the bucket where the cumulative count
+// crosses the rank and clamping to the observed [Min, Max] envelope.
+func (s HistogramState) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -112,10 +169,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(total)
+	rank := q * float64(s.Count)
 	var cum float64
 	for i := 0; i < histBuckets; i++ {
-		n := float64(h.buckets[i].Load())
+		n := float64(s.Buckets[i])
 		if n == 0 {
 			continue
 		}
@@ -123,12 +180,38 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			// Interpolate within [2^(i-1), 2^i).
 			lo, hi := bucketBounds(i)
 			frac := (rank - cum) / n
-			est := lo + frac*(hi-lo)
-			return clampToObserved(h, est)
+			return s.clamp(lo + frac*(hi-lo))
 		}
 		cum += n
 	}
-	return time.Duration(h.max.Load())
+	return s.Max
+}
+
+// clamp keeps interpolated estimates inside the true [Min, Max] envelope
+// so a half-empty top bucket cannot report beyond the worst case.
+func (s HistogramState) clamp(est float64) time.Duration {
+	if est < float64(s.Min) {
+		return s.Min
+	}
+	if est > float64(s.Max) {
+		return s.Max
+	}
+	return time.Duration(est)
+}
+
+// Summary digests the state into the fixed operational quantiles.
+func (s HistogramState) Summary() HistogramSummary {
+	out := HistogramSummary{Count: s.Count}
+	if s.Count == 0 {
+		return out
+	}
+	out.Min = s.Min
+	out.Max = s.Max
+	out.Mean = time.Duration(s.Sum / s.Count)
+	out.P50 = s.Quantile(0.50)
+	out.P95 = s.Quantile(0.95)
+	out.P99 = s.Quantile(0.99)
+	return out
 }
 
 // bucketBounds returns the nanosecond range covered by bucket i.
@@ -137,18 +220,6 @@ func bucketBounds(i int) (lo, hi float64) {
 		return 0, 1
 	}
 	return float64(int64(1) << (i - 1)), float64(int64(1) << i)
-}
-
-// clampToObserved keeps interpolated estimates inside the true [min, max]
-// envelope so a half-empty top bucket cannot report beyond the worst case.
-func clampToObserved(h *Histogram, est float64) time.Duration {
-	if mn := h.min.Load(); mn != math.MaxInt64 && est < float64(mn) {
-		return time.Duration(mn)
-	}
-	if mx := h.max.Load(); est > float64(mx) {
-		return time.Duration(mx)
-	}
-	return time.Duration(est)
 }
 
 // HistogramSummary is a point-in-time digest of one histogram.
@@ -161,17 +232,7 @@ type HistogramSummary struct {
 
 // Summary digests the histogram.
 func (h *Histogram) Summary() HistogramSummary {
-	s := HistogramSummary{Count: h.count.Load()}
-	if s.Count == 0 {
-		return s
-	}
-	s.Min = time.Duration(h.min.Load())
-	s.Max = time.Duration(h.max.Load())
-	s.Mean = time.Duration(h.sum.Load() / s.Count)
-	s.P50 = h.Quantile(0.50)
-	s.P95 = h.Quantile(0.95)
-	s.P99 = h.Quantile(0.99)
-	return s
+	return h.State().Summary()
 }
 
 // Registry is a named collection of counters, gauges, histograms and the
@@ -270,6 +331,10 @@ type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramSummary
+	// HistogramStates carries each histogram's full bucket state so the
+	// text exposition is mergeable across nodes (see HistogramState.Merge
+	// and ParseText).
+	HistogramStates map[string]HistogramState
 	// SpanCounts maps each span stage to the total number of spans ever
 	// recorded for it (monotonic: ring-buffer eviction does not decrease
 	// it).
@@ -282,10 +347,11 @@ type Snapshot struct {
 // Snapshot captures the registry.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Uptime:     r.Uptime(),
-		Counters:   map[string]int64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistogramSummary{},
+		Uptime:          r.Uptime(),
+		Counters:        map[string]int64{},
+		Gauges:          map[string]float64{},
+		Histograms:      map[string]HistogramSummary{},
+		HistogramStates: map[string]HistogramState{},
 	}
 	r.mu.RLock()
 	for name, c := range r.counters {
@@ -295,7 +361,9 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		s.Histograms[name] = h.Summary()
+		st := h.State()
+		s.HistogramStates[name] = st
+		s.Histograms[name] = st.Summary()
 	}
 	r.mu.RUnlock()
 	s.SpanCounts = r.spans.totals()

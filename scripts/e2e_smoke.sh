@@ -10,13 +10,20 @@
 #   4. SIGTERM the daemon and require a clean "drained" exit
 #
 # Fleet:
-#   5. boot three daemons and a spaceproc-router in front of them
+#   5. boot three daemons (each with a telemetry sidecar) and a
+#      spaceproc-router in front of them, its own sidecar aggregating
+#      the fleet's /metrics
 #   6. drive a verified loadgen pass through the router and, mid-run,
 #      SIGTERM one daemon; require the router to eject it, the pass to
 #      finish with zero failures and zero mismatches (failover + retries
-#      absorb the kill), then restart the daemon on its old address and
+#      absorb the kill), then restart the daemon on its old addresses and
 #      require the router to readmit it
-#   7. drive a second verified pass over the healed fleet
+#   7. drive a second verified pass over the healed fleet with tracing
+#      on; require the slowest request's trace ID to appear in the
+#      loadgen trace file AND in the router's and a daemon's
+#      /debug/trace — one trace crossing all three process boundaries —
+#      and require /fleet/metrics, /fleet/healthz, and /debug/slowest
+#      to serve coherent fleet telemetry
 #   8. SIGTERM the router and the daemons and require clean drains
 #
 # No arguments. Exits non-zero on any failure. Used by `make e2e-smoke`
@@ -106,11 +113,12 @@ if ! grep -q "^drained$" "$daemon_log"; then
     exit 1
 fi
 
-echo "== booting a 3-daemon fleet"
+echo "== booting a 3-daemon fleet (with telemetry sidecars)"
 fleet_addrs=""
 fleet_pids=""
 for i in 1 2 3; do
-    "$workdir/spaceprocd" -addr 127.0.0.1:0 -workers 2 -tile 32 \
+    "$workdir/spaceprocd" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+        -workers 2 -tile 32 \
         -drain-timeout 30s >"$workdir/node$i.log" 2>&1 &
     pid=$!
     pids="$pids $pid"
@@ -120,17 +128,25 @@ for i in 1 2 3; do
         cat "$workdir/node$i.log" >&2
         exit 1
     fi
-    fleet_addrs="$fleet_addrs,$naddr"
+    if ! nmetrics=$(await_line "$workdir/node$i.log" "metrics on http:\/\/"); then
+        echo "fleet node $i never reported its sidecar address:" >&2
+        cat "$workdir/node$i.log" >&2
+        exit 1
+    fi
+    nmetrics=${nmetrics%/metrics}
+    fleet_addrs="$fleet_addrs,$naddr=$nmetrics"
     eval "node${i}_addr=\$naddr"
+    eval "node${i}_metrics=\$nmetrics"
     eval "node${i}_pid=\$pid"
-    echo "node $i at $naddr (pid $pid)"
+    echo "node $i at $naddr (pid $pid, metrics $nmetrics)"
 done
 fleet_addrs=${fleet_addrs#,}
 
 echo "== booting spaceproc-router"
 router_log="$workdir/router.log"
-"$workdir/spaceproc-router" -addr 127.0.0.1:0 -nodes "$fleet_addrs" \
-    -probe-interval 100ms -probe-failures 2 \
+"$workdir/spaceproc-router" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+    -nodes "$fleet_addrs" \
+    -probe-interval 100ms -probe-failures 2 -fleet-scrape 200ms \
     -drain-timeout 30s >"$router_log" 2>"$workdir/router_err.log" &
 router_pid=$!
 pids="$pids $router_pid"
@@ -139,7 +155,13 @@ if ! raddr=$(await_line "$router_log" "routing on "); then
     cat "$router_log" "$workdir/router_err.log" >&2
     exit 1
 fi
-echo "router at $raddr (pid $router_pid)"
+if ! rmetrics=$(await_line "$router_log" "metrics on http:\/\/"); then
+    echo "router never reported its sidecar address:" >&2
+    cat "$router_log" "$workdir/router_err.log" >&2
+    exit 1
+fi
+rmetrics=${rmetrics%/metrics}
+echo "router at $raddr (pid $router_pid, metrics $rmetrics)"
 
 echo "== loadgen through the router, one node killed mid-run"
 "$workdir/loadgen" -addr "$raddr" -clients 2 -requests 25 \
@@ -164,7 +186,10 @@ fi
 echo "router ejected node 2"
 
 echo "restarting node 2 on $node2_addr"
-"$workdir/spaceprocd" -addr "$node2_addr" -workers 2 -tile 32 \
+# The router pinned node 2's health address from -nodes, so the restart
+# must bring the sidecar back on the same port too.
+"$workdir/spaceprocd" -addr "$node2_addr" -metrics "$node2_metrics" \
+    -workers 2 -tile 32 \
     -drain-timeout 30s >"$workdir/node2b.log" 2>&1 &
 node2_pid=$!
 pids="$pids $node2_pid"
@@ -196,9 +221,88 @@ if ! grep -q "^verify: 0 mismatched$" "$workdir/loadgen_fleet.log"; then
     exit 1
 fi
 
-echo "== loadgen over the healed fleet"
+echo "== loadgen over the healed fleet, tracing on"
+trace_file="$workdir/loadgen_trace.json"
+traced_log="$workdir/loadgen_traced.log"
 "$workdir/loadgen" -addr "$raddr" -clients 2 -requests 2 \
-    -width 64 -height 64 -readouts 8 -verify
+    -width 64 -height 64 -readouts 8 -verify \
+    -trace "$trace_file" -slowest 3 >"$traced_log" 2>&1
+cat "$traced_log"
+
+echo "== one trace crosses client, router, and daemon"
+# loadgen printed its slowest requests with their trace IDs; the slowest
+# one must appear in the client-side Chrome export and in the /debug/trace
+# of the router and of whichever daemon served it.
+tid=$(sed -n 's/^slow 1: .*trace \([0-9a-f]\{16\}\).*/\1/p' "$traced_log" | head -n1)
+if [ -z "$tid" ]; then
+    echo "loadgen printed no slowest-request trace ID:" >&2
+    cat "$traced_log" >&2
+    exit 1
+fi
+echo "slowest trace: $tid"
+if ! grep -q "\"trace_id\": \"$tid\"" "$trace_file"; then
+    echo "trace $tid missing from the loadgen Chrome export $trace_file" >&2
+    exit 1
+fi
+curl -sf "http://$rmetrics/debug/trace" >"$workdir/router_trace.json"
+if ! grep -q "\"trace_id\": \"$tid\"" "$workdir/router_trace.json"; then
+    echo "trace $tid missing from the router's /debug/trace" >&2
+    exit 1
+fi
+daemon_hit=0
+for i in 1 2 3; do
+    eval "nmetrics=\$node${i}_metrics"
+    if curl -sf "http://$nmetrics/debug/trace" | grep -q "\"trace_id\": \"$tid\""; then
+        daemon_hit=1
+        echo "trace $tid served by node $i"
+    fi
+done
+if [ "$daemon_hit" != 1 ]; then
+    echo "trace $tid missing from every daemon's /debug/trace" >&2
+    exit 1
+fi
+
+echo "== fleet telemetry endpoints"
+# Let the aggregator take a post-run scrape so /fleet/metrics reflects
+# the traced pass.
+sleep 0.5
+curl -sf "http://$rmetrics/fleet/metrics" >"$workdir/fleet_metrics.txt"
+for i in 1 2 3; do
+    eval "naddr=\$node${i}_addr"
+    if ! grep -q "^# node $naddr up " "$workdir/fleet_metrics.txt"; then
+        echo "/fleet/metrics does not show node $i ($naddr) up:" >&2
+        cat "$workdir/fleet_metrics.txt" >&2
+        exit 1
+    fi
+done
+if ! grep -q "^# fleet merged$" "$workdir/fleet_metrics.txt"; then
+    echo "/fleet/metrics has no merged section:" >&2
+    cat "$workdir/fleet_metrics.txt" >&2
+    exit 1
+fi
+# The merged page is itself a parseable exposition whose counters are the
+# per-node sums: check serve_requests_total adds up.
+if ! awk '
+    /^# fleet merged$/ { merged = 1; next }
+    $1 == "counter" && $2 == "serve_requests_total" {
+        if (merged) { total = $3 } else { sum += $3 }
+    }
+    END { exit !(total > 0 && total == sum) }
+' "$workdir/fleet_metrics.txt"; then
+    echo "merged serve_requests_total does not equal the per-node sum:" >&2
+    cat "$workdir/fleet_metrics.txt" >&2
+    exit 1
+fi
+if ! curl -sf "http://$rmetrics/fleet/healthz" | grep -q '"status":"ok"'; then
+    echo "/fleet/healthz not ok with the whole fleet up" >&2
+    curl -s "http://$rmetrics/fleet/healthz" >&2 || true
+    exit 1
+fi
+if ! curl -sf "http://$rmetrics/debug/slowest" | grep -q "\"trace_id\""; then
+    echo "router /debug/slowest lists no traced requests" >&2
+    exit 1
+fi
+echo "fleet telemetry OK"
 
 echo "== SIGTERM drains (router, then fleet)"
 kill -TERM "$router_pid"

@@ -44,6 +44,10 @@ type (
 	ServeClient = serve.Client
 	// ServeResult is one served baseline's output.
 	ServeResult = serve.Result
+	// ServeSlowRequest is one entry in a daemon's or router's
+	// slowest-requests ring (ServeDaemon.Slowest, /debug/slowest); its
+	// TraceID links into the Chrome trace export.
+	ServeSlowRequest = serve.SlowRequest
 
 	// ServeDaemonOption configures a ServeDaemon.
 	//
@@ -55,6 +59,21 @@ type (
 	// Deprecated: daemon, router, and client options were unified; use
 	// ServeOption.
 	ServeClientOption = serve.Option
+)
+
+// Serve-tier stage names recorded as trace spans: the client's root and
+// per-attempt spans, and the transport's admission/receive/queue/batch/
+// forward/respond spans (see TraceEvent.Stage).
+const (
+	StageClientRequest = serve.StageClientRequest
+	StageClientAttempt = serve.StageClientAttempt
+	StageServeRequest  = serve.StageServeRequest
+	StageAdmission     = serve.StageAdmission
+	StageReceive       = serve.StageReceive
+	StageQueueWait     = serve.StageQueueWait
+	StageBatch         = serve.StageBatch
+	StageForward       = serve.StageForward
+	StageRespond       = serve.StageRespond
 )
 
 // ErrServeShed is wrapped into a ServeClient error when every attempt was

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"time"
 
 	"spaceproc/internal/cluster"
 	"spaceproc/internal/telemetry"
@@ -39,6 +40,20 @@ type (
 	// TelemetryServer serves /metrics, /healthz and /debug/pprof/ for a
 	// registry.
 	TelemetryServer = telemetry.Server
+	// HistogramState is the mergeable form of a latency histogram:
+	// exact count/sum/min/max plus power-of-two buckets, so an
+	// aggregation tier can combine per-node histograms losslessly.
+	HistogramState = telemetry.HistogramState
+	// TelemetryExposition is a parsed /metrics page: counters, gauges,
+	// span counts, and mergeable histogram states.
+	TelemetryExposition = telemetry.Exposition
+	// FleetNodeStatus is one scraped node in a TelemetryAggregator:
+	// up/down, the error, and the node's last parsed exposition.
+	FleetNodeStatus = telemetry.NodeStatus
+	// TelemetryAggregator periodically scrapes a set of /metrics
+	// endpoints and serves per-node plus fleet-merged views
+	// (/fleet/metrics, /fleet/healthz).
+	TelemetryAggregator = telemetry.Aggregator
 	// WorkerServerOption configures a WorkerServer.
 	WorkerServerOption = cluster.ServerOption
 	// AdaptiveConfig parameterizes an AdaptiveWorker.
@@ -91,6 +106,21 @@ func WithWorkerServerSidecar(addr string) WorkerServerOption { return cluster.Wi
 // ("127.0.0.1:0" picks a free port; see TelemetryServer.Addr).
 func NewTelemetryServer(reg *TelemetryRegistry, addr string) (*TelemetryServer, error) {
 	return telemetry.NewServer(reg, addr)
+}
+
+// NewTelemetryAggregator builds a fleet scraper over targets (display
+// name → metrics URL) polling every interval (<= 0: one-second
+// default). Call Start to begin scraping and Stop on shutdown; mount
+// MetricsHandler and HealthHandler on a TelemetryServer via Handle.
+func NewTelemetryAggregator(targets map[string]string, interval time.Duration) *TelemetryAggregator {
+	return telemetry.NewAggregator(targets, interval)
+}
+
+// ParseTelemetryText parses a /metrics text exposition. Malformed lines
+// are skipped; a read fault returns the lines parsed so far alongside
+// the error.
+func ParseTelemetryText(r io.Reader) (*TelemetryExposition, error) {
+	return telemetry.ParseText(r)
 }
 
 // DefaultAdaptiveConfig returns an adaptive-worker config over the model
