@@ -5,7 +5,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: check vet staticcheck build test race bench bench-smoke e2e-smoke
+.PHONY: check vet staticcheck build test race bench bench-smoke e2e-smoke e2e-crash
 
 check: vet staticcheck build race
 
@@ -52,3 +52,12 @@ bench-smoke:
 # scripts/e2e_smoke.sh.
 e2e-smoke:
 	sh scripts/e2e_smoke.sh
+
+# e2e-crash boots spaceprocd with the write-ahead request log and dedupe
+# cache on, kill -9s it halfway through a verified loadgen run, restarts
+# it on the same address and WAL directory, and requires zero lost
+# admitted requests, bit-identical results, a logged WAL replay, and
+# dedupe hits on repeat baselines. See scripts/e2e_crash.sh (also run at
+# the tail of e2e-smoke).
+e2e-crash:
+	sh scripts/e2e_crash.sh

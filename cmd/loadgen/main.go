@@ -14,6 +14,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/exec"
 	"sort"
 	"strings"
 	"sync"
@@ -51,6 +52,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	attempts := fs.Int("attempts", 8, "client retry attempts per request")
 	traceFile := fs.String("trace", "", "write the run's Chrome trace-event JSON to this file")
 	slowest := fs.Int("slowest", 5, "slowest requests to list with their trace IDs (0 disables)")
+	killRestart := fs.String("kill-restart", "", "shell command run once when half the requests have completed (crash/recovery scenarios: kill -9 the daemon and restart it; clients ride through on retries)")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,7 +146,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 		}(c)
 	}
+	// The crash scenario: once half the requests have completed, run the
+	// operator's command (typically kill -9 the daemon and restart it on
+	// the same address and WAL directory). The clients ride through on
+	// their retry ladders, so the run's final counts measure what the
+	// crash actually lost.
+	var chaosWG sync.WaitGroup
+	if *killRestart != "" {
+		half := int64(*clients) * int64(*requests) / 2
+		if half < 1 {
+			half = 1
+		}
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			for ok.Load()+failed.Load() < half {
+				if ctx.Err() != nil {
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			fmt.Fprintf(out, "kill-restart: running after %d requests\n", ok.Load()+failed.Load())
+			cmd := exec.CommandContext(ctx, "sh", "-c", *killRestart)
+			cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+			if err := cmd.Run(); err != nil {
+				fmt.Fprintf(out, "kill-restart: command failed: %v\n", err)
+			}
+		}()
+	}
 	wg.Wait()
+	chaosWG.Wait()
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(out, "loadgen: %d ok, %d failed in %s (%.1f req/s)\n",

@@ -44,6 +44,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxReqBytes := fs.Int64("max-request-bytes", 256<<20, "payload budget one request may declare")
 	recvTimeout := fs.Duration("recv-timeout", 30*time.Second, "per-frame receive deadline for admitted requests")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
+	walDir := fs.String("wal-dir", "", "write-ahead log directory for admitted requests (empty disables)")
+	walSync := fs.Bool("wal-sync", true, "fsync every WAL append and commit")
+	dedupeCap := fs.Int("dedupe", 0, "content-addressed dedupe cache entries (0 disables)")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,11 +102,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	scfg.MaxRequestBytes = *maxReqBytes
 	scfg.ReceiveTimeout = *recvTimeout
+	scfg.WALDir = *walDir
+	scfg.WALSync = *walSync
+	scfg.DedupeCap = *dedupeCap
 	scfg.Telemetry = reg
 	scfg.Logger = logger
 	daemon, err := spaceproc.NewDaemonWith(pool, scfg)
 	if err != nil {
 		return err
+	}
+	// Replay admitted-but-unserved requests a previous run's crash left in
+	// the WAL before taking traffic: results commit their entries and warm
+	// the dedupe cache, so clients retrying the lost requests are answered
+	// bit-identically without recomputation.
+	if *walDir != "" {
+		replayed, err := daemon.ReplayWAL(ctx)
+		if err != nil {
+			daemon.Close()
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		fmt.Fprintf(out, "replayed %d wal entries\n", replayed)
 	}
 	bound, err := daemon.Listen(*addr)
 	if err != nil {

@@ -47,6 +47,7 @@ type clientMetrics struct {
 	sheds    *telemetry.Counter
 	retries  *telemetry.Counter
 	errored  *telemetry.Counter
+	canceled *telemetry.Counter
 	lat      *telemetry.Histogram
 }
 
@@ -151,6 +152,7 @@ func newClient(cfg Config, addrs []string) *Client {
 			sheds:    cfg.Telemetry.Counter("client_sheds_total"),
 			retries:  cfg.Telemetry.Counter("client_retries_total"),
 			errored:  cfg.Telemetry.Counter("client_errors_total"),
+			canceled: cfg.Telemetry.Counter("client_canceled_total"),
 			lat:      cfg.Telemetry.Histogram("client_request"),
 		}
 		c.tracer = cfg.Telemetry.Tracer()
@@ -356,6 +358,12 @@ func (c *Client) process(ctx context.Context, clientID, key string, s *dataset.S
 			}
 			return nil, terminal.err
 		case ctx.Err() != nil:
+			// Cancellation is the caller's doing, not the server's: count
+			// it in its own series so an aborted run does not read as
+			// server errors in client_errors_total.
+			if c.met != nil {
+				c.met.canceled.Inc()
+			}
 			return nil, ctx.Err()
 		case err != nil:
 			lastErr = err
@@ -371,10 +379,7 @@ func (c *Client) process(ctx context.Context, clientID, key string, s *dataset.S
 			}
 			return nil, lastErr
 		}
-		delay := c.bumpBackoff()
-		if retryIn > delay {
-			delay = retryIn
-		}
+		delay := c.nextDelay(retryIn)
 		if c.log != nil {
 			c.log.LogAttrs(ctx, slog.LevelWarn, "retrying request",
 				slog.Int("attempt", attempt),
@@ -389,18 +394,28 @@ func (c *Client) process(ctx context.Context, clientID, key string, s *dataset.S
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
+			if c.met != nil {
+				c.met.canceled.Inc()
+			}
 			return nil, ctx.Err()
 		}
 	}
 }
 
-// bumpBackoff returns the current retry delay and escalates it for the
-// next retry (doubling up to the max). The ladder is connection-scoped,
-// not call-scoped: consecutive shed requests on a persistent connection
-// keep climbing it, and only a success (resetBackoff) descends.
-func (c *Client) bumpBackoff() time.Duration {
+// nextDelay picks the next retry delay: the ladder's current rung, or
+// the server's retry-after hint when the hint is longer. The ladder is
+// connection-scoped, not call-scoped: consecutive shed requests on a
+// persistent connection keep climbing it, and only a success
+// (resetBackoff) descends. It escalates (doubling up to the max) only
+// when its own delay is the one used — when the server's hint overrides
+// it, the server has already set the pace, and burning a rung on top
+// would double-escalate every hinted retry.
+func (c *Client) nextDelay(hint time.Duration) time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if hint > c.backoff {
+		return hint
+	}
 	d := c.backoff
 	if c.backoff *= 2; c.backoff > c.cfg.RetryBackoffMax {
 		c.backoff = c.cfg.RetryBackoffMax

@@ -50,6 +50,14 @@ type Config struct {
 	BatchMax        int           // batch flush size; <= 1 disables batching
 	BatchWindow     time.Duration // batch flush age; <= 0 disables batching
 
+	// Durability (daemon): write-ahead request log and content-addressed
+	// dedupe. Both default off — tests and embedded uses get the
+	// historical stateless daemon unless they opt in.
+	WALDir        string // directory for the ingest WAL; "" disables logging
+	WALSync       bool   // fsync each append and commit (crash-durable, slower)
+	WALChunkBytes int    // WAL payload chunk cap; 0 = store.DefaultWALChunkBytes
+	DedupeCap     int    // dedupe cache entries; <= 0 disables dedupe
+
 	// Client retry/dial policy (also the fleet's forwarding clients).
 	ClientID        string
 	Attempts        int           // tries per Process call
@@ -387,4 +395,32 @@ func WithHealthProbe(interval time.Duration, failures int) Option {
 // <= 0 disables spillover.
 func WithSpillover(depth int) Option {
 	return func(c *Config) { c.SpillDepth = depth }
+}
+
+// WithWAL enables the write-ahead request log in dir: every admitted
+// baseline is appended (size-capped, hash-verified chunks) before it
+// enters the batcher, committed when its exchange completes, and
+// replayed through ReplayWAL after a restart. sync fsyncs each append
+// and commit — crash-durable but slower; without it the log rides the
+// page cache and only survives process death, not power loss.
+func WithWAL(dir string, sync bool) Option {
+	return func(c *Config) {
+		c.WALDir = dir
+		c.WALSync = sync
+	}
+}
+
+// WithWALChunkBytes caps the WAL's payload chunk size (0 selects
+// store.DefaultWALChunkBytes).
+func WithWALChunkBytes(n int) Option {
+	return func(c *Config) { c.WALChunkBytes = n }
+}
+
+// WithDedupe enables content-addressed dedupe: a request whose baseline
+// hashes to a previously served one is answered from a bounded cache of
+// cap results without touching the pipeline (the pipeline is
+// deterministic, so the cached answer is bit-identical). cap <= 0
+// disables; DefaultDedupeCap is a sane bound.
+func WithDedupe(cap int) Option {
+	return func(c *Config) { c.DedupeCap = cap }
 }

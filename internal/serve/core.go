@@ -25,6 +25,7 @@ type Core struct {
 	cfg Config
 	met *serveMetrics // nil without telemetry
 	bat *batcher
+	ing *ingest // nil unless a WAL or dedupe cache is configured
 
 	// forceCtx cancels every request's pipeline context on a forced
 	// close; a graceful drain leaves it alone until the drain completes.
@@ -65,6 +66,11 @@ func NewCore(backend Backend, cfg Config) (*Core, error) {
 		clients: make(map[string]*clientQuota),
 		minted:  make(map[string]*telemetry.Gauge),
 	}
+	ing, err := newIngest(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.ing = ing
 	if cfg.Telemetry != nil {
 		p := cfg.MetricPrefix
 		c.met = &serveMetrics{

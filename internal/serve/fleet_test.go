@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -245,8 +246,11 @@ func TestFleetShedFailsOverWithoutTripping(t *testing.T) {
 
 	// A key owned by the soon-to-be-saturated member.
 	rg := expectedRing([]string{addrA, addrB})
+	// The owner depends on the ephemeral listen ports, so probe enough
+	// candidate keys that one landing on A is a near-certainty.
 	key := ""
-	for _, k := range []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"} {
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%d", i)
 		if owner, _ := rg.Lookup(k); owner == addrA {
 			key = k
 			break
@@ -456,10 +460,10 @@ func TestClientBackoffResetsAfterSuccess(t *testing.T) {
 	c := dialClient(t, addr, WithRetryPolicy(6, base, 500*time.Millisecond))
 
 	// Climb the ladder the way consecutive sheds would.
-	if got := c.bumpBackoff(); got != base {
+	if got := c.nextDelay(0); got != base {
 		t.Fatalf("first delay %v, want base %v", got, base)
 	}
-	c.bumpBackoff()
+	c.nextDelay(0)
 	c.mu.Lock()
 	climbed := c.backoff
 	c.mu.Unlock()
@@ -479,9 +483,9 @@ func TestClientBackoffResetsAfterSuccess(t *testing.T) {
 
 	// And the ladder is capped.
 	for i := 0; i < 20; i++ {
-		c.bumpBackoff()
+		c.nextDelay(0)
 	}
-	if got := c.bumpBackoff(); got != 500*time.Millisecond {
+	if got := c.nextDelay(0); got != 500*time.Millisecond {
 		t.Fatalf("ladder cap %v, want 500ms", got)
 	}
 }

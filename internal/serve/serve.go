@@ -42,6 +42,7 @@ import (
 
 	"spaceproc/internal/cluster"
 	"spaceproc/internal/dataset"
+	"spaceproc/internal/store"
 	"spaceproc/internal/telemetry"
 )
 
@@ -153,6 +154,15 @@ func NewServerWith(backend Backend, cfg Config) (*Server, error) {
 // Core exposes the server's admission core (shared metrics handles,
 // inflight accounting) for tests and embedding transports.
 func (s *Server) Core() *Core { return s.core }
+
+// ReplayWAL pushes every admitted-but-unserved request recovered from
+// the configured WAL back through the admission path, committing and
+// dedupe-caching each result; see Core.ReplayWAL. The daemon calls this
+// once on boot, before accepting traffic, so clients retrying requests
+// the previous run lost hit the warmed cache.
+func (s *Server) ReplayWAL(ctx context.Context) (int, error) {
+	return s.core.ReplayWAL(ctx)
+}
 
 // Listen binds addr (e.g. "127.0.0.1:0") and serves connections on
 // background goroutines until Shutdown or Close. Returns the bound
@@ -417,6 +427,42 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 	if s.met != nil {
 		s.met.recvLat.Observe(time.Since(start))
 	}
+	key := hdr.Key
+	if key == "" {
+		key = client
+	}
+
+	// Durable ingest: when enabled, address the baseline by content. A
+	// digest matching a previously served baseline is answered straight
+	// from the dedupe cache — the pipeline is deterministic, so the
+	// cached result is bit-identical to a recomputation. A miss is
+	// appended to the WAL before it enters the batcher, so a crash
+	// between here and the response replays it on restart.
+	var (
+		dig    store.Digest
+		walSeq uint64
+		logged bool
+	)
+	if s.core.IngestEnabled() {
+		dig = store.StackDigest(stack)
+		if cached, ok := s.core.CachedResult(dig); ok {
+			resp := child(StageRespond, client)
+			sent := enc.Encode(&response{
+				Status:     StatusOK,
+				Image:      cached.Image,
+				Compressed: cached.Compressed,
+				Stats:      cached.Stats,
+				PreStats:   cached.PreStats,
+				Retries:    cached.Retries,
+			}) == nil
+			resp.End()
+			if sent {
+				outcome = "dedupe_hit"
+			}
+			return sent
+		}
+		walSeq, logged = s.core.LogAdmitted(client, key, dig, stack)
+	}
 
 	// Run the baseline through the backend, honoring the client's
 	// deadline and dying with the server on a forced close. The route
@@ -429,16 +475,26 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *
 		ctx, cancel = context.WithDeadline(ctx, hdr.Deadline)
 		defer cancel()
 	}
-	key := hdr.Key
-	if key == "" {
-		key = client
-	}
 	ctx = WithRoute(ctx, Route{Client: client, Key: key})
 	ctx, bs = withBatchStats(ctx)
 	if reqSpan != nil {
 		ctx = telemetry.ContextWithTrace(ctx, s.tracer, reqSpan.Context())
 	}
 	res := <-s.core.Submit(ctx, stack)
+	// Whatever the pipeline answered, the exchange is resolved: the WAL
+	// entry must not replay after a restart (a crash before this point is
+	// exactly what replay is for), and a served result seeds the dedupe
+	// cache. Failures commit too — shed and errored requests are resolved
+	// by their response, and the client owns the retry.
+	if logged {
+		var cacheRes *cluster.Result
+		if res.Err == nil {
+			cacheRes = res
+		}
+		s.core.ResolveLogged(walSeq, dig, cacheRes)
+	} else if res.Err == nil {
+		s.core.cacheResult(dig, res)
+	}
 	if res.Err != nil {
 		// A backend shed (the fleet found every candidate saturated) is
 		// relayed as a retryable shed, not a terminal error, so clients
@@ -549,6 +605,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	s.connWG.Wait()
 	s.core.ForceCancel()
+	s.core.closeIngest()
 	if s.log != nil {
 		s.log.LogAttrs(context.Background(), slog.LevelInfo, "drained")
 	}

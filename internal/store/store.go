@@ -10,13 +10,38 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"spaceproc/internal/dataset"
 	"spaceproc/internal/fits"
 )
 
-// framePattern names readout i of a baseline.
+// framePattern names readout i of a baseline. %04d keeps short baselines
+// lexically tidy; past readout 9999 the index simply grows wider, which
+// is why loading must order by the parsed index, never by filename — a
+// string sort puts readout_10000 before readout_2000.
 const framePattern = "readout_%04d.fits"
+
+// readoutIndex parses the readout number out of a baseline filename.
+// Only names of the form readout_<digits>.fits are baseline readouts;
+// anything else in the directory (notes, stray exports) is not part of
+// the stack.
+func readoutIndex(name string) (int, bool) {
+	digits, ok := strings.CutPrefix(name, "readout_")
+	if !ok {
+		return 0, false
+	}
+	digits, ok = strings.CutSuffix(digits, ".fits")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
 
 // SaveBaseline writes every readout of the stack into dir, creating it if
 // needed.
@@ -55,17 +80,32 @@ func LoadBaseline(dir string, opts ...fits.SanityOption) (*dataset.Stack, *LoadR
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
-	var paths []string
+	type readout struct {
+		index int
+		path  string
+	}
+	var readouts []readout
 	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".fits" {
+		if e.IsDir() {
 			continue
 		}
-		paths = append(paths, filepath.Join(dir, e.Name()))
+		n, ok := readoutIndex(e.Name())
+		if !ok {
+			continue
+		}
+		readouts = append(readouts, readout{index: n, path: filepath.Join(dir, e.Name())})
 	}
-	if len(paths) == 0 {
+	if len(readouts) == 0 {
 		return nil, nil, fmt.Errorf("store: no FITS readouts in %s", dir)
 	}
-	sort.Strings(paths)
+	// Order by the parsed readout index: filenames mis-sort once the
+	// %04d pattern overflows (readout_10000 < readout_2000 as strings),
+	// and a permuted stack silently corrupts every temporal series.
+	sort.Slice(readouts, func(i, j int) bool { return readouts[i].index < readouts[j].index })
+	paths := make([]string, len(readouts))
+	for i, r := range readouts {
+		paths[i] = r.path
+	}
 
 	rep := &LoadReport{Frames: len(paths)}
 	var stack *dataset.Stack

@@ -178,6 +178,114 @@ func TestInterpolateLostEdgeCases(t *testing.T) {
 	InterpolateLost(st, []int{-1, 99}) // out-of-range indices ignored
 }
 
+// TestLoadOrdersByReadoutIndex is the regression for the %04d overflow:
+// past readout 9999 the filenames widen (readout_10000.fits) and a
+// lexical sort interleaves them with the 4-digit names, silently
+// permuting the stack. Order must follow the parsed numeric index, which
+// this test checks by pixel content at the boundary.
+func TestLoadOrdersByReadoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	const frames = 10001 // crosses the %04d -> %05d boundary
+	st := dataset.NewStack(frames, 1, 1)
+	for i, f := range st.Frames {
+		f.Pix[0] = uint16(i % 65536)
+	}
+	if err := SaveBaseline(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := LoadBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != frames {
+		t.Fatalf("loaded %d frames, want %d", rep.Frames, frames)
+	}
+	for i, f := range back.Frames {
+		if f.Pix[0] != uint16(i%65536) {
+			t.Fatalf("frame %d holds readout %d's pixels: stack permuted", i, f.Pix[0])
+		}
+	}
+}
+
+// TestSaveLoadBoundaryFrameCounts round-trips the degenerate baseline
+// sizes: zero frames (nothing to load), and a single frame.
+func TestSaveLoadBoundaryFrameCounts(t *testing.T) {
+	// Zero frames: SaveBaseline writes nothing, so loading the directory
+	// must report "no readouts" rather than fabricate an empty stack.
+	empty := t.TempDir()
+	if err := SaveBaseline(empty, &dataset.Stack{}); err != nil {
+		t.Fatalf("saving an empty stack should succeed (no frames to write): %v", err)
+	}
+	if _, _, err := LoadBaseline(empty); err == nil {
+		t.Fatal("loading a zero-frame baseline should error")
+	}
+
+	// One frame round-trips.
+	one := t.TempDir()
+	st := dataset.NewStack(1, 4, 4)
+	for i := range st.Frames[0].Pix {
+		st.Frames[0].Pix[i] = uint16(7 * i)
+	}
+	if err := SaveBaseline(one, st); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := LoadBaseline(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 1 || back.Len() != 1 {
+		t.Fatalf("loaded %d frames, want 1", back.Len())
+	}
+	for i := range st.Frames[0].Pix {
+		if back.Frames[0].Pix[i] != st.Frames[0].Pix[i] {
+			t.Fatalf("pixel %d mismatch", i)
+		}
+	}
+}
+
+// TestLoadIgnoresStrayFITSFiles proves non-pattern .fits files in a
+// baseline directory are not mistaken for readouts: the stack loads only
+// readout_<n>.fits, ordered by index, whatever else is lying around.
+func TestLoadIgnoresStrayFITSFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := dataset.NewStack(3, 2, 2)
+	for i, f := range st.Frames {
+		for j := range f.Pix {
+			f.Pix[j] = uint16(100*i + j)
+		}
+	}
+	if err := SaveBaseline(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	// Strays: a valid FITS under a non-pattern name (sorts before the
+	// readouts), a pattern-adjacent name with no index, junk bytes.
+	stray := dataset.NewImage(2, 2)
+	for i := range stray.Pix {
+		stray.Pix[i] = 9999
+	}
+	for name, data := range map[string][]byte{
+		"aaa_calibration.fits": fits.EncodeImage(stray),
+		"readout_.fits":        fits.EncodeImage(stray),
+		"readout_x7.fits":      {1, 2, 3},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, rep, err := LoadBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 3 || back.Len() != 3 {
+		t.Fatalf("loaded %d frames, want 3", back.Len())
+	}
+	for i, f := range back.Frames {
+		if f.Pix[0] != uint16(100*i) {
+			t.Fatalf("frame %d holds pixels %d: stray file displaced a readout", i, f.Pix[0])
+		}
+	}
+}
+
 func TestBaselineFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.fits")
 	st := testStack(t, 6)

@@ -1,0 +1,189 @@
+#!/usr/bin/env sh
+# End-to-end crash-recovery proof of the WAL + dedupe tier against the
+# real binaries:
+#
+#   1. build spaceprocd + loadgen
+#   2. boot the daemon with -wal-dir and -dedupe on a free port; require
+#      the boot to report a (zero-entry) WAL replay
+#   3. drive a verified loadgen pass whose -kill-restart hook, at the
+#      halfway mark, kill -9s the daemon and restarts it on the same
+#      address with the same WAL directory; require the pass to finish
+#      with zero failed requests and zero mismatches — the restarted
+#      daemon's replay plus the clients' retries must absorb the crash
+#      with every served result still bit-identical to the in-process
+#      pipeline
+#   4. require the restarted daemon to have logged its WAL replay
+#   5. drive the identical baseline set twice more and require
+#      serve_dedupe_hits_total to rise while the pool sees no new
+#      submissions for the repeats (bit-identical -verify stays on, so a
+#      cached answer that drifted would fail the pass)
+#   6. SIGTERM the daemon and require a clean drain
+#
+# No arguments. Exits non-zero on any failure. Used by `make e2e-crash`,
+# the tail of scripts/e2e_smoke.sh, and the CI e2e job.
+set -eu
+
+workdir=$(mktemp -d)
+daemon_log="$workdir/spaceprocd.log"
+wal_dir="$workdir/wal"
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    if [ -f "$workdir/daemon2.pid" ]; then
+        kill "$(cat "$workdir/daemon2.pid")" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+# await_line FILE PATTERN: polls FILE until a line matches sed PATTERN,
+# prints the first match.
+await_line() {
+    file=$1
+    pattern=$2
+    for _ in $(seq 1 300); do
+        line=$(sed -n "s/^$pattern//p" "$file" 2>/dev/null | head -n1)
+        if [ -n "$line" ]; then
+            echo "$line"
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+# await_exit PID: waits for the process to exit.
+await_exit() {
+    for _ in $(seq 1 300); do
+        kill -0 "$1" 2>/dev/null || return 0
+        sleep 0.1
+    done
+    return 1
+}
+
+# metric NAME URL: reads one counter/gauge value off a /metrics page.
+metric() {
+    curl -sf "$2" | awk -v n="$1" '$2 == n { print $3; found = 1 } END { if (!found) print 0 }'
+}
+
+echo "== building binaries"
+go build -o "$workdir/spaceprocd" ./cmd/spaceprocd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+echo "== booting spaceprocd with WAL + dedupe"
+"$workdir/spaceprocd" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+    -workers 4 -tile 32 -max-inflight 8 \
+    -wal-dir "$wal_dir" -dedupe 256 -drain-timeout 30s \
+    >"$daemon_log" 2>"$workdir/spaceprocd_err.log" &
+daemon_pid=$!
+pids="$daemon_pid"
+
+if ! grep_replay=$(await_line "$daemon_log" "replayed "); then
+    echo "daemon never reported its boot WAL replay:" >&2
+    cat "$daemon_log" "$workdir/spaceprocd_err.log" >&2
+    exit 1
+fi
+echo "boot replay: replayed $grep_replay"
+if ! addr=$(await_line "$daemon_log" "serving on "); then
+    echo "daemon never reported its address:" >&2
+    cat "$daemon_log" "$workdir/spaceprocd_err.log" >&2
+    exit 1
+fi
+if ! maddr=$(await_line "$daemon_log" "metrics on http:\/\/"); then
+    echo "daemon never reported its sidecar address:" >&2
+    cat "$daemon_log" >&2
+    exit 1
+fi
+maddr=${maddr%/metrics}
+echo "daemon at $addr (pid $daemon_pid, metrics $maddr)"
+
+echo "== loadgen with kill -9 + same-WAL restart at the halfway mark"
+# The restarted daemon reuses the listen address, the sidecar address,
+# and — the point of the exercise — the WAL directory, so it must replay
+# whatever the SIGKILL stranded before taking traffic again.
+restart_cmd="kill -9 $daemon_pid; \
+$workdir/spaceprocd -addr $addr -metrics $maddr \
+-workers 4 -tile 32 -max-inflight 8 \
+-wal-dir $wal_dir -dedupe 256 -drain-timeout 30s \
+>$workdir/daemon2.log 2>$workdir/daemon2_err.log & \
+echo \$! >$workdir/daemon2.pid"
+if ! "$workdir/loadgen" -addr "$addr" -clients 2 -requests 20 \
+    -width 64 -height 64 -readouts 8 -attempts 12 -verify \
+    -kill-restart "$restart_cmd" >"$workdir/loadgen_crash.log" 2>&1; then
+    echo "crash loadgen failed:" >&2
+    cat "$workdir/loadgen_crash.log" "$workdir/daemon2.log" >&2
+    exit 1
+fi
+pids=""
+if ! grep -q " 0 failed" "$workdir/loadgen_crash.log"; then
+    echo "requests were lost across the kill -9 + replay:" >&2
+    cat "$workdir/loadgen_crash.log" >&2
+    exit 1
+fi
+if ! grep -q "^verify: 0 mismatched$" "$workdir/loadgen_crash.log"; then
+    echo "results not bit-identical across the crash:" >&2
+    cat "$workdir/loadgen_crash.log" >&2
+    exit 1
+fi
+if ! grep -q "^kill-restart: running" "$workdir/loadgen_crash.log"; then
+    echo "the kill-restart hook never fired:" >&2
+    cat "$workdir/loadgen_crash.log" >&2
+    exit 1
+fi
+echo "zero lost requests, zero mismatches across the crash"
+
+if [ ! -f "$workdir/daemon2.pid" ]; then
+    echo "restarted daemon left no pidfile" >&2
+    exit 1
+fi
+daemon2_pid=$(cat "$workdir/daemon2.pid")
+if ! replayed=$(await_line "$workdir/daemon2.log" "replayed "); then
+    echo "restarted daemon never reported its WAL replay:" >&2
+    cat "$workdir/daemon2.log" "$workdir/daemon2_err.log" >&2
+    exit 1
+fi
+echo "restart replay: replayed $replayed"
+
+echo "== repeat baselines must dedupe, not recompute"
+hits_before=$(metric serve_dedupe_hits_total "http://$maddr/metrics")
+# Two identical passes: every baseline the second pass uploads was served
+# (and cached) by the first, so it must be answered from the dedupe index
+# while -verify still demands bit-identical output.
+for pass in 1 2; do
+    if ! "$workdir/loadgen" -addr "$addr" -clients 1 -requests 4 \
+        -width 64 -height 64 -readouts 8 -seed 7 -attempts 12 -verify \
+        >"$workdir/loadgen_dedupe$pass.log" 2>&1; then
+        echo "dedupe pass $pass failed:" >&2
+        cat "$workdir/loadgen_dedupe$pass.log" >&2
+        exit 1
+    fi
+    if ! grep -q "^verify: 0 mismatched$" "$workdir/loadgen_dedupe$pass.log"; then
+        echo "dedupe pass $pass not bit-identical:" >&2
+        cat "$workdir/loadgen_dedupe$pass.log" >&2
+        exit 1
+    fi
+done
+hits_after=$(metric serve_dedupe_hits_total "http://$maddr/metrics")
+if [ "$hits_after" -lt $((hits_before + 4)) ]; then
+    echo "serve_dedupe_hits_total went $hits_before -> $hits_after; the repeat pass did not dedupe" >&2
+    curl -s "http://$maddr/metrics" >&2 || true
+    exit 1
+fi
+echo "dedupe hits: $hits_before -> $hits_after"
+
+echo "== SIGTERM drain"
+kill -TERM "$daemon2_pid"
+if ! await_exit "$daemon2_pid"; then
+    echo "restarted daemon did not exit after SIGTERM:" >&2
+    cat "$workdir/daemon2.log" >&2
+    exit 1
+fi
+rm -f "$workdir/daemon2.pid"
+if ! grep -q "^drained$" "$workdir/daemon2.log"; then
+    echo "restarted daemon exited without draining:" >&2
+    cat "$workdir/daemon2.log" >&2
+    exit 1
+fi
+echo "e2e crash-recovery OK"

@@ -334,3 +334,6 @@ if ! await_exit "$node2_pid"; then
 fi
 pids=""
 echo "e2e smoke OK"
+
+echo "== crash-recovery scenario (WAL replay + dedupe)"
+sh "$(dirname "$0")/e2e_crash.sh"

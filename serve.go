@@ -241,3 +241,20 @@ func WithHealthProbe(interval time.Duration, failures int) ServeOption {
 // depth has reached depth, onto the next ring successor; depth <= 0
 // disables spillover.
 func WithSpillover(depth int) ServeOption { return serve.WithSpillover(depth) }
+
+// DefaultServeDedupeCap is the dedupe cache bound WithServeDedupe users
+// get when they don't pick one.
+const DefaultServeDedupeCap = serve.DefaultDedupeCap
+
+// WithServeWAL gives the daemon a write-ahead request log in dir: every
+// admitted baseline is durably appended (size-capped, hash-verified
+// chunks) before it enters the batcher and committed when its exchange
+// resolves, so ServeDaemon.ReplayWAL after a crash re-runs exactly the
+// admitted-but-unserved requests. sync fsyncs each append and commit.
+func WithServeWAL(dir string, sync bool) ServeOption { return serve.WithWAL(dir, sync) }
+
+// WithServeDedupe enables content-addressed dedupe on the daemon: a
+// baseline hashing identically to a previously served one is answered
+// from a bounded cache of cap results without re-running the pipeline
+// (which is deterministic, so the cached answer is bit-identical).
+func WithServeDedupe(cap int) ServeOption { return serve.WithDedupe(cap) }
