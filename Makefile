@@ -5,7 +5,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: check vet staticcheck build test race bench bench-smoke e2e-smoke e2e-crash
+.PHONY: check vet staticcheck build test race bench bench-smoke bench-compare e2e-smoke e2e-crash
 
 check: vet staticcheck build race
 
@@ -44,6 +44,16 @@ bench:
 # upload.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out bench-smoke.json
+
+# bench-compare diffs the two most recent BENCH_*.json artifacts with
+# cmd/benchjson -compare, printing per-benchmark speedups and failing on
+# any >10% ns/op regression. Run `make bench` first to capture today's
+# artifact.
+bench-compare:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort | tail -2); \
+	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_*.json artifacts (run make bench)"; exit 1; fi; \
+	echo "comparing $$1 -> $$2"; \
+	$(GO) run ./cmd/benchjson -compare $$1 $$2
 
 # e2e-smoke boots the real binaries — one spaceprocd, then a 3-daemon
 # fleet behind spaceproc-router with one node killed and readmitted

@@ -38,6 +38,27 @@ func BenchmarkProcessSeries(b *testing.B) {
 	})
 }
 
+// BenchmarkProcessSeriesScalar pins AlgoNGST to the classic scalar
+// kernels (ScalarOnly) on the warm-scratch path: the in-artifact
+// reference point the plane-major BenchmarkProcessSeries/Scratch number
+// is read against.
+func BenchmarkProcessSeriesScalar(b *testing.B) {
+	damaged, _ := benchSeries(b, 0.025)
+	cfg := spaceproc.DefaultNGSTConfig()
+	cfg.ScalarOnly = true
+	a, err := spaceproc.NewAlgoNGST(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ser := damaged.Clone()
+	sc := spaceproc.NewVoteScratch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(ser, damaged)
+		a.ProcessSeriesScratch(ser, sc, nil)
+	}
+}
+
 // BenchmarkProcessStack measures a whole-stack preprocessing pass (the
 // per-tile work of a worker) through the scratch-reusing ProcessStackWith.
 func BenchmarkProcessStack(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-trials N] [-quick] [fig2 fig3 fig4 fig5 fig6 fig7 fig9 figheader ablation pool | all]
+//	experiments [-seed N] [-trials N] [-quick] [fig2 fig3 fig3layout fig4 fig5 fig6 fig7 fig9 figheader ablation pool | all]
 package main
 
 import (
@@ -117,6 +117,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if (all || want["fig3"]) && !interrupted() {
 		ok = emit(sweep.Fig3(ngstCfg, *seed)) && ok
+	}
+	if (all || want["fig3layout"]) && !interrupted() {
+		ok = emit(sweep.Fig3Layout(ngstCfg, *seed)) && ok
 	}
 	if (all || want["fig4"]) && !interrupted() {
 		ok = emit(sweep.Fig4(ngstCfg, *seed)) && ok

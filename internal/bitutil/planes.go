@@ -1,0 +1,184 @@
+package bitutil
+
+import "math/bits"
+
+// Plane-major (bit-sliced) primitives. A block is up to 64 lanes — the
+// readouts of one pixel's temporal series, or the pixels of one spatial
+// vote tile — each carrying a value of up to 32 bits. The transposed
+// representation stores one uint64 word per bit plane, where bit l of
+// plane b is bit b of lane l's value, so a whole-block bitwise operation
+// (XOR way construction, unanimity, GRT quorum) is one word op instead of
+// 64 scalar ones.
+//
+// Lane and bit positions are both LSB-0: lane 0 lives in bit 0 of every
+// plane word, and plane 0 is the least significant bit of every value.
+
+// LaneMask returns a word with the low n lane bits set (n clamped to
+// [0, 64]).
+func LaneMask(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// LaneValue reassembles lane's value from its bit planes: bit b of the
+// result is bit lane of planes[b]. The inverse of one column of
+// TransposeBlock64x32, used to extract the handful of candidate lanes a
+// voter pass flags without untransposing the whole block.
+func LaneValue(planes []uint64, lane int) uint32 {
+	var v uint32
+	for b, p := range planes {
+		v |= uint32((p>>uint(lane))&1) << uint(b)
+	}
+	return v
+}
+
+// Block-diagonal swap masks: swapMask(j) selects, inside every 2j-bit
+// group of a word, the low j bits.
+const (
+	swap1  = 0x5555555555555555
+	swap2  = 0x3333333333333333
+	swap4  = 0x0F0F0F0F0F0F0F0F
+	swap8  = 0x00FF00FF00FF00FF
+	swap16 = 0x0000FFFF0000FFFF
+)
+
+// swapRound performs one masked block-swap round of the 64x64 bit-matrix
+// transpose at scale j over w[0:limit]: for every word pair (k, k+j) with
+// bit j of k clear, the j-by-j sub-blocks that sit across the diagonal are
+// exchanged. The rounds for distinct j commute, and each is an involution.
+func swapRound(w []uint64, j int, m uint64, limit int) {
+	for k := 0; k < limit; k = ((k | j) + 1) &^ j {
+		t := (w[k]>>uint(j) ^ w[k+j]) & m
+		w[k] ^= t << uint(j)
+		w[k+j] ^= t
+	}
+}
+
+// TransposeBlock64x32 transposes a block in place from lane-major to
+// plane-major: on entry w[l] holds lane l's value in its low width bits
+// (width in [1, 32]; bits at or above width must be zero); on return w[b]
+// holds bit plane b for b < width. Words w[width:] are left with
+// unspecified contents.
+//
+// The kernel is the classic masked-swap bit-matrix transpose specialized
+// for narrow values: because only the low width bits of every lane are
+// populated, the two (width <= 32) or three (width <= 16) coarsest swap
+// rounds degenerate into shift-OR packing, and the remaining rounds only
+// touch the first 32 (respectively 16) words. A 64-lane 16-bit block
+// transposes in ~250 word operations — about 4 per lane, versus the 16
+// load/shift/or steps per lane of a scalar bit gather.
+func TransposeBlock64x32(w *[64]uint64, width int) {
+	if width <= 16 {
+		// Rounds j=32 and j=16 on data confined to the low 16 bits of
+		// every word reduce to packing four lanes per word.
+		for k := 0; k < 16; k++ {
+			w[k] = w[k] | w[k+16]<<16 | w[k+32]<<32 | w[k+48]<<48
+		}
+		s := w[:16]
+		swapRound(s, 8, swap8, 16)
+		swapRound(s, 4, swap4, 16)
+		swapRound(s, 2, swap2, 16)
+		swapRound(s, 1, swap1, 16)
+		return
+	}
+	// Round j=32 on data confined to the low 32 bits packs two lanes per
+	// word.
+	for k := 0; k < 32; k++ {
+		w[k] = w[k] | w[k+32]<<32
+	}
+	s := w[:32]
+	swapRound(s, 16, swap16, 32)
+	swapRound(s, 8, swap8, 32)
+	swapRound(s, 4, swap4, 32)
+	swapRound(s, 2, swap2, 32)
+	swapRound(s, 1, swap1, 32)
+}
+
+// UntransposeBlock64x32 is the inverse of TransposeBlock64x32: on entry
+// w[b] holds bit plane b for b < width (w[width:] may hold anything); on
+// return w[l] holds lane l's value in its low width bits, for all 64
+// lanes. The transpose is a product of commuting involutions, so the
+// inverse replays the same rounds with the packing unrolled back into
+// shift-AND unpacking.
+func UntransposeBlock64x32(w *[64]uint64, width int) {
+	if width <= 16 {
+		for k := width; k < 16; k++ {
+			w[k] = 0
+		}
+		s := w[:16]
+		swapRound(s, 1, swap1, 16)
+		swapRound(s, 2, swap2, 16)
+		swapRound(s, 4, swap4, 16)
+		swapRound(s, 8, swap8, 16)
+		for k := 0; k < 16; k++ {
+			v := w[k]
+			w[k] = v & 0xFFFF
+			w[k+16] = v >> 16 & 0xFFFF
+			w[k+32] = v >> 32 & 0xFFFF
+			w[k+48] = v >> 48
+		}
+		return
+	}
+	for k := width; k < 32; k++ {
+		w[k] = 0
+	}
+	s := w[:32]
+	swapRound(s, 1, swap1, 32)
+	swapRound(s, 2, swap2, 32)
+	swapRound(s, 4, swap4, 32)
+	swapRound(s, 8, swap8, 32)
+	swapRound(s, 16, swap16, 32)
+	for k := 0; k < 32; k++ {
+		v := w[k]
+		w[k] = v & 0xFFFFFFFF
+		w[k+32] = v >> 32
+	}
+}
+
+// VoteWords is the lane-parallel unanimity vote: the AND of all voter
+// words, 64 lanes at a time. A voter word carries one bit plane of one
+// voter's (pruned) XOR value across every lane; lanes where a voter is
+// absent must be substituted with all-ones by the caller so absence never
+// vetoes. For an empty voter set it returns 0, matching ANDAll.
+func VoteWords(voters []uint64) uint64 {
+	if len(voters) == 0 {
+		return 0
+	}
+	out := ^uint64(0)
+	for _, v := range voters {
+		out &= v
+	}
+	return out
+}
+
+// LeaveOneOutANDWords is the lane-parallel GRT quorum (see LeaveOneOutAND):
+// a lane bit is set iff at least len(voters)-1 voter words have it set.
+// Absent voters substituted with all-ones drop out of the count exactly as
+// scalar GRT over the present voters only. For fewer than two voters it
+// returns 0.
+func LeaveOneOutANDWords(voters []uint64) uint64 {
+	if len(voters) < 2 {
+		return 0
+	}
+	var zero1, zero2 uint64
+	for _, v := range voters {
+		zero2 |= zero1 &^ v
+		zero1 |= ^v
+	}
+	return ^zero2
+}
+
+// MajorityVote3Words is the two-of-three bitwise majority over 64 lanes at
+// once (the word form of MajorityVote3).
+func MajorityVote3Words(a, b, c uint64) uint64 {
+	return (a & b) | (b & c) | (a & c)
+}
+
+// OnesCount64 returns the number of set bits in v (the lane-population
+// count of a plane word).
+func OnesCount64(v uint64) int { return bits.OnesCount64(v) }

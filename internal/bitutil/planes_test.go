@@ -1,0 +1,165 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveTranspose is the bit-gather reference: planes[b] bit l = lane l bit b.
+func naiveTranspose(lanes [64]uint64, width int) []uint64 {
+	planes := make([]uint64, width)
+	for b := 0; b < width; b++ {
+		for l := 0; l < 64; l++ {
+			planes[b] |= (lanes[l] >> uint(b) & 1) << uint(l)
+		}
+	}
+	return planes
+}
+
+func randLanes(r *rand.Rand, width, n int) [64]uint64 {
+	var lanes [64]uint64
+	mask := uint64(1)<<uint(width) - 1
+	for l := 0; l < n; l++ {
+		lanes[l] = r.Uint64() & mask
+	}
+	return lanes
+}
+
+func TestTransposeBlockMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, width := range []int{1, 2, 7, 15, 16, 17, 24, 31, 32} {
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + r.Intn(64)
+			lanes := randLanes(r, width, n)
+			want := naiveTranspose(lanes, width)
+			got := lanes
+			TransposeBlock64x32(&got, width)
+			for b := 0; b < width; b++ {
+				if got[b] != want[b] {
+					t.Fatalf("width=%d n=%d plane %d: got %016x want %016x", width, n, b, got[b], want[b])
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, width := range []int{1, 5, 16, 20, 32} {
+		for trial := 0; trial < 50; trial++ {
+			lanes := randLanes(r, width, 64)
+			got := lanes
+			TransposeBlock64x32(&got, width)
+			// Scribble over the unspecified tail to prove the inverse
+			// does not depend on it.
+			for k := width; k < 64; k++ {
+				got[k] = r.Uint64()
+			}
+			UntransposeBlock64x32(&got, width)
+			if got != lanes {
+				t.Fatalf("width=%d: round trip mismatch", width)
+			}
+		}
+	}
+}
+
+func TestLaneValueMatchesTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	lanes := randLanes(r, 16, 64)
+	planes := lanes
+	TransposeBlock64x32(&planes, 16)
+	for l := 0; l < 64; l++ {
+		if got := LaneValue(planes[:16], l); uint64(got) != lanes[l] {
+			t.Fatalf("lane %d: got %x want %x", l, got, lanes[l])
+		}
+	}
+}
+
+func TestLaneMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{{-1, 0}, {0, 0}, {1, 1}, {3, 7}, {63, ^uint64(0) >> 1}, {64, ^uint64(0)}, {99, ^uint64(0)}}
+	for _, c := range cases {
+		if got := LaneMask(c.n); got != c.want {
+			t.Errorf("LaneMask(%d) = %016x, want %016x", c.n, got, c.want)
+		}
+	}
+}
+
+// TestWordVotersMatchScalar checks VoteWords / LeaveOneOutANDWords lane by
+// lane against ANDAll / LeaveOneOutAND over the same per-lane voter sets,
+// including lanes with absent (all-ones substituted) voters.
+func TestWordVotersMatchScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		nv := 2 + r.Intn(6)
+		voters := make([]uint64, nv)  // one bit plane of each voter
+		present := make([]uint64, nv) // which lanes each voter exists in
+		for v := range voters {
+			voters[v] = r.Uint64()
+			present[v] = r.Uint64()
+			voters[v] = (voters[v] & present[v]) | ^present[v]
+		}
+		and := VoteWords(voters)
+		loo := LeaveOneOutANDWords(voters)
+		for l := 0; l < 64; l++ {
+			var vals []uint32
+			for v := range voters {
+				if present[v]>>uint(l)&1 == 1 {
+					vals = append(vals, uint32(voters[v]>>uint(l)&1))
+				}
+			}
+			wantAnd := ANDAll(vals) & 1
+			wantLoo := LeaveOneOutAND(vals) & 1
+			// Lanes where every voter is absent: the word AND sees only
+			// all-ones substitutes; scalar ANDAll of nothing is 0. The
+			// caller masks such lanes out with an eligibility mask, so
+			// only compare lanes with >= 2 present voters (the quorum
+			// precondition the engine enforces).
+			if len(vals) < 2 {
+				continue
+			}
+			if got := and >> uint(l) & 1; uint32(got) != wantAnd {
+				t.Fatalf("trial %d lane %d: AND got %d want %d (voters %d)", trial, l, got, wantAnd, len(vals))
+			}
+			if got := loo >> uint(l) & 1; uint32(got) != wantLoo {
+				t.Fatalf("trial %d lane %d: LOO got %d want %d (voters %d)", trial, l, got, wantLoo, len(vals))
+			}
+		}
+	}
+}
+
+func TestMajorityVote3Words(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := r.Uint64(), r.Uint64(), r.Uint64()
+		got := MajorityVote3Words(a, b, c)
+		for l := 0; l < 64; l++ {
+			ab, bb, cb := uint16(a>>uint(l)&1), uint16(b>>uint(l)&1), uint16(c>>uint(l)&1)
+			if want := MajorityVote3(ab, bb, cb); uint16(got>>uint(l)&1) != want {
+				t.Fatalf("lane %d: got %d want %d", l, got>>uint(l)&1, want)
+			}
+		}
+	}
+}
+
+func BenchmarkTransposeBlock64x16(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	lanes := randLanes(r, 16, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := lanes
+		TransposeBlock64x32(&w, 16)
+	}
+}
+
+func BenchmarkTransposeBlock64x32(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	lanes := randLanes(r, 32, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := lanes
+		TransposeBlock64x32(&w, 32)
+	}
+}

@@ -73,7 +73,10 @@ type Worker interface {
 // Preprocessors that implement core.ScratchPreprocessor (AlgoNGST and the
 // generic baselines all do) run through pooled per-shard scratch buffers,
 // so the steady-state per-series path performs zero heap allocations; see
-// WithShards for the intra-worker row parallelism the pooling enables.
+// WithShards for the intra-worker range parallelism the pooling enables.
+// When the preprocessor also implements core.PlanePreprocessor and the
+// stack depth qualifies, each shard runs the plane-major stack kernel
+// over its pixel range instead of per-series scalar passes.
 type LocalWorker struct {
 	pre    core.SeriesPreprocessor // nil disables preprocessing
 	rej    *crreject.Rejector
@@ -89,13 +92,15 @@ var _ Worker = (*LocalWorker)(nil)
 // LocalWorkerOption configures a LocalWorker.
 type LocalWorkerOption func(*LocalWorker)
 
-// WithShards sets the worker's intra-tile row parallelism: the tile's rows
-// are split across n goroutines, each with its own scratch and stats
-// collector. n is clamped to [1, GOMAXPROCS]; passing 0 selects GOMAXPROCS
-// (auto). The default of 1 preserves the classic one-goroutine-per-tile
-// behavior, which is right when the master already runs one goroutine per
-// worker across many workers; shards help when a deployment runs few
-// workers on many cores and single-tile latency matters.
+// WithShards sets the worker's intra-tile parallelism: the tile's
+// flattened pixel range is split across n goroutines on 64-pixel word
+// boundaries (the plane-major gather granularity), each with its own
+// scratch and stats collector. n is clamped to [1, GOMAXPROCS]; passing 0
+// selects GOMAXPROCS (auto). The default of 1 preserves the classic
+// one-goroutine-per-tile behavior, which is right when the master already
+// runs one goroutine per worker across many workers; shards help when a
+// deployment runs few workers on many cores and single-tile latency
+// matters.
 func WithShards(n int) LocalWorkerOption {
 	return func(w *LocalWorker) { w.shards = n }
 }
@@ -163,70 +168,95 @@ func (w *LocalWorker) ProcessTile(ctx context.Context, t dataset.Tile) (TileResu
 }
 
 // processSharded runs the allocation-free preprocessing path over the
-// stack, splitting the rows across the worker's shards. Each shard checks
-// a warm scratch out of the pool and accumulates into its own VoteStats;
-// the shard stats merge into agg when every shard is done. Series at
-// distinct coordinates are independent and shards own disjoint row
-// ranges, so no synchronization beyond the final join is needed.
+// stack, splitting the flattened pixel index space across the worker's
+// shards on 64-pixel word boundaries, the gather granularity of the
+// plane-major kernels — so bit-sliced words never straddle a shard seam
+// and the sharded pass stays bit-identical to the sequential one. Each
+// shard checks a warm scratch out of the pool and accumulates into its
+// own VoteStats; the shard stats merge into agg in shard order when every
+// shard is done. Series at distinct coordinates are independent and
+// shards own disjoint pixel ranges, so no synchronization beyond the
+// final join is needed.
 func (w *LocalWorker) processSharded(ctx context.Context, pre core.ScratchPreprocessor, s *dataset.Stack, agg *core.VoteStats) error {
-	width, height := s.Width(), s.Height()
+	npix := s.Width() * s.Height()
+	if npix == 0 {
+		return nil
+	}
+	pp, _ := pre.(core.PlanePreprocessor)
+	if pp != nil && !pp.PlaneCapable(s.Len()) {
+		pp = nil
+	}
+	words := (npix + 63) / 64
 	shards := w.shards
-	if shards > height {
-		shards = height
+	if shards > words {
+		shards = words
 	}
 	if shards <= 1 {
 		sc := w.scratch.Get().(*core.VoteScratch)
 		defer w.scratch.Put(sc)
-		var ser dataset.Series
-		for y := 0; y < height; y++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			for x := 0; x < width; x++ {
-				ser = s.SeriesAtBuf(x, y, ser)
-				pre.ProcessSeriesScratch(ser, sc, agg)
-				s.SetSeriesAt(x, y, ser)
-			}
-		}
-		return nil
+		return w.processRange(ctx, pre, pp, s, 0, npix, sc, agg)
 	}
-	rowsPer := (height + shards - 1) / shards
+	wordsPer := (words + shards - 1) / shards
 	errs := make([]error, shards)
 	stats := make([]core.VoteStats, shards)
 	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
-		y0 := i * rowsPer
-		y1 := y0 + rowsPer
-		if y1 > height {
-			y1 = height
+		p0 := i * wordsPer * 64
+		p1 := p0 + wordsPer*64
+		if p1 > npix {
+			p1 = npix
 		}
-		if y0 >= y1 {
+		if p0 >= p1 {
 			continue
 		}
 		wg.Add(1)
-		go func(i, y0, y1 int) {
+		go func(i, p0, p1 int) {
 			defer wg.Done()
 			sc := w.scratch.Get().(*core.VoteScratch)
 			defer w.scratch.Put(sc)
-			var ser dataset.Series
-			for y := y0; y < y1; y++ {
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					return
-				}
-				for x := 0; x < width; x++ {
-					ser = s.SeriesAtBuf(x, y, ser)
-					pre.ProcessSeriesScratch(ser, sc, &stats[i])
-					s.SetSeriesAt(x, y, ser)
-				}
-			}
-		}(i, y0, y1)
+			errs[i] = w.processRange(ctx, pre, pp, s, p0, p1, sc, &stats[i])
+		}(i, p0, p1)
 	}
 	wg.Wait()
 	for i := range stats {
 		agg.Add(stats[i])
 	}
 	return errors.Join(errs...)
+}
+
+// rangeChunk is the cancellation granularity inside a shard: processRange
+// polls ctx between chunks of this many pixels, comparable to a handful
+// of classic 128-wide row passes, so an abandoned tile still stops
+// promptly without a ctx check on every pixel.
+const rangeChunk = 4096
+
+// processRange repairs the flattened coordinate range [p0, p1) of s,
+// through the plane-major stack kernel when pp is non-nil and through
+// per-series scratch passes otherwise. Both paths write only pixels
+// inside the range, so disjoint ranges run concurrently.
+func (w *LocalWorker) processRange(ctx context.Context, pre core.ScratchPreprocessor, pp core.PlanePreprocessor, s *dataset.Stack, p0, p1 int, sc *core.VoteScratch, stats *core.VoteStats) error {
+	width := s.Width()
+	var ser dataset.Series
+	for q0 := p0; q0 < p1; q0 += rangeChunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		q1 := q0 + rangeChunk
+		if q1 > p1 {
+			q1 = p1
+		}
+		if pp != nil {
+			pp.ProcessStackPlanes(s, q0, q1, sc, stats)
+			continue
+		}
+		for i := q0; i < q1; i++ {
+			x, y := i%width, i/width
+			ser = s.SeriesAtBuf(x, y, ser)
+			pre.ProcessSeriesScratch(ser, sc, stats)
+			s.SetSeriesAt(x, y, ser)
+		}
+	}
+	return nil
 }
 
 // processStackCtx is core.ProcessStackWith with per-row cancellation,

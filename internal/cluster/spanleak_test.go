@@ -172,3 +172,75 @@ func TestWithShardsClamped(t *testing.T) {
 		}
 	}
 }
+
+// TestLocalWorkerPlaneShardsMatchScalar is the plane-times-shard
+// composition gate: the word-aligned sharded plane-major path must
+// reproduce the sequential scalar per-series pass bit for bit for every
+// plane-capable preprocessor, including shard counts that split the word
+// range unevenly.
+func TestLocalWorkerPlaneShardsMatchScalar(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	scene := testScene(t, 77)
+	scalarCfg := core.DefaultNGSTConfig()
+	scalarCfg.ScalarOnly = true
+	ngstScalar, err := core.NewAlgoNGST(scalarCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ngstPlane, err := core.NewAlgoNGST(core.DefaultNGSTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name          string
+		scalar, plane core.ScratchPreprocessor
+	}{
+		{"ngst", ngstScalar, ngstPlane},
+		{"median3", core.Median3{}, core.Median3{}},
+		{"majoritybit3", core.MajorityBit3{}, core.MajorityBit3{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// 3 shards over the 64x64 scene's 64 words: the split is uneven
+			// (22+22+20 words) and the final shard ends off a shard-count
+			// multiple, exercising the clamped tail range.
+			w, err := NewLocalWorker(tc.plane, crreject.DefaultConfig(), WithShards(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := scene.Observed.Clone()
+			var gotStats core.VoteStats
+			if err := w.processSharded(context.Background(), tc.plane, got, &gotStats); err != nil {
+				t.Fatal(err)
+			}
+			want := scene.Observed.Clone()
+			var wantStats core.VoteStats
+			var ser dataset.Series
+			for y := 0; y < want.Height(); y++ {
+				for x := 0; x < want.Width(); x++ {
+					ser = want.SeriesAtBuf(x, y, ser)
+					tc.scalar.ProcessSeriesScratch(ser, nil, &wantStats)
+					want.SetSeriesAt(x, y, ser)
+				}
+			}
+			for f := range want.Frames {
+				for i := range want.Frames[f].Pix {
+					if want.Frames[f].Pix[i] != got.Frames[f].Pix[i] {
+						t.Fatalf("frame %d pixel %d: scalar %04x sharded-plane %04x",
+							f, i, want.Frames[f].Pix[i], got.Frames[f].Pix[i])
+					}
+				}
+			}
+			// WindowCBit is a most-recent gauge, so only the summed counters
+			// are shard-order independent.
+			if wantStats.Series != gotStats.Series ||
+				wantStats.Corrected != gotStats.Corrected ||
+				wantStats.BitsWindowA != gotStats.BitsWindowA ||
+				wantStats.BitsWindowB != gotStats.BitsWindowB ||
+				wantStats.GuardRejected != gotStats.GuardRejected {
+				t.Fatalf("stats scalar %+v sharded-plane %+v", wantStats, gotStats)
+			}
+		})
+	}
+}

@@ -50,6 +50,13 @@ type NGSTConfig struct {
 	// StaticLSB and StaticMSB are the fixed boundaries used when
 	// StaticWindows is set.
 	StaticLSB, StaticMSB int
+
+	// ScalarOnly pins the pass to the scalar (value-at-a-time) kernel,
+	// disabling the plane-major bit-sliced path. The two are bit-identical
+	// (enforced by differential fuzzing); this switch exists for layout
+	// experiments, for the differential oracle itself, and as an escape
+	// hatch.
+	ScalarOnly bool
 }
 
 // DefaultNGSTConfig returns the paper's experimentally optimal parameters.
@@ -192,38 +199,27 @@ func (a *AlgoNGST) ProcessSeriesScratch(s dataset.Series, sc *VoteScratch, stats
 		sc.stats = VoteStats{}
 		collect = &sc.stats
 	}
-	opt := voteOptions{
-		disableQuorum:     a.cfg.DisableQuorum,
-		disableCarryGuard: a.cfg.DisableCarryGuard,
-		literalPhi:        a.cfg.LiteralPhi,
-		staticWindows:     a.cfg.StaticWindows,
-		staticLSB:         a.cfg.StaticLSB,
-		staticMSB:         a.cfg.StaticMSB,
-		stats:             collect,
-	}
-	corr := correctTemporalScratch(sc, vals, a.cfg.Upsilon, a.cfg.Sensitivity, 16, opt)
+	opt := a.cfg.voteOptions(collect)
+	corr := correctTemporalAuto(sc, vals, a.cfg.Upsilon, a.cfg.Sensitivity, 16, opt, a.cfg.ScalarOnly)
 	for i := range s {
 		s[i] ^= uint16(corr[i])
 	}
 	if collect == &sc.stats {
-		local := sc.stats
-		if a.tel != nil {
-			a.tel.add(local)
-		}
-		if a.log != nil && local.Corrected > 0 {
-			a.log.LogAttrs(context.Background(), slog.LevelWarn, "series corrected",
-				slog.String("stage", "preprocess"),
-				slog.String("algo", a.Name()),
-				slog.Int("corrected_pixels", local.Corrected),
-				slog.Int("window_a_bits", local.BitsWindowA),
-				slog.Int("window_b_bits", local.BitsWindowB),
-				slog.Int("window_c_bit", local.WindowCBit),
-				slog.Int("guard_rejected", local.GuardRejected))
-		}
-		if stats != nil {
-			stats.Add(local)
-		}
+		a.finishSeries(sc.stats, stats)
 	}
+}
+
+// logSeriesCorrected emits the forensics WARN record for one repaired
+// series.
+func (a *AlgoNGST) logSeriesCorrected(local VoteStats) {
+	a.log.LogAttrs(context.Background(), slog.LevelWarn, "series corrected",
+		slog.String("stage", "preprocess"),
+		slog.String("algo", a.Name()),
+		slog.Int("corrected_pixels", local.Corrected),
+		slog.Int("window_a_bits", local.BitsWindowA),
+		slog.Int("window_b_bits", local.BitsWindowB),
+		slog.Int("window_c_bit", local.WindowCBit),
+		slog.Int("guard_rejected", local.GuardRejected))
 }
 
 // ProcessStack applies the algorithm to the temporal series of every
@@ -233,11 +229,17 @@ func (a *AlgoNGST) ProcessStack(s *dataset.Stack) {
 }
 
 // ProcessStackWith runs any series preprocessor over every coordinate of a
-// stack in place. When p implements ScratchPreprocessor, the whole stack
-// is processed through one reused scratch and series buffer, so the pass
-// allocates O(1) instead of O(width*height).
+// stack in place. When p implements PlanePreprocessor and the stack
+// geometry permits, the whole stack runs through the plane-major path;
+// when p implements ScratchPreprocessor, the stack is processed through
+// one reused scratch and series buffer, so the pass allocates O(1)
+// instead of O(width*height).
 func ProcessStackWith(p SeriesPreprocessor, s *dataset.Stack) {
 	w, h := s.Width(), s.Height()
+	if pp, ok := p.(PlanePreprocessor); ok && pp.PlaneCapable(s.Len()) {
+		pp.ProcessStackPlanes(s, 0, w*h, new(VoteScratch), nil)
+		return
+	}
 	sp, _ := p.(ScratchPreprocessor)
 	var sc *VoteScratch
 	if sp != nil {

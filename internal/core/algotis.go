@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	mbits "math/bits"
 	"slices"
 
 	"spaceproc/internal/bitutil"
@@ -65,6 +66,9 @@ type OTISConfig struct {
 	TrendGuard bool
 	// Locality selects spatial (default, recommended) or spectral voting.
 	Locality OTISLocality
+	// ScalarOnly pins the voter passes to the scalar kernels, disabling
+	// the plane-major bit-sliced paths (see NGSTConfig.ScalarOnly).
+	ScalarOnly bool
 }
 
 // DefaultOTISConfig returns the configuration used in the paper's OTIS
@@ -192,6 +196,10 @@ type CubeScratch struct {
 	// vote is the temporal voter scratch of the spectral-locality path
 	// (also supplies the threshold sort buffer for the spatial path).
 	vote VoteScratch
+	// laneL/R/U/D are the spatial tile kernel's per-voter-set lane blocks
+	// (transposed in place to bit planes); cpl its correction planes.
+	laneL, laneR, laneU, laneD [64]uint64
+	cpl                        [32]uint64
 }
 
 // NewCubeScratch returns an empty scratch, for callers outside the
@@ -274,7 +282,7 @@ func (a *AlgoOTIS) voteSpectral(c *dataset.Cube, sc *CubeScratch) {
 		for b := 0; b < c.Bands; b++ {
 			vals[b] = math.Float32bits(c.Band(b)[i])
 		}
-		corr := correctTemporalScratch(&sc.vote, vals, 4, a.cfg.Sensitivity, 32, voteOptions{})
+		corr := correctTemporalAuto(&sc.vote, vals, 4, a.cfg.Sensitivity, 32, voteOptions{}, a.cfg.ScalarOnly)
 		for b := 0; b < c.Bands; b++ {
 			if corr[b] == 0 {
 				continue
@@ -401,9 +409,11 @@ func (a *AlgoOTIS) votePlane(plane []float32, w, h int, lo, hi float64, sc *Cube
 	sc.out = growU32(sc.out, len(bits))
 	out := sc.out
 	copy(out, bits)
+	sv := spatialVote{
+		plane: plane, bits: bits, out: out, hx: hx, vx: vx,
+		devs: devs, w: w, h: h, lo: lo, hi: hi, tau: tau, stats: stats,
+	}
 	scratch := sc.blockBuf[:0]
-	var phisBuf [4]uint32
-	phis := phisBuf[:0]
 	for ty := 0; ty < h; ty += voteTile {
 		for tx := 0; tx < w; tx += voteTile {
 			x1, y1 := tx+voteTile, ty+voteTile
@@ -431,65 +441,200 @@ func (a *AlgoOTIS) votePlane(plane []float32, w, h int, lo, hi float64, sc *Cube
 			vvalsBuf := [2]uint32{vvalH, vvalV}
 			lsbMask, msbMask := windowMasks(vvalsBuf[:], 32)
 
-			for y := ty; y < y1; y++ {
-				for x := tx; x < x1; x++ {
-					i := y*w + x
-					phis = phis[:0]
-					if x > 0 {
-						phis = append(phis, pruned(hx[y*(w-1)+x-1], vvalH))
-					}
-					if x < w-1 {
-						phis = append(phis, pruned(hx[y*(w-1)+x], vvalH))
-					}
-					if y > 0 {
-						phis = append(phis, pruned(vx[(y-1)*w+x], vvalV))
-					}
-					if y < h-1 {
-						phis = append(phis, pruned(vx[y*w+x], vvalV))
-					}
-					if len(phis) < 2 {
-						continue
-					}
-					unanimous := bitutil.ANDAll(phis)
-					quorum := bitutil.LeaveOneOutAND(phis)
-					corr := (unanimous | (quorum & msbMask)) & lsbMask
-					if corr == 0 {
-						continue
-					}
-					if a.cfg.TrendGuard && isNaturalTrend(devs, w, h, x, y, tau) {
-						if stats != nil {
-							stats.TrendPreserved++
-						}
-						continue
-					}
-					fixed := math.Float32frombits(bits[i] ^ corr)
-					f := float64(fixed)
-					if math.IsNaN(f) || math.IsInf(f, 0) || f < lo || f > hi {
-						// The voted pattern is itself unphysical; fall
-						// back to the neighborhood median.
-						fixed = neighborMedian(plane, w, h, x, y)
-						f = float64(fixed)
-					}
-					// Value-space acceptance, as in the temporal engine:
-					// a genuine repair moves the sample toward its
-					// neighborhood by about the correction's magnitude.
-					med := float64(neighborMedian(plane, w, h, x, y))
-					before := math.Abs(float64(plane[i]) - med)
-					after := math.Abs(f - med)
-					if after > before {
-						continue
-					}
-					out[i] = math.Float32bits(fixed)
-					if stats != nil {
-						stats.Voted++
-					}
-				}
+			if a.cfg.ScalarOnly || !planeWorthIt((x1-tx)*(y1-ty), 32) {
+				a.voteTileScalar(&sv, tx, ty, x1, y1, vvalH, vvalV, lsbMask, msbMask)
+			} else {
+				a.voteTilePlanes(&sv, sc, tx, ty, x1, y1, vvalH, vvalV, lsbMask, msbMask)
 			}
 		}
 	}
 	sc.blockBuf = scratch[:0]
 	for i := range plane {
 		plane[i] = math.Float32frombits(out[i])
+	}
+}
+
+// spatialVote bundles one band plane's spatial voter state, shared by the
+// scalar and plane-major tile kernels.
+type spatialVote struct {
+	plane     []float32
+	bits, out []uint32
+	hx, vx    []uint32
+	devs      []float64
+	w, h      int
+	lo, hi    float64
+	tau       float64
+	stats     *CubeStats
+}
+
+// voteTileScalar is the scalar spatial vote over one threshold tile — the
+// plane kernel's differential oracle.
+func (a *AlgoOTIS) voteTileScalar(sv *spatialVote, tx, ty, x1, y1 int, vvalH, vvalV, lsbMask, msbMask uint32) {
+	w, h := sv.w, sv.h
+	var phisBuf [4]uint32
+	phis := phisBuf[:0]
+	for y := ty; y < y1; y++ {
+		for x := tx; x < x1; x++ {
+			phis = phis[:0]
+			if x > 0 {
+				phis = append(phis, pruned(sv.hx[y*(w-1)+x-1], vvalH))
+			}
+			if x < w-1 {
+				phis = append(phis, pruned(sv.hx[y*(w-1)+x], vvalH))
+			}
+			if y > 0 {
+				phis = append(phis, pruned(sv.vx[(y-1)*w+x], vvalV))
+			}
+			if y < h-1 {
+				phis = append(phis, pruned(sv.vx[y*w+x], vvalV))
+			}
+			if len(phis) < 2 {
+				continue
+			}
+			unanimous := bitutil.ANDAll(phis)
+			quorum := bitutil.LeaveOneOutAND(phis)
+			corr := (unanimous | (quorum & msbMask)) & lsbMask
+			if corr == 0 {
+				continue
+			}
+			a.applySpatial(sv, x, y, corr)
+		}
+	}
+}
+
+// voteTilePlanes is the plane-major spatial vote: the tile's pixels are
+// the lanes (row-major, up to 8x8 = 64), each pixel's four neighbor XOR
+// voters gathered into lane blocks and transposed to bit planes, so the
+// unanimity and leave-one-out votes of the whole tile run 32 word
+// operations instead of per-pixel value loops. Bit-identical to
+// voteTileScalar (differentially fuzzed); candidate corrections — the
+// rare case — finalize through the same applySpatial.
+func (a *AlgoOTIS) voteTilePlanes(sv *spatialVote, sc *CubeScratch, tx, ty, x1, y1 int, vvalH, vvalV, lsbMask, msbMask uint32) {
+	w, h := sv.w, sv.h
+	bw := x1 - tx
+	L := bw * (y1 - ty)
+	lanesL, lanesR, lanesU, lanesD := &sc.laneL, &sc.laneR, &sc.laneU, &sc.laneD
+	var presL, presR, presU, presD uint64
+	w1 := w - 1
+	for l := 0; l < L; l++ {
+		x, y := tx+l%bw, ty+l/bw
+		var vL, vR, vU, vD uint64
+		if x > 0 {
+			presL |= 1 << uint(l)
+			vL = uint64(sv.hx[y*w1+x-1])
+		}
+		if x < w1 {
+			presR |= 1 << uint(l)
+			vR = uint64(sv.hx[y*w1+x])
+		}
+		if y > 0 {
+			presU |= 1 << uint(l)
+			vU = uint64(sv.vx[(y-1)*w+x])
+		}
+		if y < h-1 {
+			presD |= 1 << uint(l)
+			vD = uint64(sv.vx[y*w+x])
+		}
+		lanesL[l], lanesR[l], lanesU[l], lanesD[l] = vL, vR, vU, vD
+	}
+	for l := L; l < 64; l++ {
+		lanesL[l], lanesR[l], lanesU[l], lanesD[l] = 0, 0, 0, 0
+	}
+	bitutil.TransposeBlock64x32(lanesL, 32)
+	bitutil.TransposeBlock64x32(lanesR, 32)
+	bitutil.TransposeBlock64x32(lanesU, 32)
+	bitutil.TransposeBlock64x32(lanesD, 32)
+	prunePlanes(lanesL[:32], vvalH, presL)
+	prunePlanes(lanesR[:32], vvalH, presR)
+	prunePlanes(lanesU[:32], vvalV, presU)
+	prunePlanes(lanesD[:32], vvalV, presD)
+
+	// With w,h >= 3 (guarded by votePlane) every pixel has at least two
+	// in-plane neighbors, so every tile lane is vote-eligible.
+	eligible := bitutil.LaneMask(L)
+	cpl := &sc.cpl
+	var anyC uint64
+	for b := 0; b < 32; b++ {
+		cpl[b] = 0
+		if lsbMask>>uint(b)&1 == 0 {
+			continue
+		}
+		vw := [4]uint64{lanesL[b], lanesR[b], lanesU[b], lanesD[b]}
+		c := bitutil.VoteWords(vw[:])
+		if msbMask>>uint(b)&1 == 1 {
+			c |= bitutil.LeaveOneOutANDWords(vw[:])
+		}
+		c &= eligible
+		cpl[b] = c
+		anyC |= c
+	}
+	for m := anyC; m != 0; m &= m - 1 {
+		l := mbits.TrailingZeros64(m)
+		corr := bitutil.LaneValue(cpl[:32], l)
+		a.applySpatial(sv, tx+l%bw, ty+l/bw, corr)
+	}
+}
+
+// prunePlanes zeroes, across all lanes at once, voters whose XOR value
+// does not exceed the way cut-off (the plane form of pruned), then
+// substitutes absent lanes with all-ones so absence never vetoes a vote.
+// vval is a power of two, or 0 when the scalar CeilPow2 overflowed — in
+// which case only exact-zero voters prune away.
+func prunePlanes(planes []uint64, vval uint32, present uint64) {
+	var keep uint64
+	if vval == 0 {
+		for _, p := range planes {
+			keep |= p
+		}
+	} else {
+		k := bitutil.BitIndex(vval)
+		var hi, lo uint64
+		for b := k + 1; b < len(planes); b++ {
+			hi |= planes[b]
+		}
+		for b := 0; b < k; b++ {
+			lo |= planes[b]
+		}
+		keep = hi | planes[k]&lo
+	}
+	sub := ^present
+	for b := range planes {
+		planes[b] = planes[b]&keep | sub
+	}
+}
+
+// applySpatial finalizes one candidate correction: the Section 7.2
+// natural-trend guard, physical-bounds fallback and value-space
+// acceptance, identical for the scalar and plane tile kernels.
+func (a *AlgoOTIS) applySpatial(sv *spatialVote, x, y int, corr uint32) {
+	w, h := sv.w, sv.h
+	i := y*w + x
+	if a.cfg.TrendGuard && isNaturalTrend(sv.devs, w, h, x, y, sv.tau) {
+		if sv.stats != nil {
+			sv.stats.TrendPreserved++
+		}
+		return
+	}
+	fixed := math.Float32frombits(sv.bits[i] ^ corr)
+	f := float64(fixed)
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < sv.lo || f > sv.hi {
+		// The voted pattern is itself unphysical; fall back to the
+		// neighborhood median.
+		fixed = neighborMedian(sv.plane, w, h, x, y)
+		f = float64(fixed)
+	}
+	// Value-space acceptance, as in the temporal engine: a genuine repair
+	// moves the sample toward its neighborhood by about the correction's
+	// magnitude.
+	med := float64(neighborMedian(sv.plane, w, h, x, y))
+	before := math.Abs(float64(sv.plane[i]) - med)
+	after := math.Abs(f - med)
+	if after > before {
+		return
+	}
+	sv.out[i] = math.Float32bits(fixed)
+	if sv.stats != nil {
+		sv.stats.Voted++
 	}
 }
 

@@ -35,6 +35,34 @@ type VoteScratch struct {
 	// stats stages the per-series counters when an algorithm fans them
 	// out to both a caller collector and registry counters.
 	stats VoteStats
+
+	// Plane-major kernel workspaces (planes.go).
+
+	// lanes64 is the lane-major staging block the series path transposes
+	// in place.
+	lanes64 [64]uint64
+	// plane64 is the single backing buffer the plane workspaces below are
+	// carved from (one allocation for the whole kernel).
+	plane64 []uint64
+	// xplanes holds the per-way XOR bit planes (half ways x width words).
+	xplanes []uint64
+	// hib is the suffix-OR workspace of the threshold popcount scan.
+	hib []uint64
+	// pms holds the per-way prune keep-masks.
+	pms []uint64
+	// voters64 holds the substituted voter words of one bit plane.
+	voters64 []uint64
+	// cplanes holds the candidate correction planes of one pixel.
+	cplanes []uint64
+	// planeLSB and planeMSB stash the window masks of the most recent
+	// planeVote for candidate finalization.
+	planeLSB, planeMSB uint32
+	// ps is the 64-pixel plane-major gather window of the stack path.
+	ps *dataset.PlaneStack
+	// rser is the series buffer of the scalar range fallback.
+	rser dataset.Series
+	// majA/majB/majC are MajorityBit3's rotating original-frame chunks.
+	majA, majB, majC dataset.Series
 }
 
 // NewVoteScratch returns an empty scratch. Equivalent to new(VoteScratch);

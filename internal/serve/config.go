@@ -235,11 +235,6 @@ func (c *Config) clampClient() {
 // single coherent surface.
 type Option func(*Config)
 
-// ClientOption configures a Client.
-//
-// Deprecated: client and server options were unified; use Option.
-type ClientOption = Option
-
 // WithMaxInflight bounds admitted requests across all clients; further
 // requests are shed with a retry-after hint.
 func WithMaxInflight(n int) Option {

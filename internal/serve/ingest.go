@@ -46,8 +46,8 @@ type ingestMetrics struct {
 
 // ingest is the core's durability arm: WAL, dedupe cache, or both.
 type ingest struct {
-	wal        *store.WAL    // nil: no write-ahead logging
-	dedupe     *dedupeCache  // nil: no content-addressed dedupe
+	wal        *store.WAL   // nil: no write-ahead logging
+	dedupe     *dedupeCache // nil: no content-addressed dedupe
 	replayable []*store.WALEntry
 	met        *ingestMetrics // nil without telemetry
 	log        *slog.Logger

@@ -82,7 +82,7 @@ func startServer(t *testing.T, backend Backend, opts ...Option) (*Server, string
 	return srv, addr
 }
 
-func dialClient(t *testing.T, addr string, opts ...ClientOption) *Client {
+func dialClient(t *testing.T, addr string, opts ...Option) *Client {
 	t.Helper()
 	c, err := DialClient(addr, opts...)
 	if err != nil {

@@ -188,6 +188,83 @@ func Fig3(cfg NGSTConfig, seed uint64) (*Result, error) {
 	return res, nil
 }
 
+// Fig3Layout regenerates the Figure 3 overhead study for the kernel
+// layout: ns per series vs Lambda for AlgoNGST through the bit-sliced
+// plane-major path against the same algorithm pinned to the scalar
+// kernels (ScalarOnly), with the flat generic filters for reference.
+// Both AlgoNGST variants run the warm-scratch path, so the gap is pure
+// kernel layout — the transpose plus word-parallel voting against the
+// per-way value loops — not allocation noise.
+func Fig3Layout(cfg NGSTConfig, seed uint64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	defer traceExperiment(cfg.Telemetry, "fig3layout")()
+	res := &Result{
+		ID:     "fig3layout",
+		Title:  "preprocessing overhead vs sensitivity Lambda, plane-major vs scalar kernels",
+		XLabel: "Lambda",
+		YLabel: "ns per series",
+	}
+
+	// Pre-generate damaged datasets so timing excludes synthesis.
+	data := make([]dataset.Series, 64)
+	injector := fault.Uncorrelated{Gamma0: 0.025}
+	for i := range data {
+		src := rng.NewStream(seed, uint64(i))
+		ser, err := synth.GaussianSeries(synth.SeriesConfig{N: cfg.N, Initial: cfg.Initial, Sigma: cfg.Sigma}, src)
+		if err != nil {
+			return nil, err
+		}
+		injector.InjectSeries(ser, rng.NewStream(seed+1, uint64(i)))
+		data[i] = ser
+	}
+	timePre := func(pre core.ScratchPreprocessor) float64 {
+		const reps = 50
+		scratch := make(dataset.Series, cfg.N)
+		sc := core.NewVoteScratch()
+		copy(scratch, data[0])
+		pre.ProcessSeriesScratch(scratch, sc, nil) // warm the scratch
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, ser := range data {
+				copy(scratch, ser)
+				pre.ProcessSeriesScratch(scratch, sc, nil)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(reps*len(data))
+	}
+
+	for _, variant := range []struct {
+		name       string
+		scalarOnly bool
+	}{{"AlgoNGST(plane)", false}, {"AlgoNGST(scalar)", true}} {
+		s := Series{Name: variant.name}
+		for lambda := 0; lambda <= 100; lambda += 10 {
+			a, err := core.NewAlgoNGST(core.NGSTConfig{Upsilon: 4, Sensitivity: lambda, ScalarOnly: variant.scalarOnly})
+			if err != nil {
+				return nil, err
+			}
+			a.Instrument(cfg.Telemetry)
+			s.Points = append(s.Points, Point{X: float64(lambda), Y: timePre(a)})
+		}
+		res.Series = append(res.Series, s)
+	}
+
+	for _, alg := range []struct {
+		name string
+		pre  core.ScratchPreprocessor
+	}{{"Median3", core.Median3{}}, {"MajorityBit3", core.MajorityBit3{}}} {
+		y := timePre(alg.pre)
+		s := Series{Name: alg.name}
+		for lambda := 0; lambda <= 100; lambda += 10 {
+			s.Points = append(s.Points, Point{X: float64(lambda), Y: y})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
 // gammaIniSweep is the correlated run-initiation probability axis of
 // Figures 4 and 9.
 var gammaIniSweep = []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45}

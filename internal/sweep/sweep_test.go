@@ -141,16 +141,37 @@ func TestFig3Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Lambda = 0 must be near-free; Lambda > 0 costs far more than the
-	// generic filters.
+	// Lambda = 0 must be near-free; Lambda > 0 still costs more than the
+	// generic filters, though the plane-major kernel narrowed the gap
+	// from ~30x to ~5x (less under race instrumentation), so assert a
+	// conservative 2x.
 	zero, _ := res.Get("AlgoNGST", 0)
 	mid, _ := res.Get("AlgoNGST", 50)
 	med, _ := res.Get("Median3", 50)
 	if zero*10 > mid {
 		t.Fatalf("Lambda=0 cost %.0f not far below Lambda=50 cost %.0f", zero, mid)
 	}
-	if mid < 5*med {
+	if mid < 2*med {
 		t.Fatalf("AlgoNGST cost %.0f not above median cost %.0f", mid, med)
+	}
+}
+
+func TestFig3LayoutShape(t *testing.T) {
+	res, err := Fig3Layout(quickNGST(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lambda = 0 disables the pass for both variants, so it must be
+	// near-free; at working sensitivities the plane-major kernel must be
+	// well below the scalar kernel (the whole point of the layout).
+	zeroP, _ := res.Get("AlgoNGST(plane)", 0)
+	midP, _ := res.Get("AlgoNGST(plane)", 50)
+	midS, _ := res.Get("AlgoNGST(scalar)", 50)
+	if zeroP*10 > midP {
+		t.Fatalf("Lambda=0 plane cost %.0f not far below Lambda=50 cost %.0f", zeroP, midP)
+	}
+	if midP*2 > midS {
+		t.Fatalf("plane kernel %.0f ns not at least 2x below scalar kernel %.0f ns", midP, midS)
 	}
 }
 

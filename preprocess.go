@@ -2,6 +2,7 @@ package spaceproc
 
 import (
 	"spaceproc/internal/core"
+	"spaceproc/internal/dataset"
 	"spaceproc/internal/metrics"
 )
 
@@ -45,6 +46,17 @@ type (
 	// allocation-free against caller-owned scratch (AlgoNGST, Median3 and
 	// MajorityBit3 all qualify).
 	ScratchPreprocessor = core.ScratchPreprocessor
+	// PlanePreprocessor is a ScratchPreprocessor that can additionally run
+	// a plane-major (bit-sliced) pass over a flattened pixel range of a
+	// stack, one uint64 word voting 64 pixels at a time. ProcessStackWith
+	// and the cluster workers prefer this path whenever the stack depth
+	// qualifies; set NGSTConfig.ScalarOnly (or OTISConfig.ScalarOnly for
+	// cubes) to pin the classic scalar kernels instead.
+	PlanePreprocessor = core.PlanePreprocessor
+	// PlaneStack is the plane-major (bit-sliced) view of a stack window:
+	// bit b of up to 64 pixel series packs into one uint64 word per
+	// readout, the layout the plane kernels vote on.
+	PlaneStack = dataset.PlaneStack
 )
 
 // Locality models for AlgoOTIS (Section 7.1: spatial is recommended).
@@ -77,8 +89,22 @@ func NewVoteScratch() *VoteScratch { return core.NewVoteScratch() }
 func NewCubeScratch() *CubeScratch { return core.NewCubeScratch() }
 
 // ProcessStackWith runs a series preprocessor over every coordinate of a
-// baseline stack in place.
+// baseline stack in place, through the plane-major stack kernel when p
+// implements PlanePreprocessor and the stack depth qualifies.
 func ProcessStackWith(p SeriesPreprocessor, s *Stack) { core.ProcessStackWith(p, s) }
+
+// NewPlaneStack allocates a plane-major block holding pixels series of
+// depth readouts at width significant bits. Most callers never build one
+// directly — the plane kernels stage through scratch-held blocks — but
+// the representation is exported for tools and tests that want to
+// inspect or construct bit-sliced data.
+func NewPlaneStack(depth, width, pixels int) (*PlaneStack, error) {
+	return dataset.NewPlaneStack(depth, width, pixels)
+}
+
+// FromStack transposes an entire stack into a fresh 16-bit plane-major
+// block (PlaneStack.ToStack inverts it).
+func FromStack(s *Stack) (*PlaneStack, error) { return dataset.FromStack(s) }
 
 // Evaluation metrics (eqs. 3-4).
 

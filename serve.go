@@ -48,17 +48,6 @@ type (
 	// slowest-requests ring (ServeDaemon.Slowest, /debug/slowest); its
 	// TraceID links into the Chrome trace export.
 	ServeSlowRequest = serve.SlowRequest
-
-	// ServeDaemonOption configures a ServeDaemon.
-	//
-	// Deprecated: daemon, router, and client options were unified; use
-	// ServeOption.
-	ServeDaemonOption = serve.Option
-	// ServeClientOption configures a ServeClient.
-	//
-	// Deprecated: daemon, router, and client options were unified; use
-	// ServeOption.
-	ServeClientOption = serve.Option
 )
 
 // Serve-tier stage names recorded as trace spans: the client's root and
@@ -129,20 +118,6 @@ func DialFleet(addrs []string, opts ...ServeOption) (*ServeClient, error) {
 	return serve.DialFleet(addrs, opts...)
 }
 
-// NewServeDaemon builds a daemon over the backend.
-//
-// Deprecated: use NewDaemon.
-func NewServeDaemon(backend ServeBackend, opts ...ServeOption) (*ServeDaemon, error) {
-	return NewDaemon(backend, opts...)
-}
-
-// DialService connects a ServeClient to a daemon.
-//
-// Deprecated: use Dial.
-func DialService(addr string, opts ...ServeOption) (*ServeClient, error) {
-	return Dial(addr, opts...)
-}
-
 // WithServeMaxInflight bounds concurrently admitted requests; beyond it
 // requests are shed with a retry-after hint instead of queued.
 func WithServeMaxInflight(n int) ServeOption { return serve.WithMaxInflight(n) }
@@ -201,18 +176,6 @@ func WithServeRetryPolicy(attempts int, base, max time.Duration) ServeOption {
 func WithServeClientDialBackoff(attempts int, base time.Duration) ServeOption {
 	return serve.WithClientDialBackoff(attempts, base)
 }
-
-// WithServeClientTelemetry wires the client_* metrics into reg.
-//
-// Deprecated: telemetry options were unified; use WithServeTelemetry.
-func WithServeClientTelemetry(reg *TelemetryRegistry) ServeOption {
-	return serve.WithTelemetry(reg)
-}
-
-// WithServeClientLogger routes the client's retry forensics into l.
-//
-// Deprecated: logger options were unified; use WithServeLogger.
-func WithServeClientLogger(l *slog.Logger) ServeOption { return serve.WithLogger(l) }
 
 // WithFleet sets the fleet membership for routers and fleet-aware
 // clients: each node's serve address plus an optional telemetry sidecar
