@@ -5,7 +5,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: check vet staticcheck build test race bench bench-smoke bench-compare e2e-smoke e2e-crash
+.PHONY: check vet staticcheck build test race bench bench-smoke bench-compare fuzz-smoke e2e-smoke e2e-crash
 
 check: vet staticcheck build race
 
@@ -54,6 +54,24 @@ bench-compare:
 	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_*.json artifacts (run make bench)"; exit 1; fi; \
 	echo "comparing $$1 -> $$2"; \
 	$(GO) run ./cmd/benchjson -compare $$1 $$2
+
+# fuzz-smoke gives every fuzz target a short budget of fresh inputs on
+# top of the seeded corpus the normal test run replays: the plane-kernel
+# differential fuzzers, the permutation bijectivity fuzzer, the campaign
+# site enumerator, and the codec/parser fuzzers. FUZZTIME scales the
+# per-target budget (CI uses the default; crank it locally for a deeper
+# soak).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPlaneTemporal$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzPlaneStack$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzPlaneSpatial$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzPermBijective$$' -fuzztime $(FUZZTIME) ./internal/perm
+	$(GO) test -run '^$$' -fuzz '^FuzzCampaignSites$$' -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/rice
+	$(GO) test -run '^$$' -fuzz '^FuzzEncodeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/rice
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/fits
+	$(GO) test -run '^$$' -fuzz '^FuzzSanityCheck$$' -fuzztime $(FUZZTIME) ./internal/fits
 
 # e2e-smoke boots the real binaries — one spaceprocd, then a 3-daemon
 # fleet behind spaceproc-router with one node killed and readmitted

@@ -1,0 +1,96 @@
+package spaceproc_test
+
+import (
+	"testing"
+
+	"spaceproc"
+)
+
+func TestFeistelPermThroughFacade(t *testing.T) {
+	p, err := spaceproc.NewFeistelPerm(1000, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds() != spaceproc.DefaultPermRounds {
+		t.Errorf("rounds %d, want default %d", p.Rounds(), spaceproc.DefaultPermRounds)
+	}
+	seen := make(map[uint64]bool, 1000)
+	for i := uint64(0); i < p.N(); i++ {
+		v := p.At(i)
+		if v >= p.N() || seen[v] {
+			t.Fatalf("At(%d) = %d not a bijection", i, v)
+		}
+		seen[v] = true
+		if p.Inverse(v) != i {
+			t.Fatalf("Inverse(At(%d)) != %d", i, i)
+		}
+	}
+	var shard *spaceproc.PermShard = p.Shard(0, 4)
+	if _, ok := shard.Next(); !ok {
+		t.Fatal("shard 0/4 empty")
+	}
+}
+
+func TestFaultCampaignThroughFacade(t *testing.T) {
+	// A pool campaign over a synthetic domain, sharded 4 ways, must match
+	// the sequential summary — the facade exposes the whole surface.
+	pool, err := spaceproc.NewWorkerPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for i := 0; i < 4; i++ {
+		w, err := spaceproc.NewLocalWorker(nil, spaceproc.DefaultCRConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.AddWorker(w)
+	}
+	geom := spaceproc.CampaignGeometry{Bits: 1 << 20, RowBits: 1 << 10, FrameBits: 1 << 20}
+	for _, model := range []spaceproc.CampaignModel{
+		spaceproc.SingleBit{}, spaceproc.BurstRun{Length: 5}, spaceproc.ColumnWipe{},
+	} {
+		c := spaceproc.FaultCampaign{Count: 500, Seed: 9, Model: model}
+		seq, err := c.Summarize(t.Context(), geom, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pool.RunCampaign(t.Context(), c, geom, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != seq {
+			t.Fatalf("%s: pool %+v != sequential %+v", model.Name(), got, seq)
+		}
+	}
+
+	// Container geometries and in-place injection through the facade.
+	st := spaceproc.NewStack(3, 32, 16)
+	if g := spaceproc.StackCampaignGeometry(st); g.Bits != 3*32*16*16 {
+		t.Errorf("stack geometry %+v", g)
+	}
+	if g := spaceproc.SeriesCampaignGeometry(make(spaceproc.Series, 4)); g.Bits != 64 {
+		t.Errorf("series geometry %+v", g)
+	}
+	cb := spaceproc.NewCube(8, 8, 2)
+	if g := spaceproc.CubeCampaignGeometry(cb); g.Bits != 8*8*2*32 {
+		t.Errorf("cube geometry %+v", g)
+	}
+	c := spaceproc.FaultCampaign{Count: 64, Seed: 2, Model: spaceproc.BurstRun{Length: 2}}
+	flips, err := c.InjectStack(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 128 {
+		t.Errorf("stack toggles %d, want 128", flips)
+	}
+	var fs spaceproc.FlipSet
+	fs.Add(1)
+	fs.Add(2)
+	var other spaceproc.FlipSet
+	other.Add(2)
+	other.Add(1)
+	if fs != other {
+		t.Error("FlipSet digest is order-dependent")
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-trials N] [-quick] [fig2 fig3 fig3layout fig4 fig5 fig6 fig7 fig9 figheader ablation pool | all]
+//	experiments [-seed N] [-trials N] [-quick] [-campaign] [fig2 fig3 fig3layout fig4 fig5 fig6 fig7 fig9 figheader ablation pool campaign | all]
 package main
 
 import (
@@ -31,6 +31,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	trials := fs.Int("trials", 0, "override trials per point (0 = per-experiment default)")
 	quick := fs.Bool("quick", false, "reduced trial counts for a fast smoke run")
 	renderDir := fs.String("render-dir", "figures", "output directory for the fig8 PGM gallery")
+	campaign := fs.Bool("campaign", false, "run the constant-memory fault-campaign sweep (same as the campaign target)")
+	campaignPixels := fs.Uint64("campaign-pixels", 0, "override the campaign sweep's synthetic domain size in pixels (0 = billion-pixel default)")
+	campaignWorkers := fs.Int("campaign-workers", 0, "override the campaign sweep's pool worker count (0 = default)")
 	showMetrics := fs.Bool("metrics", false, "print aggregated preprocessing telemetry after the run")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON artifact to this file")
 	version := fs.Bool("version", false, "print the build version and exit")
@@ -52,15 +55,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	all := want["all"]
 
+	if *campaign {
+		want["campaign"] = true
+	}
+
 	ngstCfg := sweep.DefaultNGSTConfig()
 	otisCfg := sweep.DefaultOTISSweepConfig()
 	hdrCfg := sweep.DefaultHeaderConfig()
 	poolCfg := sweep.DefaultPoolSweepConfig()
+	campaignCfg := sweep.DefaultCampaignSweepConfig()
 	if *quick {
 		ngstCfg.Trials = 10
 		otisCfg.Trials = 1
 		hdrCfg.Trials = 50
 		poolCfg.Trials = 2
+		campaignCfg.DomainPixels = 1 << 20
+		campaignCfg.Width = 1 << 10
+		campaignCfg.FlipBudget = 10_000
+	}
+	if *campaignPixels > 0 {
+		campaignCfg.DomainPixels = *campaignPixels
+		for campaignCfg.Width > 1 && campaignCfg.DomainPixels%campaignCfg.Width != 0 {
+			campaignCfg.Width /= 2
+		}
+	}
+	if *campaignWorkers > 0 {
+		campaignCfg.Workers = *campaignWorkers
 	}
 	if *trials > 0 {
 		ngstCfg.Trials = *trials
@@ -75,6 +95,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		otisCfg.Telemetry = reg
 		hdrCfg.Telemetry = reg
 		poolCfg.Telemetry = reg
+		campaignCfg.Telemetry = reg
 	}
 
 	emit := func(res *sweep.Result, err error) bool {
@@ -145,6 +166,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if (all || want["pool"]) && !interrupted() {
 		ok = emit(sweep.FigPool(poolCfg, *seed)) && ok
+	}
+	if (all || want["campaign"]) && !interrupted() {
+		ok = emit(sweep.FigCampaign(campaignCfg, *seed)) && ok
 	}
 	if (all || want["ablation"]) && !interrupted() {
 		ok = emit(sweep.AblationVoting(ngstCfg, *seed)) && ok

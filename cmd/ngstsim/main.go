@@ -39,6 +39,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	tile := fs.Int("tile", spaceproc.TileSize, "fragment edge length")
 	workers := fs.Int("workers", spaceproc.DefaultWorkers, "worker count")
 	gamma0 := fs.Float64("gamma0", 0.01, "memory bit-flip probability")
+	faultModel := fs.String("fault", "uncorrelated", "fault model: uncorrelated | campaign | burst | column (campaign models enumerate sites through the Feistel permutation)")
+	sites := fs.Uint64("sites", 0, "campaign anchor-site budget (0 = gamma0 x domain bits)")
+	burstLen := fs.Int("burst-len", 8, "burst run length in bits for -fault burst")
 	lambda := fs.Int("sensitivity", 80, "preprocessing sensitivity Lambda (0 disables the pixel pass)")
 	upsilon := fs.Int("upsilon", 4, "neighbors consulted per pixel")
 	noPre := fs.Bool("no-preprocess", false, "disable input preprocessing")
@@ -154,8 +157,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	// Faulty run: bit flips in the raw readouts while in memory.
 	faulty := scene.Observed.Clone()
-	flips := spaceproc.Uncorrelated{Gamma0: *gamma0}.InjectStack(faulty, spaceproc.NewRNGStream(*seed, 99))
-	fmt.Fprintf(out, "injected %d bit flips at Gamma0 = %.4f\n", flips, *gamma0)
+	switch *faultModel {
+	case "uncorrelated":
+		flips := spaceproc.Uncorrelated{Gamma0: *gamma0}.InjectStack(faulty, spaceproc.NewRNGStream(*seed, 99))
+		fmt.Fprintf(out, "injected %d bit flips at Gamma0 = %.4f\n", flips, *gamma0)
+	case "campaign", "burst", "column":
+		var model spaceproc.CampaignModel = spaceproc.SingleBit{}
+		switch *faultModel {
+		case "burst":
+			model = spaceproc.BurstRun{Length: *burstLen}
+		case "column":
+			model = spaceproc.ColumnWipe{}
+		}
+		c := spaceproc.FaultCampaign{Count: *sites, Rate: *gamma0, Seed: *seed, Model: model}
+		flips, err := c.InjectStack(faulty)
+		if err != nil {
+			return err
+		}
+		geom := spaceproc.StackCampaignGeometry(faulty)
+		fmt.Fprintf(out, "campaign %s: %d anchor sites over %d bit sites, %d bit toggles (seed %d)\n",
+			model.Name(), c.Budget(geom.Bits), geom.Bits, flips, *seed)
+	default:
+		return fmt.Errorf("unknown -fault model %q (want uncorrelated, campaign, burst or column)", *faultModel)
+	}
 
 	mainPool, cleanupMain, err := buildPool(pre, true)
 	if err != nil {

@@ -1,0 +1,367 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/perm"
+	"spaceproc/internal/rng"
+)
+
+// This file is the constant-memory campaign engine. Where the Section 2.2
+// models in fault.go draw Bernoulli decisions per bit (cost proportional
+// to the domain, positions materialized implicitly by the sweep order),
+// a Campaign enumerates its fault sites through a keyed cycle-walking
+// Feistel permutation (internal/perm): a budget of B sites over a domain
+// of N bit positions costs O(B) time and O(1) memory, is reproducible
+// bit-for-bit from (seed, rounds), and shards exactly — worker k of W
+// enumerates logical indices k, k+W, k+2W..., and the W shards partition
+// the site set no matter how the plan is drawn. That unlocks the
+// billion-pixel sweeps the ROADMAP asks for, plus the correlated upset
+// shapes the DAMPE SEU study and the miniaturized-satellite FT literature
+// stress: MBU burst runs (BurstRun) and SEFI whole-column kills
+// (ColumnWipe), both expanded deterministically from permuted anchors.
+
+// Geometry describes the bit domain a campaign runs over: the total
+// number of bit sites plus the row/frame structure the column-oriented
+// models need. The zero values of RowBits and FrameBits mean
+// "unstructured": the whole domain is one row and one frame.
+type Geometry struct {
+	// Bits is the total number of bit sites in the domain.
+	Bits uint64
+	// RowBits is the number of bit sites per memory row (the column
+	// structure ColumnWipe kills along). 0 means a single row.
+	RowBits uint64
+	// FrameBits is the number of bit sites per frame/plane; a ColumnWipe
+	// is confined to the frame its anchor lands in (a SEFI takes out one
+	// device's column, not the same column of every readout). 0 means a
+	// single frame.
+	FrameBits uint64
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Bits == 0 {
+		return fmt.Errorf("fault: campaign geometry has no bit sites")
+	}
+	if g.RowBits > g.Bits {
+		return fmt.Errorf("fault: row of %d bits exceeds domain of %d", g.RowBits, g.Bits)
+	}
+	if g.FrameBits > g.Bits {
+		return fmt.Errorf("fault: frame of %d bits exceeds domain of %d", g.FrameBits, g.Bits)
+	}
+	if g.RowBits != 0 && g.FrameBits != 0 && g.FrameBits%g.RowBits != 0 {
+		return fmt.Errorf("fault: frame of %d bits is not whole rows of %d", g.FrameBits, g.RowBits)
+	}
+	return nil
+}
+
+// SeriesGeometry is the bit domain of a temporal series: one 16-bit word
+// per memory row (each row holds one readout's variant of the pixel).
+func SeriesGeometry(s dataset.Series) Geometry {
+	return Geometry{Bits: uint64(len(s)) * 16, RowBits: 16}
+}
+
+// StackGeometry is the bit domain of a readout stack: frames concatenated
+// in order, each frame row-major with Width 16-bit words per row.
+func StackGeometry(s *dataset.Stack) Geometry {
+	frame := uint64(s.Width()) * uint64(s.Height()) * 16
+	return Geometry{
+		Bits:      frame * uint64(s.Len()),
+		RowBits:   uint64(s.Width()) * 16,
+		FrameBits: frame,
+	}
+}
+
+// CubeGeometry is the bit domain of a spectral cube: band planes
+// concatenated, each row-major with Width 32-bit words per row.
+func CubeGeometry(c *dataset.Cube) Geometry {
+	plane := uint64(c.Width) * uint64(c.Height) * 32
+	return Geometry{
+		Bits:      plane * uint64(c.Bands),
+		RowBits:   uint64(c.Width) * 32,
+		FrameBits: plane,
+	}
+}
+
+// SiteModel expands one permuted anchor site into the concrete bit flips
+// of a fault event. Expand must be deterministic in (site, geom) — all
+// campaign randomness lives in the permutation — and must only visit
+// positions inside [0, geom.Bits).
+type SiteModel interface {
+	// Name identifies the model in telemetry and experiment tables.
+	Name() string
+	// Expand invokes visit for every bit the event anchored at site flips.
+	Expand(site uint64, geom Geometry, visit func(bit uint64))
+}
+
+// SingleBit is the degenerate model: each anchor flips exactly its own
+// bit. A SingleBit campaign with budget B is the exact-count analogue of
+// Uncorrelated with Gamma0 = B/N.
+type SingleBit struct{}
+
+// Name implements SiteModel.
+func (SingleBit) Name() string { return "single" }
+
+// Expand implements SiteModel.
+func (SingleBit) Expand(site uint64, _ Geometry, visit func(uint64)) { visit(site) }
+
+// BurstRun is the MBU model: each anchor starts a run of Length
+// consecutive bit flips (a multiple-bit upset along a physical word
+// line). Runs are clipped at the end of the domain.
+type BurstRun struct {
+	// Length is the run length in bits; values below 1 behave as 1.
+	Length int
+}
+
+// Name implements SiteModel.
+func (m BurstRun) Name() string { return fmt.Sprintf("burst%d", m.length()) }
+
+func (m BurstRun) length() uint64 {
+	if m.Length < 1 {
+		return 1
+	}
+	return uint64(m.Length)
+}
+
+// Expand implements SiteModel.
+func (m BurstRun) Expand(site uint64, geom Geometry, visit func(uint64)) {
+	end := site + m.length()
+	if end > geom.Bits || end < site { // clip, and guard uint64 wrap
+		end = geom.Bits
+	}
+	for b := site; b < end; b++ {
+		visit(b)
+	}
+}
+
+// ColumnWipe is the SEFI model: the anchor's whole column dies within the
+// frame the anchor lands in — a functional interrupt taking out one
+// column driver. With an unstructured geometry (RowBits 0) the "column"
+// degenerates to the single anchor bit.
+type ColumnWipe struct{}
+
+// Name implements SiteModel.
+func (ColumnWipe) Name() string { return "colwipe" }
+
+// Expand implements SiteModel.
+func (ColumnWipe) Expand(site uint64, geom Geometry, visit func(uint64)) {
+	rowBits := geom.RowBits
+	if rowBits == 0 {
+		visit(site)
+		return
+	}
+	frameBits := geom.FrameBits
+	if frameBits == 0 {
+		frameBits = geom.Bits
+	}
+	frame := site / frameBits * frameBits
+	end := frame + frameBits
+	if end > geom.Bits {
+		end = geom.Bits
+	}
+	for b := frame + (site-frame)%rowBits; b < end; b += rowBits {
+		visit(b)
+	}
+}
+
+// FlipSet is a constant-memory summary of a set of bit flips: the toggle
+// count plus an order-independent digest (XOR of a 64-bit mix of each
+// position). Two enumerations produce equal FlipSets iff they toggled the
+// same multiset of positions — XOR cancels a position toggled twice in
+// the digest exactly as the second toggle cancels the flip in memory,
+// and Flips pins the multiset size. Merge combines shard summaries in
+// any order, which is what makes a sharded campaign's aggregate
+// comparable bit-for-bit against a sequential replay without
+// materializing a single position.
+type FlipSet struct {
+	// Flips counts bit toggles (visits), not distinct damaged bits.
+	Flips uint64
+	// Digest is the XOR-accumulated position digest.
+	Digest uint64
+}
+
+// flipSetSalt decorrelates the digest mix from other Mix64 users.
+const flipSetSalt = 0x9e3779b97f4a7c15
+
+// Add accounts one toggled bit position.
+func (f *FlipSet) Add(bit uint64) {
+	f.Flips++
+	f.Digest ^= rng.Mix64(bit + flipSetSalt)
+}
+
+// Merge folds another summary in; order never matters.
+func (f *FlipSet) Merge(o FlipSet) {
+	f.Flips += o.Flips
+	f.Digest ^= o.Digest
+}
+
+// Campaign is a constant-memory fault injection plan: Budget(N) anchor
+// sites drawn as the first entries of a keyed permutation of the domain,
+// each expanded through Model. The zero Model is SingleBit. Campaigns
+// with equal (Seed, Rounds, Model, budget) toggle identical bit sets on
+// identical geometry, regardless of shard plan.
+type Campaign struct {
+	// Count is the explicit anchor-site budget. When 0, the budget is
+	// Rate × domain bits instead.
+	Count uint64
+	// Rate is the anchor-site rate in [0, 1], used when Count is 0.
+	Rate float64
+	// Seed keys the site permutation.
+	Seed uint64
+	// Rounds is the Feistel round count; 0 selects perm.DefaultRounds.
+	Rounds int
+	// Model expands anchors into flips; nil selects SingleBit.
+	Model SiteModel
+}
+
+// Validate reports whether the campaign parameters are legal.
+func (c Campaign) Validate() error {
+	if c.Rate < 0 || c.Rate > 1 || math.IsNaN(c.Rate) {
+		return fmt.Errorf("fault: campaign rate %v outside [0,1]", c.Rate)
+	}
+	if c.Rounds < 0 {
+		return fmt.Errorf("fault: campaign rounds %d must not be negative", c.Rounds)
+	}
+	return nil
+}
+
+// Budget returns the anchor-site budget over a domain of n bits: Count
+// when set, otherwise Rate × n, capped at n (a permutation has only n
+// distinct sites to offer).
+func (c Campaign) Budget(n uint64) uint64 {
+	b := c.Count
+	if b == 0 && c.Rate > 0 {
+		b = uint64(c.Rate * float64(n))
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// SiteModelOrDefault returns the effective model.
+func (c Campaign) SiteModelOrDefault() SiteModel {
+	if c.Model == nil {
+		return SingleBit{}
+	}
+	return c.Model
+}
+
+// ctxCheckEvery is how many anchors a shard enumerates between context
+// polls; frequent enough to cancel promptly, rare enough to stay off the
+// per-site path.
+const ctxCheckEvery = 8192
+
+// EnumerateShard walks shard k of w over the campaign's anchor budget in
+// geom, invoking visit for every toggled bit, in the shard's enumeration
+// order. Memory is O(1): only the permutation's key schedule lives on the
+// heap. ctx is polled between anchors so a cancelled campaign stops
+// promptly; the first ctx error is returned.
+//
+// The shard convention: shard k draws the anchors at logical permutation
+// indices k, k+w, k+2w... below the budget. The w shards partition the
+// anchor set exactly, so the aggregate over any shard plan — including
+// w=1 — toggles the identical bit multiset.
+func (c Campaign) EnumerateShard(ctx context.Context, geom Geometry, k, w int, visit func(bit uint64)) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if err := geom.Validate(); err != nil {
+		return err
+	}
+	if w <= 0 || k < 0 || k >= w {
+		return fmt.Errorf("fault: shard %d of %d is not a valid plan", k, w)
+	}
+	budget := c.Budget(geom.Bits)
+	if budget <= uint64(k) {
+		return nil
+	}
+	// Number of logical indices ≡ k (mod w) below the budget.
+	draws := (budget-1-uint64(k))/uint64(w) + 1
+	p, err := perm.New(geom.Bits, c.Seed, c.Rounds)
+	if err != nil {
+		return err
+	}
+	model := c.SiteModelOrDefault()
+	it := p.Shard(k, w)
+	for j := uint64(0); j < draws; j++ {
+		if j%ctxCheckEvery == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		site, ok := it.Next()
+		if !ok {
+			return fmt.Errorf("fault: shard %d/%d exhausted after %d of %d draws", k, w, j, draws)
+		}
+		model.Expand(site, geom, visit)
+	}
+	return nil
+}
+
+// Enumerate is the single-shard enumeration: every toggled bit of the
+// whole campaign, in budget order.
+func (c Campaign) Enumerate(ctx context.Context, geom Geometry, visit func(bit uint64)) error {
+	return c.EnumerateShard(ctx, geom, 0, 1, visit)
+}
+
+// Summarize enumerates shard k of w into a FlipSet without touching any
+// data: the dry-run used for synthetic domains too large to materialize.
+func (c Campaign) Summarize(ctx context.Context, geom Geometry, k, w int) (FlipSet, error) {
+	var fs FlipSet
+	err := c.EnumerateShard(ctx, geom, k, w, fs.Add)
+	return fs, err
+}
+
+// InjectSeries toggles the campaign's bits in a temporal series and
+// returns the toggle count. It mirrors the Uncorrelated/Correlated
+// InjectSeries surface, with the randomness supplied by the campaign's
+// own (Seed, Rounds) instead of an rng.Source.
+func (c Campaign) InjectSeries(s dataset.Series) (int, error) {
+	if len(s) == 0 {
+		return 0, nil
+	}
+	flips := 0
+	err := c.Enumerate(context.Background(), SeriesGeometry(s), func(bit uint64) {
+		s[bit/16] ^= 1 << (bit % 16)
+		flips++
+	})
+	return flips, err
+}
+
+// InjectStack toggles the campaign's bits across every readout frame
+// under the StackGeometry layout and returns the toggle count.
+func (c Campaign) InjectStack(st *dataset.Stack) (int, error) {
+	geom := StackGeometry(st)
+	if geom.Bits == 0 {
+		return 0, nil
+	}
+	flips := 0
+	err := c.Enumerate(context.Background(), geom, func(bit uint64) {
+		f := bit / geom.FrameBits
+		rem := bit % geom.FrameBits
+		st.Frames[f].Pix[rem/16] ^= 1 << (rem % 16)
+		flips++
+	})
+	return flips, err
+}
+
+// InjectCube toggles the campaign's bits in the float32 payloads of a
+// cube under the CubeGeometry layout and returns the toggle count.
+func (c Campaign) InjectCube(cb *dataset.Cube) (int, error) {
+	geom := CubeGeometry(cb)
+	if geom.Bits == 0 {
+		return 0, nil
+	}
+	words := float32Bits(cb.Data)
+	flips := 0
+	err := c.Enumerate(context.Background(), geom, func(bit uint64) {
+		words[bit/32] ^= 1 << (bit % 32)
+		flips++
+	})
+	bitsToFloat32(words, cb.Data)
+	return flips, err
+}

@@ -1,0 +1,428 @@
+package fault
+
+import (
+	"context"
+	"testing"
+
+	"spaceproc/internal/bitutil"
+	"spaceproc/internal/dataset"
+	"spaceproc/internal/rng"
+)
+
+func TestGeometryConstructors(t *testing.T) {
+	s := make(dataset.Series, 32)
+	if g := SeriesGeometry(s); g.Bits != 512 || g.RowBits != 16 {
+		t.Errorf("series geometry %+v", g)
+	}
+	st := dataset.NewStack(3, 8, 4)
+	g := StackGeometry(st)
+	if g.Bits != 3*8*4*16 || g.RowBits != 8*16 || g.FrameBits != 8*4*16 {
+		t.Errorf("stack geometry %+v", g)
+	}
+	cb := dataset.NewCube(8, 4, 3)
+	g = CubeGeometry(cb)
+	if g.Bits != 8*4*3*32 || g.RowBits != 8*32 || g.FrameBits != 8*4*32 {
+		t.Errorf("cube geometry %+v", g)
+	}
+	if err := (Geometry{}).Validate(); err == nil {
+		t.Error("empty geometry must be invalid")
+	}
+	if err := (Geometry{Bits: 10, RowBits: 16}).Validate(); err == nil {
+		t.Error("row wider than domain must be invalid")
+	}
+	if err := (Geometry{Bits: 96, RowBits: 16, FrameBits: 40}).Validate(); err == nil {
+		t.Error("frame of partial rows must be invalid")
+	}
+}
+
+func TestCampaignValidateAndBudget(t *testing.T) {
+	if err := (Campaign{Rate: -0.1}).Validate(); err == nil {
+		t.Error("negative rate must be invalid")
+	}
+	if err := (Campaign{Rate: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 must be invalid")
+	}
+	if err := (Campaign{Rounds: -1}).Validate(); err == nil {
+		t.Error("negative rounds must be invalid")
+	}
+	if got := (Campaign{Count: 7}).Budget(100); got != 7 {
+		t.Errorf("explicit count budget %d, want 7", got)
+	}
+	if got := (Campaign{Rate: 0.25}).Budget(1000); got != 250 {
+		t.Errorf("rate budget %d, want 250", got)
+	}
+	if got := (Campaign{Count: 5000}).Budget(100); got != 100 {
+		t.Errorf("budget must cap at domain, got %d", got)
+	}
+	if got := (Campaign{}).Budget(100); got != 0 {
+		t.Errorf("zero campaign budget %d, want 0", got)
+	}
+}
+
+func TestCampaignAnchorsDistinct(t *testing.T) {
+	// SingleBit anchors come from a permutation prefix, so every toggle
+	// hits a distinct bit: flips == popcount of the damage.
+	s := make(dataset.Series, 256) // 4096 bit sites
+	c := Campaign{Count: 500, Seed: 11}
+	n, err := c.InjectSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("injected %d toggles, want 500", n)
+	}
+	set := 0
+	for _, w := range s {
+		set += bitutil.OnesCount16(w)
+	}
+	if set != 500 {
+		t.Fatalf("%d bits set, want 500 distinct", set)
+	}
+}
+
+// TestCampaignShardEquivalenceGolden is the deterministic golden test:
+// one (seed, N) campaign split across k ∈ {1, 4, 16} shards must yield
+// the identical aggregate flip set — verified exactly, position by
+// position, on a domain small enough to materialize.
+func TestCampaignShardEquivalenceGolden(t *testing.T) {
+	geom := Geometry{Bits: 1 << 16, RowBits: 512, FrameBits: 8192}
+	for _, model := range []SiteModel{SingleBit{}, BurstRun{Length: 9}, ColumnWipe{}} {
+		c := Campaign{Count: 900, Seed: 20030622, Model: model}
+		want := map[uint64]int{}
+		if err := c.Enumerate(context.Background(), geom, func(b uint64) { want[b]++ }); err != nil {
+			t.Fatal(err)
+		}
+		var wantFS FlipSet
+		if err := c.Enumerate(context.Background(), geom, wantFS.Add); err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4, 16} {
+			got := map[uint64]int{}
+			var gotFS FlipSet
+			for k := 0; k < shards; k++ {
+				fs, err := c.Summarize(context.Background(), geom, k, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotFS.Merge(fs)
+				if err := c.EnumerateShard(context.Background(), geom, k, shards, func(b uint64) { got[b]++ }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s shards=%d: %d distinct positions, want %d", model.Name(), shards, len(got), len(want))
+			}
+			for b, n := range want {
+				if got[b] != n {
+					t.Fatalf("%s shards=%d: position %d toggled %d times, want %d", model.Name(), shards, b, got[b], n)
+				}
+			}
+			if gotFS != wantFS {
+				t.Fatalf("%s shards=%d: merged FlipSet %+v != sequential %+v", model.Name(), shards, gotFS, wantFS)
+			}
+		}
+	}
+}
+
+// TestCampaignBillionSiteReplay is the acceptance gate: a campaign over a
+// billion-site domain enumerates sharded across 4 and 16 workers in O(1)
+// per-worker memory (nothing is materialized — each shard folds into a
+// FlipSet), and replaying the same (seed, rounds, shard plan) reproduces
+// the bit-identical flip set.
+func TestCampaignBillionSiteReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("billion-site domain walk")
+	}
+	// ~1.07e9 bit sites: a 2^26-pixel frame of 16-bit words.
+	geom := Geometry{Bits: 1 << 30, RowBits: 1 << 19, FrameBits: 1 << 30}
+	c := Campaign{Count: 200_000, Seed: 42, Rounds: 6, Model: BurstRun{Length: 4}}
+	run := func(shards int) FlipSet {
+		var total FlipSet
+		for k := 0; k < shards; k++ {
+			fs, err := c.Summarize(context.Background(), geom, k, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total.Merge(fs)
+		}
+		return total
+	}
+	seq := run(1)
+	if seq.Flips != 4*200_000 {
+		t.Fatalf("sequential flips %d, want %d", seq.Flips, 4*200_000)
+	}
+	if got := run(4); got != seq {
+		t.Fatalf("4-shard aggregate %+v != sequential %+v", got, seq)
+	}
+	if got := run(16); got != seq {
+		t.Fatalf("16-shard aggregate %+v != sequential %+v", got, seq)
+	}
+	// Bit-identical replay from the same (seed, rounds, shard plan).
+	if replay := run(4); replay != seq {
+		t.Fatalf("replay %+v != original %+v", replay, seq)
+	}
+	// A different seed must not reproduce the set (digest collision odds
+	// are negligible).
+	other := Campaign{Count: 200_000, Seed: 43, Rounds: 6, Model: BurstRun{Length: 4}}
+	fs, err := other.Summarize(context.Background(), geom, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Digest == seq.Digest {
+		t.Fatal("different seed reproduced the digest")
+	}
+}
+
+func TestBurstRunSemantics(t *testing.T) {
+	geom := Geometry{Bits: 100}
+	var got []uint64
+	BurstRun{Length: 5}.Expand(97, geom, func(b uint64) { got = append(got, b) })
+	if len(got) != 3 || got[0] != 97 || got[2] != 99 {
+		t.Errorf("clipped burst at 97: %v", got)
+	}
+	got = nil
+	BurstRun{}.Expand(7, geom, func(b uint64) { got = append(got, b) })
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("zero-length burst must behave as one bit: %v", got)
+	}
+	if (BurstRun{Length: 8}).Name() != "burst8" {
+		t.Errorf("name %q", BurstRun{Length: 8}.Name())
+	}
+}
+
+func TestColumnWipeSemantics(t *testing.T) {
+	// 3 frames of 4 rows x 8 columns.
+	geom := Geometry{Bits: 96, RowBits: 8, FrameBits: 32}
+	var got []uint64
+	ColumnWipe{}.Expand(42, geom, func(b uint64) { got = append(got, b) })
+	// Site 42: frame 1 (bits 32..63), column (42-32)%8 = 2 → 34, 42, 50, 58.
+	want := []uint64{34, 42, 50, 58}
+	if len(got) != len(want) {
+		t.Fatalf("column wipe flipped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("column wipe flipped %v, want %v", got, want)
+		}
+	}
+	// Unstructured geometry degenerates to the anchor bit.
+	got = nil
+	ColumnWipe{}.Expand(5, Geometry{Bits: 64}, func(b uint64) { got = append(got, b) })
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("unstructured wipe: %v", got)
+	}
+}
+
+func TestCampaignInjectStackMatchesEnumerate(t *testing.T) {
+	st := dataset.NewStack(4, 16, 8)
+	c := Campaign{Count: 64, Seed: 3, Model: ColumnWipe{}}
+	flips, err := c.InjectStack(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-derive the expected damage from the enumeration and compare the
+	// toggled words.
+	want := dataset.NewStack(4, 16, 8)
+	geom := StackGeometry(want)
+	count := 0
+	if err := c.Enumerate(context.Background(), geom, func(bit uint64) {
+		f := bit / geom.FrameBits
+		rem := bit % geom.FrameBits
+		want.Frames[f].Pix[rem/16] ^= 1 << (rem % 16)
+		count++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if flips != count {
+		t.Fatalf("InjectStack reported %d toggles, enumeration %d", flips, count)
+	}
+	if flips == 0 {
+		t.Fatal("campaign injected nothing")
+	}
+	for i, f := range st.Frames {
+		for j, w := range f.Pix {
+			if w != want.Frames[i].Pix[j] {
+				t.Fatalf("frame %d word %d: %04x != %04x", i, j, w, want.Frames[i].Pix[j])
+			}
+		}
+	}
+}
+
+func TestCampaignInjectCubeAndSeries(t *testing.T) {
+	cb := dataset.NewCube(8, 8, 3)
+	c := Campaign{Count: 100, Seed: 9, Model: BurstRun{Length: 3}}
+	flips, err := c.InjectCube(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 300 {
+		t.Fatalf("cube toggles %d, want 300", flips)
+	}
+	damaged := 0
+	for _, v := range cb.Data {
+		if v != 0 {
+			damaged++
+		}
+	}
+	if damaged == 0 {
+		t.Fatal("cube payload untouched")
+	}
+	// Injection is an XOR: replaying the identical campaign heals it.
+	if _, err := c.InjectCube(cb); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cb.Data {
+		if v != 0 {
+			t.Fatalf("double injection left residue at %d: %v", i, v)
+		}
+	}
+	s := make(dataset.Series, 64)
+	if n, err := (Campaign{Count: 10, Seed: 1}).InjectSeries(s); err != nil || n != 10 {
+		t.Fatalf("series inject n=%d err=%v", n, err)
+	}
+	if n, err := (Campaign{Count: 10}).InjectSeries(dataset.Series{}); err != nil || n != 0 {
+		t.Fatalf("empty series inject n=%d err=%v", n, err)
+	}
+}
+
+func TestCampaignEnumerateErrors(t *testing.T) {
+	geom := Geometry{Bits: 1000}
+	c := Campaign{Count: 10}
+	if err := c.EnumerateShard(context.Background(), geom, 2, 2, nil); err == nil {
+		t.Error("shard k>=w must error")
+	}
+	if err := c.EnumerateShard(context.Background(), geom, 0, 0, nil); err == nil {
+		t.Error("w=0 must error")
+	}
+	if err := (Campaign{Rate: 2}).Enumerate(context.Background(), geom, nil); err == nil {
+		t.Error("invalid campaign must error")
+	}
+	if err := c.Enumerate(context.Background(), Geometry{}, nil); err == nil {
+		t.Error("invalid geometry must error")
+	}
+	// A shard beyond the budget is an empty no-op, not an error.
+	if err := c.EnumerateShard(context.Background(), geom, 15, 16, func(uint64) { t.Fatal("visited") }); err != nil {
+		t.Error(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (Campaign{Count: 100_000}).Enumerate(ctx, Geometry{Bits: 1 << 40}, func(uint64) {}); err == nil {
+		t.Error("cancelled context must abort the enumeration")
+	}
+}
+
+func TestBurstInjectWords32(t *testing.T) {
+	words := make([]uint32, 256)
+	b := Burst{Offset: 64, Length: 32, Density: 1}
+	n := b.InjectWords32(words, rng.New(1))
+	if n != 32*32 {
+		t.Fatalf("full-density burst flipped %d bits, want %d", n, 32*32)
+	}
+	for i, w := range words {
+		inside := i >= 64 && i < 96
+		if inside && w != 0xFFFFFFFF {
+			t.Fatalf("word %d inside burst is %08x", i, w)
+		}
+		if !inside && w != 0 {
+			t.Fatalf("word %d outside burst damaged: %08x", i, w)
+		}
+	}
+	// Clipping and degenerate geometry.
+	words = make([]uint32, 8)
+	if n := (Burst{Offset: 6, Length: 100, Density: 1}).InjectWords32(words, rng.New(2)); n != 2*32 {
+		t.Errorf("clipped burst flipped %d, want 64", n)
+	}
+	if n := (Burst{Offset: 100, Length: 5, Density: 1}).InjectWords32(words, rng.New(3)); n != 0 {
+		t.Errorf("out-of-range burst flipped %d", n)
+	}
+	if n := (Burst{Offset: -4, Length: 6, Density: 1}).InjectWords32(make([]uint32, 8), rng.New(4)); n != 2*32 {
+		t.Errorf("negative-offset burst flipped %d, want 64", n)
+	}
+	// Statistical parity with the 16-bit path at partial density.
+	big := make([]uint32, 50000)
+	got := Burst{Offset: 0, Length: len(big), Density: 0.25}.InjectWords32(big, rng.New(5))
+	bits := float64(len(big) * 32)
+	if f := float64(got) / bits; f < 0.24 || f > 0.26 {
+		t.Errorf("density 0.25 produced flip rate %v", f)
+	}
+	set := 0
+	for _, w := range big {
+		set += bitutil.OnesCount32(w)
+	}
+	if set != got {
+		t.Errorf("reported %d flips but %d bits set", got, set)
+	}
+}
+
+// FuzzCampaignSites drives the campaign enumerator across arbitrary
+// geometries, budgets, models and shard plans: every toggled bit must be
+// in-domain, anchors must respect the budget, and any shard plan must
+// reproduce the single-shard flip multiset exactly.
+func FuzzCampaignSites(f *testing.F) {
+	f.Add(uint64(64), uint64(8), uint64(32), uint64(10), uint64(1), uint8(0), uint8(4), uint8(3))
+	f.Add(uint64(4096), uint64(128), uint64(1024), uint64(100), uint64(7), uint8(1), uint8(7), uint8(2))
+	f.Add(uint64(100), uint64(0), uint64(0), uint64(100), uint64(3), uint8(2), uint8(1), uint8(16))
+	f.Fuzz(func(t *testing.T, bits, rowBits, frameBits, count, seed uint64, modelSel, shardsRaw, length uint8) {
+		bits = 1 + bits%(1<<14)
+		if rowBits != 0 {
+			rowBits = 1 + rowBits%bits
+		}
+		if frameBits != 0 {
+			frameBits = 1 + frameBits%bits
+			if rowBits != 0 {
+				frameBits -= frameBits % rowBits
+				if frameBits == 0 {
+					frameBits = rowBits
+				}
+			}
+		}
+		geom := Geometry{Bits: bits, RowBits: rowBits, FrameBits: frameBits}
+		if geom.Validate() != nil {
+			t.Skip()
+		}
+		var model SiteModel
+		switch modelSel % 3 {
+		case 0:
+			model = SingleBit{}
+		case 1:
+			model = BurstRun{Length: int(length%32) + 1}
+		default:
+			model = ColumnWipe{}
+		}
+		c := Campaign{Count: count % (bits + 1), Seed: seed, Model: model}
+		anchors := uint64(0)
+		want := map[uint64]int{}
+		err := c.Enumerate(context.Background(), geom, func(b uint64) {
+			if b >= bits {
+				t.Fatalf("bit %d outside domain of %d", b, bits)
+			}
+			want[b]++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Anchor budget: re-count with SingleBit (one visit per anchor).
+		single := Campaign{Count: c.Count, Seed: seed}
+		if err := single.Enumerate(context.Background(), geom, func(uint64) { anchors++ }); err != nil {
+			t.Fatal(err)
+		}
+		if anchors != c.Budget(bits) {
+			t.Fatalf("enumerated %d anchors, budget %d", anchors, c.Budget(bits))
+		}
+		shards := int(shardsRaw%8) + 1
+		got := map[uint64]int{}
+		for k := 0; k < shards; k++ {
+			if err := c.EnumerateShard(context.Background(), geom, k, shards, func(b uint64) { got[b]++ }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d positions, want %d", shards, len(got), len(want))
+		}
+		for b, n := range want {
+			if got[b] != n {
+				t.Fatalf("shards=%d: position %d toggled %d times, want %d", shards, b, got[b], n)
+			}
+		}
+	})
+}

@@ -310,6 +310,24 @@ func (b Burst) InjectWords16(words []uint16, src *rng.Source) int {
 	return Uncorrelated{Gamma0: b.Density}.InjectWords16(words[lo:hi], src)
 }
 
+// InjectWords32 applies the burst to 32-bit payload words in place and
+// returns the number of flips, so float32 cubes can take block damage
+// with the same parity as Uncorrelated/Correlated. Offset and Length
+// count 32-bit words; the burst is clipped to the buffer.
+func (b Burst) InjectWords32(words []uint32, src *rng.Source) int {
+	lo, hi := b.Offset, b.Offset+b.Length
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(words) {
+		hi = len(words)
+	}
+	if lo >= hi {
+		return 0
+	}
+	return Uncorrelated{Gamma0: b.Density}.InjectWords32(words[lo:hi], src)
+}
+
 // float32Bits returns the IEEE-754 bit patterns of data.
 func float32Bits(data []float32) []uint32 {
 	words := make([]uint32, len(data))

@@ -1,0 +1,48 @@
+package perm
+
+import "testing"
+
+// FuzzPermBijective drives the cycle-walking construction across
+// arbitrary (N, seed, rounds, index) tuples: every output must stay in
+// the domain and invert exactly (forward-then-inverse is the identity, in
+// both directions). Odd, even, tiny and huge domains are all reachable —
+// the raw n is used as-is when it is small, and stretched into the
+// beyond-enumeration range otherwise.
+func FuzzPermBijective(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint8(0), uint64(0))
+	f.Add(uint64(2), uint64(1), uint8(1), uint64(1))
+	f.Add(uint64(13), uint64(42), uint8(4), uint64(7))
+	f.Add(uint64(1024), uint64(9), uint8(6), uint64(1000))
+	f.Add(uint64(1<<40)+3, uint64(77), uint8(8), uint64(1<<39))
+	f.Fuzz(func(t *testing.T, n, seed uint64, roundsRaw uint8, i uint64) {
+		if n == 0 {
+			n = 1
+		}
+		if n > 1<<16 {
+			// Stretch large inputs across the huge-domain range instead of
+			// clamping them all onto one value.
+			n = 1<<16 + n%(1<<47)
+		}
+		rounds := int(roundsRaw % 12) // 0 selects DefaultRounds
+		p, err := New(n, seed, rounds)
+		if err != nil {
+			t.Fatalf("New(%d, %d, %d): %v", n, seed, rounds, err)
+		}
+		i %= n
+		v := p.At(i)
+		if v >= n {
+			t.Fatalf("At(%d) = %d escapes domain [0,%d)", i, v, n)
+		}
+		if got := p.Inverse(v); got != i {
+			t.Fatalf("Inverse(At(%d)) = %d", i, got)
+		}
+		// The other direction too: i is also a legal value.
+		back := p.Inverse(i)
+		if back >= n {
+			t.Fatalf("Inverse(%d) = %d escapes domain [0,%d)", i, back, n)
+		}
+		if got := p.At(back); got != i {
+			t.Fatalf("At(Inverse(%d)) = %d", i, got)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package perm implements a seeded, cycle-walking Feistel permutation
+// over an arbitrary domain [0, N).
+//
+// Fault campaigns at planetary scale (internal/fault's Campaign) need to
+// visit a pseudo-random subset of a domain that is far too large to
+// materialize: a billion-pixel baseline has ~10^10 bit sites, and a
+// position set at that scale costs tens of gigabytes. A keyed permutation
+// sidesteps the whole problem: enumerating P(0), P(1), ... P(B-1) visits
+// B distinct pseudo-random sites in O(1) memory, the enumeration is
+// reproducible bit-for-bit from (N, seed, rounds), and sharding is free —
+// worker k walks logical indices k, k+W, k+2W... and the shards partition
+// the site set exactly.
+//
+// The construction is the classic cycle-walking Feistel (Black & Rogaway,
+// "Ciphers with Arbitrary Finite Domains", CT-RSA 2002): pick the
+// smallest balanced Feistel domain M = 2^(2h) >= N, run a keyed Feistel
+// network over h-bit halves, and if the output lands in [N, M) feed it
+// back through the network until it falls inside [0, N). Because the
+// Feistel network is a bijection on [0, M), the walk follows one cycle of
+// that bijection; starting from a point inside [0, N), the cycle must
+// return to the start eventually, so some iterate lands in [0, N) and the
+// walk terminates. Since M < 4N, the expected walk length is below 4
+// steps.
+//
+// The round function is rng.Mix64 (the splitmix64 finalizer) over the
+// half XOR a per-round 64-bit key drawn from internal/rng's PCG stream,
+// masked to h bits — the same fully-specified primitives the rest of the
+// reproduction already commits to for reproducibility.
+package perm
+
+import (
+	"fmt"
+
+	"spaceproc/internal/rng"
+)
+
+// DefaultRounds is the Feistel round count used when a caller passes 0.
+// Four rounds already give a strong pseudo-random permutation
+// (Luby-Rackoff); six add margin for the statistical uniformity the
+// campaign sweeps rely on, at a cost of a few nanoseconds per walk step.
+const DefaultRounds = 6
+
+// Perm is a keyed permutation of [0, N). The zero value is not usable;
+// construct with New. A Perm is immutable after construction and safe
+// for concurrent use.
+type Perm struct {
+	n        uint64
+	rounds   int
+	halfBits uint
+	halfMask uint64
+	keys     []uint64
+}
+
+// New builds the permutation of [0, n) keyed by seed. rounds is the
+// Feistel round count; 0 selects DefaultRounds. The permutation is fully
+// determined by (n, seed, rounds): any two Perms built with equal
+// parameters agree on every At and Inverse.
+func New(n, seed uint64, rounds int) (*Perm, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("perm: domain size must be positive")
+	}
+	if rounds == 0 {
+		rounds = DefaultRounds
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("perm: round count %d must be positive", rounds)
+	}
+	// Smallest balanced Feistel domain 2^(2h) covering n. h caps at 32:
+	// 2^64 covers every uint64 domain (the 1<<(2*32) shift would wrap).
+	h := uint(1)
+	for h < 32 && uint64(1)<<(2*h) < n {
+		h++
+	}
+	p := &Perm{
+		n:        n,
+		rounds:   rounds,
+		halfBits: h,
+		halfMask: uint64(1)<<h - 1,
+		keys:     make([]uint64, rounds),
+	}
+	src := rng.New(seed)
+	for i := range p.keys {
+		p.keys[i] = src.Uint64()
+	}
+	return p, nil
+}
+
+// N returns the domain size.
+func (p *Perm) N() uint64 { return p.n }
+
+// Rounds returns the Feistel round count.
+func (p *Perm) Rounds() int { return p.rounds }
+
+// At returns the image of i under the permutation. It panics if i is
+// outside [0, N) — an out-of-domain logical index is a programming error,
+// exactly like rng.Intn(n<=0).
+func (p *Perm) At(i uint64) uint64 {
+	if i >= p.n {
+		panic(fmt.Sprintf("perm: At index %d outside domain [0,%d)", i, p.n))
+	}
+	v := p.encrypt(i)
+	for v >= p.n {
+		v = p.encrypt(v)
+	}
+	return v
+}
+
+// Inverse returns the preimage of v: At(Inverse(v)) == v. It panics if v
+// is outside [0, N).
+func (p *Perm) Inverse(v uint64) uint64 {
+	if v >= p.n {
+		panic(fmt.Sprintf("perm: Inverse value %d outside domain [0,%d)", v, p.n))
+	}
+	i := p.decrypt(v)
+	for i >= p.n {
+		i = p.decrypt(i)
+	}
+	return i
+}
+
+// encrypt runs the Feistel network forward over the 2h-bit block.
+func (p *Perm) encrypt(v uint64) uint64 {
+	l := (v >> p.halfBits) & p.halfMask
+	r := v & p.halfMask
+	for _, k := range p.keys {
+		l, r = r, l^(rng.Mix64(r^k)&p.halfMask)
+	}
+	return l<<p.halfBits | r
+}
+
+// decrypt runs the network backward; it inverts encrypt exactly.
+func (p *Perm) decrypt(v uint64) uint64 {
+	l := (v >> p.halfBits) & p.halfMask
+	r := v & p.halfMask
+	for i := len(p.keys) - 1; i >= 0; i-- {
+		l, r = r^(rng.Mix64(l^p.keys[i])&p.halfMask), l
+	}
+	return l<<p.halfBits | r
+}
+
+// ShardIter enumerates one shard of the permutation in O(1) memory:
+// shard k of W yields At(k), At(k+W), At(k+2W), ... until the logical
+// indices leave the domain. The W shards partition the full site set
+// exactly, so a campaign split across workers visits every site exactly
+// once regardless of the shard count. The iterator is not safe for
+// concurrent use; build one per goroutine (the Perm behind it may be
+// shared).
+type ShardIter struct {
+	p       *Perm
+	next    uint64
+	stride  uint64
+	done    bool
+	visited uint64
+}
+
+// Shard returns the iterator for shard k of w. It panics unless
+// 0 <= k < w — a malformed shard plan silently dropping or duplicating
+// sites would defeat the whole reproducibility contract.
+func (p *Perm) Shard(k, w int) *ShardIter {
+	if w <= 0 || k < 0 || k >= w {
+		panic(fmt.Sprintf("perm: shard %d of %d is not a valid plan", k, w))
+	}
+	return &ShardIter{p: p, next: uint64(k), stride: uint64(w), done: uint64(k) >= p.n}
+}
+
+// Next returns the next permuted site of the shard, and false once the
+// shard is exhausted.
+func (it *ShardIter) Next() (uint64, bool) {
+	if it.done {
+		return 0, false
+	}
+	v := it.p.At(it.next)
+	it.visited++
+	// Guard the stride addition against wrapping past 2^64 on domains
+	// near the top of the uint64 range.
+	if it.next >= it.p.n-1 || it.p.n-1-it.next < it.stride {
+		it.done = true
+	} else {
+		it.next += it.stride
+	}
+	return v, true
+}
+
+// Index returns the logical index the next Next call will map, which is
+// also k + Visited()*W.
+func (it *ShardIter) Index() uint64 { return it.next }
+
+// Visited returns how many sites the iterator has yielded.
+func (it *ShardIter) Visited() uint64 { return it.visited }

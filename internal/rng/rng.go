@@ -125,6 +125,21 @@ func (s *Source) Normal(mean, stddev float64) float64 {
 	return mean + stddev*u*f
 }
 
+// Mix64 is the SplitMix64 finalizer (Stafford's Mix13 variant): a fixed
+// bijective avalanche over uint64 where every output bit depends on every
+// input bit. It is the shared mixing primitive behind the consistent-hash
+// ring (internal/serve/ring) and the Feistel round function
+// (internal/perm); being a bijection, it is also safely invertible in
+// principle, though no inverse is needed here.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"spaceproc/internal/rng"
 )
 
 // DefaultVirtualNodes is the per-member virtual-node count; enough that
@@ -164,8 +166,8 @@ func (r *Ring) start(key string) int {
 }
 
 // hash is FNV-1a over the seed's bytes then s, with a final avalanche
-// mix (splitmix64 finalizer) so sequential vnode suffixes land far
-// apart on the ring.
+// mix (rng.Mix64, the splitmix64 finalizer) so sequential vnode suffixes
+// land far apart on the ring.
 func (r *Ring) hash(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -180,10 +182,5 @@ func (r *Ring) hash(s string) uint64 {
 		h ^= uint64(s[i])
 		h *= prime64
 	}
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
+	return rng.Mix64(h)
 }

@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"spaceproc/internal/cluster"
+	"spaceproc/internal/crreject"
+	"spaceproc/internal/fault"
+	"spaceproc/internal/telemetry"
+)
+
+// The campaign experiment exercises the constant-memory fault subsystem
+// at the scale the map/slice-based injectors cannot touch: a synthetic
+// billion-pixel domain swept through a cycle-walking Feistel permutation,
+// sharded across pool workers. Nothing is materialized — each worker
+// folds its shard into a fault.FlipSet — so the experiment's memory is
+// flat in the domain size. For every upset model the sweep runs the same
+// (seed, rounds) campaign under several shard plans and demands the
+// aggregates match bit-for-bit: the table's rows being constant across
+// the shard axis IS the result, and any divergence fails the experiment
+// rather than rendering a wrong number.
+
+// CampaignSweepConfig parameterizes the campaign sweep.
+type CampaignSweepConfig struct {
+	// DomainPixels is the synthetic frame's pixel count (16-bit words);
+	// the bit domain is 16x larger. The default is 2^30 — a billion-pixel
+	// baseline.
+	DomainPixels uint64
+	// Width is the synthetic frame's row width in pixels; it must divide
+	// DomainPixels. ColumnWipe kill length is DomainPixels/Width rows.
+	Width uint64
+	// FlipBudget is the target bit-toggle count per model; each model's
+	// anchor budget is derived from it so the rows are comparable.
+	FlipBudget uint64
+	// Workers is the pool's worker count (the acceptance floor is 4).
+	Workers int
+	// Shards lists the shard plans to sweep.
+	Shards []int
+	// Telemetry, when non-nil, receives the fault_campaign_* counters.
+	Telemetry *telemetry.Registry
+}
+
+// DefaultCampaignSweepConfig returns the billion-pixel sweep.
+func DefaultCampaignSweepConfig() CampaignSweepConfig {
+	return CampaignSweepConfig{
+		DomainPixels: 1 << 30,
+		Width:        1 << 15,
+		FlipBudget:   1_000_000,
+		Workers:      4,
+		Shards:       []int{1, 4, 16},
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c CampaignSweepConfig) Validate() error {
+	switch {
+	case c.DomainPixels == 0:
+		return fmt.Errorf("sweep: campaign domain must be positive")
+	case c.Width == 0 || c.DomainPixels%c.Width != 0:
+		return fmt.Errorf("sweep: width %d must divide the %d-pixel domain", c.Width, c.DomainPixels)
+	case c.FlipBudget == 0:
+		return fmt.Errorf("sweep: flip budget must be positive")
+	case c.Workers <= 0:
+		return fmt.Errorf("sweep: workers must be positive, got %d", c.Workers)
+	case len(c.Shards) == 0:
+		return fmt.Errorf("sweep: no shard plans")
+	}
+	for _, s := range c.Shards {
+		if s <= 0 {
+			return fmt.Errorf("sweep: shard plan %d must be positive", s)
+		}
+	}
+	return nil
+}
+
+// FigCampaign sweeps shard plans across upset models over the synthetic
+// domain and reports bit toggles per (model, plan). Each model's row must
+// be flat — the sharded aggregates are checked digest-for-digest against
+// the sequential enumeration and any mismatch is an error.
+func FigCampaign(cfg CampaignSweepConfig, seed uint64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	defer traceExperiment(cfg.Telemetry, "figcampaign")()
+	rows := cfg.DomainPixels / cfg.Width
+	geom := fault.Geometry{
+		Bits:      cfg.DomainPixels * 16,
+		RowBits:   cfg.Width * 16,
+		FrameBits: cfg.DomainPixels * 16,
+	}
+	res := &Result{
+		ID:     "campaign",
+		Title:  fmt.Sprintf("constant-memory fault campaign over a %d-pixel domain (%d workers)", cfg.DomainPixels, cfg.Workers),
+		XLabel: "shards",
+		YLabel: "bit toggles (constant across shard plans by construction)",
+	}
+
+	popts := []cluster.PoolOption{}
+	if cfg.Telemetry != nil {
+		popts = append(popts, cluster.WithPoolTelemetry(cfg.Telemetry))
+	}
+	pool, err := cluster.NewPool(popts...)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := cluster.NewLocalWorker(nil, crreject.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		pool.AddWorker(w)
+	}
+
+	// Per-model anchor budgets: scale the shared flip budget down by the
+	// model's expansion factor so every row toggles a comparable count.
+	models := []struct {
+		model        fault.SiteModel
+		flipsPerSite uint64
+	}{
+		{fault.SingleBit{}, 1},
+		{fault.BurstRun{Length: 8}, 8},
+		{fault.BurstRun{Length: 64}, 64},
+		{fault.ColumnWipe{}, rows},
+	}
+	for _, m := range models {
+		count := cfg.FlipBudget / m.flipsPerSite
+		if count == 0 {
+			count = 1
+		}
+		c := fault.Campaign{Count: count, Seed: seed, Model: m.model}
+		ref, err := c.Summarize(context.Background(), geom, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Name: m.model.Name()}
+		for _, shards := range cfg.Shards {
+			fs, err := pool.RunCampaign(context.Background(), c, geom, shards)
+			if err != nil {
+				return nil, err
+			}
+			if fs != ref {
+				return nil, fmt.Errorf("sweep: model %s shards=%d: aggregate %+v diverged from sequential %+v",
+					m.model.Name(), shards, fs, ref)
+			}
+			series.Points = append(series.Points, Point{X: float64(shards), Y: float64(fs.Flips)})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}

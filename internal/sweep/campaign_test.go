@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"spaceproc/internal/telemetry"
+)
+
+func quickCampaignConfig() CampaignSweepConfig {
+	cfg := DefaultCampaignSweepConfig()
+	cfg.DomainPixels = 1 << 20
+	cfg.Width = 1 << 10
+	cfg.FlipBudget = 10_000
+	return cfg
+}
+
+func TestCampaignSweepConfigValidate(t *testing.T) {
+	if err := DefaultCampaignSweepConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []func(*CampaignSweepConfig){
+		func(c *CampaignSweepConfig) { c.DomainPixels = 0 },
+		func(c *CampaignSweepConfig) { c.Width = 0 },
+		func(c *CampaignSweepConfig) { c.Width = 1000 }, // does not divide 2^30
+		func(c *CampaignSweepConfig) { c.FlipBudget = 0 },
+		func(c *CampaignSweepConfig) { c.Workers = 0 },
+		func(c *CampaignSweepConfig) { c.Shards = nil },
+		func(c *CampaignSweepConfig) { c.Shards = []int{4, 0} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultCampaignSweepConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFigCampaignShardInvariantRows(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := quickCampaignConfig()
+	cfg.Telemetry = reg
+	res, err := FigCampaign(cfg, 20030622)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("%d series, want 4 models", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != len(cfg.Shards) {
+			t.Fatalf("series %s has %d points, want %d", s.Name, len(s.Points), len(cfg.Shards))
+		}
+		for _, p := range s.Points[1:] {
+			if p.Y != s.Points[0].Y {
+				t.Errorf("series %s not flat across shard plans: %v", s.Name, s.Points)
+			}
+		}
+		if s.Points[0].Y == 0 {
+			t.Errorf("series %s toggled nothing", s.Name)
+		}
+	}
+	// The single-bit row toggles exactly the flip budget; burst rows land
+	// within one run length of it.
+	if got, ok := res.Get("single", 1); !ok || got != float64(cfg.FlipBudget) {
+		t.Errorf("single toggles %v, want %d", got, cfg.FlipBudget)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fault_campaign_runs_total"] != int64(4*len(cfg.Shards)) {
+		t.Errorf("fault_campaign_runs_total = %d, want %d", snap.Counters["fault_campaign_runs_total"], 4*len(cfg.Shards))
+	}
+	if snap.Counters["fault_campaign_flips_total"] == 0 {
+		t.Error("fault_campaign_flips_total stayed zero")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"single", "burst8", "burst64", "colwipe"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("rendered table missing %s:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestFigCampaignDeterministicAcrossRuns(t *testing.T) {
+	cfg := quickCampaignConfig()
+	a, err := FigCampaign(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FigCampaign(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range a.Series {
+		for j, p := range s.Points {
+			if b.Series[i].Points[j] != p {
+				t.Fatalf("series %s point %d differs across runs", s.Name, j)
+			}
+		}
+	}
+}
